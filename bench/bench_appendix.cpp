@@ -1,0 +1,102 @@
+// Appendix A (Figs 16-20): FCT distributions for all five published traces
+// at two speed grades (10/40G and 100/400G) on both topologies (fat tree
+// and Jellyfish), four network types each.
+//
+// The paper's appendix findings: at 10/40G, P-Nets cut latency on most
+// flows (better load balancing across planes); at 100/400G the
+// heterogeneous path-length advantage lets short flows beat even the ideal
+// 400G serial network. Fat trees have no heterogeneous variant, so that
+// column prints the homogeneous P-Net twice less one row, as in the paper.
+//
+// Usage: bench_appendix [--hosts=48] [--rounds=4] [--seed=1] [--cap_mb=8]
+#include "common.hpp"
+#include "workload/apps.hpp"
+#include "workload/traces.hpp"
+
+using namespace pnet;
+
+namespace {
+
+std::vector<double> run_config(topo::TopoKind kind, topo::NetworkType type,
+                               workload::Trace trace, int hosts,
+                               double base_rate, int rounds,
+                               std::uint64_t cap_bytes, std::uint64_t seed) {
+  auto spec = bench::make_spec(kind, type, hosts, 4, seed);
+  spec.base_rate_bps = base_rate;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;
+  sim::SimConfig sim_config;
+  sim_config.queue_buffer_bytes = 400 * 1500;
+  core::SimHarness harness(spec, policy, sim_config);
+
+  const auto& dist = workload::FlowSizeDistribution::of(trace);
+  workload::ClosedLoopApp::Config config;
+  config.concurrent_per_host = 2;
+  config.rounds_per_worker = rounds;
+  config.seed = seed * 29 + 11;
+  workload::ClosedLoopApp app(
+      harness.starter(), harness.all_hosts(), config,
+      [&](HostId src, Rng& rng) {
+        return workload::random_destination(harness.net().num_hosts(), src,
+                                            rng);
+      },
+      [&dist, cap_bytes](Rng& rng) { return dist.sample(rng, cap_bytes); });
+  app.start(0);
+  harness.run();
+  return app.completion_times_us();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header(
+      "Appendix A (Figs 16-20): trace FCTs x {10/40G, 100/400G} x "
+      "{fat tree, Jellyfish}",
+      flags);
+  const bool paper = flags.paper_scale();
+  const int hosts = flags.get_int("hosts", paper ? 250 : 48);
+  const int rounds = flags.get_int("rounds", paper ? 20 : 4);
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(flags.get_i64("cap_mb", paper ? 0 : 8)) *
+      1'000'000ULL;
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_i64("seed", 1));
+
+  const int figure_base = 16;
+  int figure = figure_base;
+  // Paper order: websearch (16), webserver (17), cache (18), hadoop (19),
+  // datamining (20).
+  const workload::Trace order[] = {
+      workload::Trace::kWebSearch, workload::Trace::kWebServer,
+      workload::Trace::kCache, workload::Trace::kHadoop,
+      workload::Trace::kDataMining};
+
+  for (auto trace : order) {
+    for (double base_rate : {10e9, 100e9}) {
+      for (auto kind :
+           {topo::TopoKind::kFatTree, topo::TopoKind::kJellyfish}) {
+        const std::string grade =
+            base_rate == 10e9 ? "10/40G" : "100/400G";
+        TextTable table("Fig " + std::to_string(figure) + " (" +
+                            workload::to_string(trace) + ", " + grade +
+                            ", " + topo::to_string(kind) + "): FCT (us)",
+                        {"network", "median", "p90", "p99"});
+        for (auto type : bench::kAllTypes) {
+          // Fat trees have no heterogeneous instantiation (paper note).
+          if (kind == topo::TopoKind::kFatTree &&
+              type == topo::NetworkType::kParallelHeterogeneous) {
+            continue;
+          }
+          const auto samples = run_config(kind, type, trace, hosts,
+                                          base_rate, rounds, cap, seed);
+          const auto s = bench::summarize(samples);
+          table.add_row(topo::to_string(type), {s.median, s.p90, s.p99}, 1);
+        }
+        table.print();
+      }
+    }
+    ++figure;
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 10 + Table 2: 1500 B (MTU-sized) RPC request completion time on
+// Jellyfish networks, single-path routing, N = 4 dataplanes.
+//
+// Each host ping-pongs MTU-sized RPCs with random servers. The completion
+// time distribution steps with the hop-count distribution; parallel
+// heterogeneous networks answer from whichever plane has the shortest path
+// (the §3.4 "low-latency" interface), cutting the median to ~80% of serial
+// in the paper. Serial high-bw only shaves serialization delay (90 ns/hop
+// at 400G), which is small next to the ~1 us/hop propagation.
+//
+// Usage: bench_fig10_table2 [--hosts=96] [--planes=4] [--rounds=100]
+//        [--seed=1]  (--scale=paper: 686 hosts, 1000 rounds)
+#include "common.hpp"
+#include "workload/apps.hpp"
+
+using namespace pnet;
+
+namespace {
+
+std::vector<double> run_rpcs(topo::NetworkType type, int hosts, int planes,
+                             std::uint64_t rpc_bytes, int rounds,
+                             std::uint64_t seed) {
+  const auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type,
+                                     hosts, planes, seed);
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;  // single path
+  core::SimHarness harness(spec, policy);
+
+  workload::ClosedLoopApp::Config config;
+  config.concurrent_per_host = 1;
+  config.response_bytes = rpc_bytes;
+  config.rounds_per_worker = rounds;
+  config.seed = seed * 71 + 3;
+  workload::ClosedLoopApp app(
+      harness.starter(), harness.all_hosts(), config,
+      [&](HostId src, Rng& rng) {
+        return workload::random_destination(harness.net().num_hosts(), src,
+                                            rng);
+      },
+      [rpc_bytes](Rng&) { return rpc_bytes; });
+  app.start(0);
+  harness.run();
+  return app.completion_times_us();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header(
+      "Figure 10 + Table 2: 1500B RPC completion time, single-path routing",
+      flags);
+  const bool paper = flags.paper_scale();
+  const int hosts = flags.get_int("hosts", paper ? 686 : 96);
+  const int planes = flags.get_int("planes", 4);
+  const int rounds = flags.get_int("rounds", paper ? 1000 : 100);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_i64("seed", 1));
+
+  std::vector<std::pair<std::string, std::vector<double>>> results;
+  for (auto type : bench::kAllTypes) {
+    results.emplace_back(topo::to_string(type),
+                         run_rpcs(type, hosts, planes, 1500, rounds, seed));
+  }
+
+  // Fig 10: CDFs (stepping with the hop-count distribution).
+  for (const auto& [name, samples] : results) {
+    bench::print_cdf("Fig 10 CDF: " + name, Cdf::from_samples(samples),
+                     "completion time (us)");
+  }
+
+  // Table 2: statistics relative to serial low-bw.
+  const auto base = bench::summarize(results.front().second);
+  TextTable table("Table 2: 1500B RPC completion time, % of serial low-bw "
+                  "(paper: het 80.1/86.6/90.4, high-bw ~98)",
+                  {"network", "median %", "average %", "99%-tile %"});
+  for (const auto& [name, samples] : results) {
+    const auto s = bench::summarize(samples);
+    table.add_row(name, {100.0 * s.median / base.median,
+                         100.0 * s.mean / base.mean,
+                         100.0 * s.p99 / base.p99},
+                  1);
+  }
+  table.print();
+  return 0;
+}

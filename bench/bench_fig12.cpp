@@ -1,0 +1,94 @@
+// Figure 12: simulated Hadoop-sort per-worker completion time per stage
+// (read input / shuffle / write output), single-path routing, four network
+// types, N = 4 dataplanes.
+//
+// Paper setup: 250-host cluster, 32 mappers + 32 reducers sorting 100 GB in
+// 128 MB blocks, 4 concurrent blocks per worker; the shuffle is 32x32 equal
+// flows. Default run scales the data down (EXPERIMENTS.md records the
+// exact parameters); --scale=paper restores the full job.
+//
+// Expected shape: sparse stages (read/write) benefit from parallel planes
+// and heterogeneous short paths; the dense shuffle brings parallel networks
+// close to serial high-bw, with no extra heterogeneous win (flows collide
+// on the popular short paths, §5.2.2).
+//
+// Usage: bench_fig12 [--hosts=100] [--mappers=16] [--reducers=16]
+//        [--gb=2] [--block_mb=32] [--seed=1]
+#include <array>
+
+#include "common.hpp"
+#include "workload/apps.hpp"
+
+using namespace pnet;
+
+namespace {
+
+std::array<std::vector<double>, 3> run_job(topo::NetworkType type, int hosts,
+                                           const workload::HadoopJob::Config&
+                                               job_config,
+                                           std::uint64_t seed) {
+  const auto spec =
+      bench::make_spec(topo::TopoKind::kJellyfish, type, hosts, 4, seed);
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;  // single path
+  sim::SimConfig sim_config;
+  sim_config.queue_buffer_bytes = 400 * 1500;  // bulk-transfer buffers
+  core::SimHarness harness(spec, policy, sim_config);
+
+  workload::HadoopJob job(harness.starter(), harness.all_hosts(),
+                          job_config);
+  job.start(0);
+  harness.run();
+  if (!job.finished()) {
+    std::fprintf(stderr, "warning: hadoop job did not finish\n");
+  }
+  return {job.stage_worker_times_s(0), job.stage_worker_times_s(1),
+          job.stage_worker_times_s(2)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header("Figure 12: Hadoop-like sort, per-worker stage "
+                      "completion times",
+                      flags);
+  const bool paper = flags.paper_scale();
+  const int hosts = flags.get_int("hosts", paper ? 250 : 100);
+
+  workload::HadoopJob::Config job_config;
+  job_config.num_mappers = flags.get_int("mappers", paper ? 32 : 16);
+  job_config.num_reducers = flags.get_int("reducers", paper ? 32 : 16);
+  job_config.total_bytes =
+      static_cast<std::uint64_t>(flags.get_i64("gb", paper ? 100 : 2)) *
+      1'000'000'000ULL;
+  job_config.block_bytes = static_cast<std::uint64_t>(
+      flags.get_i64("block_mb", paper ? 128 : 32)) * 1'000'000ULL;
+  job_config.concurrent_blocks = 4;
+  job_config.seed =
+      static_cast<std::uint64_t>(flags.get_i64("seed", 1)) * 13 + 5;
+
+  const char* stage_names[] = {"read input", "shuffle", "write output"};
+  std::vector<std::array<std::vector<double>, 3>> per_type;
+  for (auto type : bench::kAllTypes) {
+    per_type.push_back(
+        run_job(type, hosts, job_config, job_config.seed));
+  }
+
+  for (int stage = 0; stage < 3; ++stage) {
+    TextTable table(std::string("Fig 12, stage ") + std::to_string(stage + 1) +
+                        " (" + stage_names[stage] +
+                        "): per-worker completion time (s)",
+                    {"network", "median", "mean", "p90", "max"});
+    for (std::size_t t = 0; t < per_type.size(); ++t) {
+      const auto& samples = per_type[t][static_cast<std::size_t>(stage)];
+      const auto s = bench::summarize(samples);
+      double max_v = 0;
+      for (double v : samples) max_v = std::max(max_v, v);
+      table.add_row(topo::to_string(bench::kAllTypes[t]),
+                    {s.median, s.mean, s.p90, max_v}, 4);
+    }
+    table.print();
+  }
+  return 0;
+}

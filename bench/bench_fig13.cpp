@@ -1,0 +1,108 @@
+// Figure 13: published datacenter flow traces.
+//   (a) flow-size CDFs of the five traces (websearch, datamining,
+//       webserver, cache, hadoop);
+//   (b) Datamining FCT distribution on Jellyfish, 100/400G;
+//   (c) Websearch FCT distribution on Jellyfish, 100/400G.
+//
+// Setup mirrors §5.3: four concurrent closed-loop flows per host, sizes
+// drawn from the trace, single-path routing, four network types. Expected
+// shape: short-flow traces (datamining) get lower latency on P-Nets —
+// especially heterogeneous — via shorter paths and better tolerance of
+// concurrent flows; throughput-bound traces (websearch) see P-Nets close
+// most of the gap to serial high-bw.
+//
+// Usage: bench_fig13 [--hosts=64] [--planes=4] [--rounds=8] [--seed=1]
+//        [--cap_mb=16]  (--scale=paper: 686 hosts, more rounds, no cap)
+#include "common.hpp"
+#include "workload/apps.hpp"
+#include "workload/traces.hpp"
+
+using namespace pnet;
+
+namespace {
+
+std::vector<double> run_trace(topo::NetworkType type, workload::Trace trace,
+                              int hosts, int planes, int rounds,
+                              std::uint64_t cap_bytes, std::uint64_t seed) {
+  const auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type,
+                                     hosts, planes, seed);
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;  // single path, §5.3
+  sim::SimConfig sim_config;
+  sim_config.queue_buffer_bytes = 400 * 1500;
+  core::SimHarness harness(spec, policy, sim_config);
+
+  const auto& dist = workload::FlowSizeDistribution::of(trace);
+  workload::ClosedLoopApp::Config config;
+  config.concurrent_per_host = 4;  // saturating closed loop, §5.3
+  config.rounds_per_worker = rounds;
+  config.seed = seed * 0x51 + 3;
+  workload::ClosedLoopApp app(
+      harness.starter(), harness.all_hosts(), config,
+      [&](HostId src, Rng& rng) {
+        return workload::random_destination(harness.net().num_hosts(), src,
+                                            rng);
+      },
+      [&dist, cap_bytes](Rng& rng) { return dist.sample(rng, cap_bytes); });
+  app.start(0);
+  harness.run();
+  return app.completion_times_us();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header("Figure 13: published DC flow traces", flags);
+  const bool paper = flags.paper_scale();
+  const int hosts = flags.get_int("hosts", paper ? 686 : 64);
+  const int planes = flags.get_int("planes", 4);
+  const int rounds = flags.get_int("rounds", paper ? 40 : 8);
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(flags.get_i64("cap_mb", paper ? 0 : 16)) *
+      1'000'000ULL;
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_i64("seed", 1));
+
+  // --- (a) flow size CDFs ----------------------------------------------
+  TextTable sizes("Fig 13a: flow size CDF anchors (bytes at percentile)",
+                  {"trace", "p10", "p50", "p90", "p99", "mean"});
+  for (auto trace : workload::kAllTraces) {
+    const auto& dist = workload::FlowSizeDistribution::of(trace);
+    Rng rng(1);
+    std::vector<double> samples;
+    for (int i = 0; i < 50000; ++i) {
+      samples.push_back(static_cast<double>(dist.sample(rng)));
+    }
+    const auto ps = percentiles(samples, {10, 50, 90, 99});
+    sizes.add_row(workload::to_string(trace),
+                  {ps[0], ps[1], ps[2], ps[3], dist.mean_bytes()}, 0);
+  }
+  sizes.print();
+
+  // --- (b)/(c) FCT distributions on Jellyfish 100/400G ------------------
+  for (auto trace : {workload::Trace::kDataMining,
+                     workload::Trace::kWebSearch}) {
+    const char* label =
+        trace == workload::Trace::kDataMining ? "Fig 13b" : "Fig 13c";
+    TextTable table(std::string(label) + ": " + workload::to_string(trace) +
+                        " FCT (us) on Jellyfish, single-path closed loop",
+                    {"network", "median", "p90", "p99", "mean"});
+    std::vector<std::pair<std::string, std::vector<double>>> cdfs;
+    for (auto type : bench::kAllTypes) {
+      auto samples =
+          run_trace(type, trace, hosts, planes, rounds, cap, seed);
+      const auto s = bench::summarize(samples);
+      table.add_row(topo::to_string(type),
+                    {s.median, s.p90, s.p99, s.mean}, 1);
+      cdfs.emplace_back(topo::to_string(type), std::move(samples));
+    }
+    table.print();
+    for (auto& [name, samples] : cdfs) {
+      bench::print_cdf(std::string(label) + " CDF: " + name,
+                       Cdf::from_samples(std::move(samples)), "FCT (us)",
+                       12);
+    }
+  }
+  return 0;
+}

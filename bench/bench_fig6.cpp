@@ -1,0 +1,109 @@
+// Figure 6: parallel fat tree ideal throughput (LP with computed routes).
+//   (a) all-to-all traffic under ECMP    — saturates every plane count;
+//   (b) permutation traffic under ECMP   — barely improves with planes;
+//   (c) permutation, MPTCP + K-shortest-path sweep — saturation needs
+//       K ~ 8 * N subflows (circled points in the paper).
+// Throughput is normalized against the serial low-bandwidth fat tree's
+// saturation throughput (active hosts x 100G), exactly as in the paper
+// where the serial low-bw series sits at 1.
+//
+// Usage: bench_fig6 [--hosts=128] [--eps=0.05] [--seed=1] [--trials=3]
+//        (--scale=paper runs the 1024-host setup of the paper)
+#include <map>
+
+#include "common.hpp"
+
+using namespace pnet;
+using bench::LpScheme;
+
+namespace {
+
+struct Series {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Series run_trials(topo::NetworkType type, int hosts, int planes,
+                  bool all_to_all, LpScheme scheme, int k, double eps,
+                  int trials, std::uint64_t seed) {
+  RunningStats stats;
+  for (int t = 0; t < trials; ++t) {
+    const auto net = topo::build_network(bench::make_spec(
+        topo::TopoKind::kFatTree, type, hosts, planes, seed + 100 * t));
+    Rng rng(seed + 7 * t);
+    const auto pairs =
+        all_to_all ? workload::rack_all_to_all_pairs(net)
+                   : workload::permutation_pairs(net.num_hosts(), rng);
+    const double active_hosts = static_cast<double>(
+        all_to_all ? net.num_racks() : net.num_hosts());
+    const auto run = bench::lp_throughput(net, pairs, scheme, k, eps);
+    stats.add(run.total_throughput_bps /
+              (active_hosts * net.spec().base_rate_bps));
+  }
+  return {stats.mean(), stats.stddev()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header("Figure 6: fat tree ideal throughput (ECMP + KSP)",
+                      flags);
+  const int hosts = flags.get_int("hosts", flags.paper_scale() ? 1024 : 128);
+  const double eps = flags.get_double("eps", 0.05);
+  const int trials = flags.get_int("trials", flags.paper_scale() ? 5 : 3);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_i64("seed", 1));
+
+  const std::vector<int> plane_counts = {1, 2, 4, 8};
+
+  // --- (a) all-to-all + ECMP, (b) permutation + ECMP ------------------
+  for (const bool all_to_all : {true, false}) {
+    TextTable table(std::string("Fig 6") + (all_to_all ? "a" : "b") + ": " +
+                        (all_to_all ? "all-to-all" : "permutation") +
+                        " throughput, ECMP (normalized to serial low-bw)",
+                    {"planes", "parallel fat tree", "stddev",
+                     "serial high-bw (ideal)"});
+    for (int n : plane_counts) {
+      const auto s = run_trials(
+          n == 1 ? topo::NetworkType::kSerialLow
+                 : topo::NetworkType::kParallelHomogeneous,
+          hosts, n, all_to_all, LpScheme::kEcmp, 0, eps, trials, seed);
+      table.add_row(std::to_string(n),
+                    {s.mean, s.stddev, static_cast<double>(n)});
+    }
+    table.print();
+  }
+
+  // --- (c) permutation, multipath sweep --------------------------------
+  TextTable sweep(
+      "Fig 6c: permutation throughput vs multipath level K "
+      "(normalized to serial low-bw; circled = first K saturating N planes)",
+      {"K", "serial (N=1)", "parallel N=2", "parallel N=4"});
+  const std::vector<int> ks = {1, 2, 4, 8, 16, 32};
+  std::map<int, int> saturation_k;
+  for (int k : ks) {
+    std::vector<double> row;
+    for (int n : {1, 2, 4}) {
+      const auto s = run_trials(
+          n == 1 ? topo::NetworkType::kSerialLow
+                 : topo::NetworkType::kParallelHomogeneous,
+          hosts, n, false, LpScheme::kKsp, k, eps, trials, seed);
+      row.push_back(s.mean);
+      if (!saturation_k.contains(n) && s.mean >= 0.9 * n) {
+        saturation_k[n] = k;
+      }
+    }
+    sweep.add_row(std::to_string(k), row);
+  }
+  sweep.print();
+
+  TextTable circles("Saturation multipath level (the paper's circles: "
+                    "K grows in proportion to the plane count N)",
+                    {"planes", "first K reaching 90% of N"});
+  for (const auto& [n, k] : saturation_k) {
+    circles.add_row(std::to_string(n), {static_cast<double>(k)}, 0);
+  }
+  circles.print();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 7: ideal throughput under NO path constraint on Jellyfish,
+// rack-level all-to-all traffic (the LP solver's max concurrent flow with a
+// true shortest-path oracle over every plane).
+//
+// The paper's headline: parallel heterogeneous Jellyfish reaches up to
+// ~60% MORE total throughput than the serial high-bandwidth network built
+// from the same capacity, because each rack pair can route over whichever
+// plane instantiation offers the shortest path, consuming less capacity per
+// bit. Parallel homogeneous equals serial high-bw (identical planes) and is
+// printed once to confirm, as the paper notes before omitting it.
+//
+// Usage: bench_fig7 [--racks=24] [--degree=8] [--eps=0.06] [--trials=3]
+//        [--seed=1]   (--scale=paper: 128 racks as in the paper)
+#include "common.hpp"
+
+using namespace pnet;
+
+namespace {
+
+double oracle_throughput(const topo::ParallelNetwork& net, double eps) {
+  const lp::LinkIndex index(net);
+  std::vector<lp::OracleCommodity> commodities;
+  const int racks = static_cast<int>(net.plane(0).switch_nodes.size());
+  for (int a = 0; a < racks; ++a) {
+    for (int b = 0; b < racks; ++b) {
+      if (a == b) continue;
+      lp::OracleCommodity commodity;
+      commodity.demand = net.spec().base_rate_bps;
+      for (int p = 0; p < net.num_planes(); ++p) {
+        commodity.endpoints.emplace_back(
+            net.plane(p).switch_nodes[static_cast<std::size_t>(a)],
+            net.plane(p).switch_nodes[static_cast<std::size_t>(b)]);
+      }
+      commodities.push_back(std::move(commodity));
+    }
+  }
+  lp::McfOptions options;
+  options.epsilon = eps;
+  return lp::max_concurrent_flow_oracle(net, index, commodities, options)
+      .total_throughput;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header(
+      "Figure 7: Jellyfish ideal throughput, rack-level all-to-all, no "
+      "path constraint",
+      flags);
+  const int racks = flags.get_int("racks", flags.paper_scale() ? 128 : 24);
+  const int degree = flags.get_int("degree", 8);
+  const double eps = flags.get_double("eps", 0.06);
+  const int trials = flags.get_int("trials", flags.paper_scale() ? 5 : 3);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_i64("seed", 1));
+
+  auto spec_for = [&](topo::NetworkType type, int planes,
+                      std::uint64_t s) {
+    auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type,
+                                 racks, planes, s);
+    spec.jf_switches = racks;
+    spec.jf_degree = degree;
+    spec.jf_hosts_per_switch = 1;  // hosts unused: rack-level commodities
+    return spec;
+  };
+
+  auto run = [&](topo::NetworkType type, int planes) {
+    RunningStats stats;
+    for (int t = 0; t < trials; ++t) {
+      const auto net =
+          topo::build_network(spec_for(type, planes, seed + 31 * t));
+      stats.add(oracle_throughput(net, eps));
+    }
+    return stats;
+  };
+
+  const double serial_low =
+      run(topo::NetworkType::kSerialLow, 1).mean();
+
+  TextTable table("Fig 7: throughput normalized to serial low-bw "
+                  "(parallel homogeneous == serial high-bw, shown once)",
+                  {"planes", "serial high-bw", "parallel heterogeneous",
+                   "het stddev", "het / serial-high"});
+  for (int n : {1, 2, 4, 8}) {
+    const auto het =
+        n == 1 ? run(topo::NetworkType::kSerialLow, 1)
+               : run(topo::NetworkType::kParallelHeterogeneous, n);
+    const auto high = run(topo::NetworkType::kSerialHigh, n);
+    const double high_norm = high.mean() / serial_low;
+    const double het_norm = het.mean() / serial_low;
+    table.add_row(std::to_string(n),
+                  {high_norm, het_norm, het.stddev() / serial_low,
+                   het_norm / high_norm});
+  }
+  table.print();
+
+  // Confirmation row the paper mentions: homogeneous == serial high-bw.
+  const auto hom = run(topo::NetworkType::kParallelHomogeneous, 4);
+  const auto high4 = run(topo::NetworkType::kSerialHigh, 4);
+  TextTable check("Check: parallel homogeneous matches serial high-bw "
+                  "(paper omits the curve for this reason)",
+                  {"planes", "parallel homogeneous", "serial high-bw"});
+  check.add_row("4", {hom.mean() / serial_low, high4.mean() / serial_low});
+  check.print();
+  return 0;
+}

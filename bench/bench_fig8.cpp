@@ -1,0 +1,106 @@
+// Figure 8: parallel Jellyfish ideal throughput with computed routes.
+//   (a) all-to-all, default 8-way KSP    — saturates the planes;
+//   (b) permutation, default 8-way KSP   — stuck well below the combined
+//       bandwidth (~60% in the paper) once planes multiply;
+//   (c) permutation, K sweep             — saturation again needs K ~ 8*N.
+// Normalized to the serial low-bandwidth Jellyfish saturation throughput.
+//
+// Usage: bench_fig8 [--hosts=98] [--eps=0.05] [--seed=1] [--trials=3]
+//        (--scale=paper: 1024 hosts)
+#include <map>
+
+#include "common.hpp"
+
+using namespace pnet;
+using bench::LpScheme;
+
+namespace {
+
+struct Series {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Series run_trials(topo::NetworkType type, int hosts, int planes,
+                  bool all_to_all, int k, double eps, int trials,
+                  std::uint64_t seed) {
+  RunningStats stats;
+  for (int t = 0; t < trials; ++t) {
+    const auto net = topo::build_network(bench::make_spec(
+        topo::TopoKind::kJellyfish, type, hosts, planes, seed + 100 * t));
+    Rng rng(seed + 7 * t);
+    const auto pairs =
+        all_to_all ? workload::rack_all_to_all_pairs(net)
+                   : workload::permutation_pairs(net.num_hosts(), rng);
+    const double active_hosts = static_cast<double>(
+        all_to_all ? net.num_racks() : net.num_hosts());
+    const auto run =
+        bench::lp_throughput(net, pairs, LpScheme::kKsp, k, eps);
+    stats.add(run.total_throughput_bps /
+              (active_hosts * net.spec().base_rate_bps));
+  }
+  return {stats.mean(), stats.stddev()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header("Figure 8: Jellyfish ideal throughput (8-way KSP + "
+                      "multipath sweep)",
+                      flags);
+  const int hosts = flags.get_int("hosts", flags.paper_scale() ? 1024 : 98);
+  const double eps = flags.get_double("eps", 0.05);
+  const int trials = flags.get_int("trials", flags.paper_scale() ? 5 : 3);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_i64("seed", 1));
+
+  // --- (a) all-to-all + 8-way KSP, (b) permutation + 8-way KSP ---------
+  for (const bool all_to_all : {true, false}) {
+    TextTable table(
+        std::string("Fig 8") + (all_to_all ? "a" : "b") + ": " +
+            (all_to_all ? "all-to-all" : "permutation") +
+            " throughput, 8-way KSP (normalized to serial low-bw)",
+        {"planes", "parallel heterogeneous", "stddev",
+         "serial high-bw (ideal)"});
+    for (int n : {1, 2, 4, 8}) {
+      const auto s = run_trials(
+          n == 1 ? topo::NetworkType::kSerialLow
+                 : topo::NetworkType::kParallelHeterogeneous,
+          hosts, n, all_to_all, 8, eps, trials, seed);
+      table.add_row(std::to_string(n),
+                    {s.mean, s.stddev, static_cast<double>(n)});
+    }
+    table.print();
+  }
+
+  // --- (c) permutation, multipath sweep --------------------------------
+  TextTable sweep(
+      "Fig 8c: permutation throughput vs multipath level K "
+      "(normalized to serial low-bw; circled = first K saturating N planes)",
+      {"K", "serial (N=1)", "parallel N=2", "parallel N=4"});
+  std::map<int, int> saturation_k;
+  for (int k : {1, 2, 4, 8, 16, 32}) {
+    std::vector<double> row;
+    for (int n : {1, 2, 4}) {
+      const auto s = run_trials(
+          n == 1 ? topo::NetworkType::kSerialLow
+                 : topo::NetworkType::kParallelHeterogeneous,
+          hosts, n, false, k, eps, trials, seed);
+      row.push_back(s.mean);
+      if (!saturation_k.contains(n) && s.mean >= 0.9 * n) {
+        saturation_k[n] = k;
+      }
+    }
+    sweep.add_row(std::to_string(k), row);
+  }
+  sweep.print();
+
+  TextTable circles("Saturation multipath level (K grows with N)",
+                    {"planes", "first K reaching 90% of N"});
+  for (const auto& [n, k] : saturation_k) {
+    circles.add_row(std::to_string(n), {static_cast<double>(k)}, 0);
+  }
+  circles.print();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks for the routing substrate: BFS, ECMP
+// enumeration, Yen KSP, cross-plane KSP merge, and the path-selector cache.
+// These quantify the cost of the path computations the experiments lean on.
+#include <benchmark/benchmark.h>
+
+#include "core/path_selector.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/plane_paths.hpp"
+#include "routing/shortest.hpp"
+#include "routing/yen.hpp"
+#include "topo/parallel.hpp"
+
+namespace {
+
+using namespace pnet;
+
+const topo::ParallelNetwork& jellyfish4() {
+  static const auto net = [] {
+    topo::NetworkSpec spec;
+    spec.topo = topo::TopoKind::kJellyfish;
+    spec.type = topo::NetworkType::kParallelHeterogeneous;
+    spec.hosts = 256;
+    spec.parallelism = 4;
+    return topo::build_network(spec);
+  }();
+  return net;
+}
+
+const topo::FatTree& fat_tree16() {
+  static const auto ft = [] {
+    topo::FatTreeConfig config;
+    config.k = 16;
+    return topo::build_fat_tree(config);
+  }();
+  return ft;
+}
+
+void BM_BfsFatTree(benchmark::State& state) {
+  const auto& ft = fat_tree16();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::bfs_hops(ft.graph, ft.host_nodes.front()));
+  }
+}
+BENCHMARK(BM_BfsFatTree);
+
+void BM_EcmpEnumerateFatTree(benchmark::State& state) {
+  const auto& ft = fat_tree16();
+  const auto cap = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::enumerate_shortest_paths(
+        ft.graph, ft.host_nodes.front(), ft.host_nodes.back(), cap));
+  }
+}
+BENCHMARK(BM_EcmpEnumerateFatTree)->Arg(8)->Arg(64);
+
+void BM_YenJellyfish(benchmark::State& state) {
+  const auto& net = jellyfish4();
+  const auto k = static_cast<int>(state.range(0));
+  const topo::Graph& g = net.plane(0).graph;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::k_shortest_paths(
+        g, net.host_node(0, HostId{0}), net.host_node(0, HostId{200}), k));
+  }
+}
+BENCHMARK(BM_YenJellyfish)->Arg(4)->Arg(8)->Arg(32);
+
+void BM_KspAcrossPlanes(benchmark::State& state) {
+  const auto& net = jellyfish4();
+  const auto k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::ksp_across_planes(net, HostId{0}, HostId{200}, k));
+  }
+}
+BENCHMARK(BM_KspAcrossPlanes)->Arg(8)->Arg(16);
+
+void BM_PathSelectorCached(benchmark::State& state) {
+  const auto& net = jellyfish4();
+  core::PolicyConfig config;
+  config.policy = core::RoutingPolicy::kShortestPlane;
+  core::PathSelector selector(net, config);
+  (void)selector.select(HostId{0}, HostId{200}, 1000, 0);  // warm the cache
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        selector.select(HostId{0}, HostId{200}, 1000, ++key));
+  }
+}
+BENCHMARK(BM_PathSelectorCached);
+
+}  // namespace
+
+BENCHMARK_MAIN();

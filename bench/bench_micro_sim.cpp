@@ -1,0 +1,97 @@
+// google-benchmark microbenchmarks for the packet simulator: raw event
+// throughput, queue+pipe forwarding, and end-to-end simulated-bytes-per-
+// wall-second for a TCP transfer — the numbers that bound how large an
+// experiment the harness can run.
+#include <benchmark/benchmark.h>
+
+#include "core/harness.hpp"
+#include "routing/shortest.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using namespace pnet;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  class Nop : public sim::EventSource {
+   public:
+    void do_next_event() override {}
+  };
+  Nop nop;
+  sim::EventQueue events;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      events.schedule_in((i * 37) % 1000, &nop);
+    }
+    events.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_QueuePipeForwarding(benchmark::State& state) {
+  sim::EventQueue events;
+  sim::PacketPool pool;
+  class Sink : public sim::PacketSink {
+   public:
+    explicit Sink(sim::PacketPool& pool) : pool_(pool) {}
+    void receive(sim::Packet& packet) override { pool_.free(&packet); }
+
+   private:
+    sim::PacketPool& pool_;
+  };
+  Sink sink(pool);
+  sim::Queue queue(events, pool, 100e9, 1 << 20);
+  sim::Pipe pipe(events, units::kMicrosecond);
+  sim::Route route;
+  route.sinks = {&queue, &pipe, &sink};
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      sim::Packet* p = pool.allocate();
+      p->size_bytes = 1500;
+      p->route = &route;
+      p->next_hop = 0;
+      p->forward();
+    }
+    events.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_QueuePipeForwarding);
+
+void BM_TcpTransfer10MB(benchmark::State& state) {
+  for (auto _ : state) {
+    topo::NetworkSpec spec;
+    spec.topo = topo::TopoKind::kFatTree;
+    spec.hosts = 16;
+    core::PolicyConfig policy;
+    policy.policy = core::RoutingPolicy::kShortestPlane;
+    core::SimHarness harness(spec, policy);
+    harness.starter()(HostId{0}, HostId{15}, 10'000'000, 0, {});
+    harness.run();
+  }
+  state.SetBytesProcessed(state.iterations() * 10'000'000);
+}
+BENCHMARK(BM_TcpTransfer10MB)->Unit(benchmark::kMillisecond);
+
+void BM_MptcpTransfer10MB(benchmark::State& state) {
+  for (auto _ : state) {
+    topo::NetworkSpec spec;
+    spec.topo = topo::TopoKind::kFatTree;
+    spec.hosts = 16;
+    spec.parallelism = 4;
+    spec.type = topo::NetworkType::kParallelHomogeneous;
+    core::PolicyConfig policy;
+    policy.policy = core::RoutingPolicy::kKspMultipath;
+    policy.k = 4;
+    core::SimHarness harness(spec, policy);
+    harness.starter()(HostId{0}, HostId{15}, 10'000'000, 0, {});
+    harness.run();
+  }
+  state.SetBytesProcessed(state.iterations() * 10'000'000);
+}
+BENCHMARK(BM_MptcpTransfer10MB)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

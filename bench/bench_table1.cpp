@@ -1,0 +1,67 @@
+// Table 1: component counts for an 8,192-host network built three ways from
+// the same 16-port switch chip — serial scale-out fat tree, serial chassis
+// fat tree, and the 8x parallel P-Net with deployment optimizations.
+//
+// Usage: bench_table1 [--hosts=8192] [--radix=16] [--planes=8]
+#include "common.hpp"
+#include "core/cost_model.hpp"
+
+using namespace pnet;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::print_header("Table 1: component counts", flags);
+
+  const std::int64_t hosts = flags.get_i64("hosts", 8192);
+  const int radix = flags.get_int("radix", 16);
+  const int planes = flags.get_int("planes", 8);
+
+  TextTable table("Table 1 (" + std::to_string(hosts) + " hosts, " +
+                      std::to_string(radix) + "-port chips)",
+                  {"Architecture", "Tiers", "Hops", "Chips", "Boxes",
+                   "Links"});
+  auto emit = [&](const core::ComponentCount& c) {
+    table.add_row({c.architecture, std::to_string(c.tiers),
+                   std::to_string(c.hops), std::to_string(c.chips),
+                   std::to_string(c.boxes), std::to_string(c.links)});
+  };
+  emit(core::serial_scale_out(hosts, radix));
+  emit(core::serial_chassis(hosts, radix, 128));
+  emit(core::parallel_pnet(hosts, radix, planes));
+  table.print();
+
+  // Extension (§6.1 discussion): the same parallel design without cable
+  // bundling and shared boxes, quantifying what the optimizations save.
+  TextTable naive("Ablation: parallel P-Net without deployment optimizations",
+                  {"Architecture", "Tiers", "Hops", "Chips", "Boxes",
+                   "Links"});
+  const auto c = core::parallel_pnet(hosts, radix, planes, /*bundle=*/false,
+                                     /*shared_boxes=*/false);
+  naive.add_row({c.architecture + " (naive)", std::to_string(c.tiers),
+                 std::to_string(c.hops), std::to_string(c.chips),
+                 std::to_string(c.boxes), std::to_string(c.links)});
+  naive.print();
+
+  // Extension (§6.1): deployment estimates — fiber runs, optics, power —
+  // with an electrically-switched core and with the optical patch-panel /
+  // OCS core the paper advocates.
+  TextTable deploy("Deployment estimate (electrical core vs optical core)",
+                   {"Architecture", "Fibers", "Optics", "Panel ports",
+                    "Power kW", "Power kW (optical core)"});
+  auto emit_deploy = [&](const core::ComponentCount& design) {
+    const auto electrical = core::estimate_deployment(design);
+    core::DeploymentAssumptions optical;
+    optical.optical_core = true;
+    const auto opt = core::estimate_deployment(design, optical);
+    deploy.add_row({design.architecture, std::to_string(electrical.fiber_runs),
+                    std::to_string(electrical.transceivers),
+                    std::to_string(opt.patch_panel_ports),
+                    format_double(electrical.total_power_kw(), 1),
+                    format_double(opt.total_power_kw(), 1)});
+  };
+  emit_deploy(core::serial_scale_out(hosts, radix));
+  emit_deploy(core::serial_chassis(hosts, radix, 128));
+  emit_deploy(core::parallel_pnet(hosts, radix, planes));
+  deploy.print();
+  return 0;
+}

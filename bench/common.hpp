@@ -1,0 +1,145 @@
+// Shared plumbing for the per-figure bench binaries: flag handling, network
+// construction, the LP throughput runners used by Figs 6-8, and FCT summary
+// helpers. Every bench normalizes exactly as the paper does (against the
+// serial low-bandwidth network unless stated otherwise) and prints each
+// figure's series as a TextTable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/harness.hpp"
+#include "lp/mcf.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/plane_paths.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/patterns.hpp"
+
+namespace pnet::bench {
+
+inline const topo::NetworkType kAllTypes[] = {
+    topo::NetworkType::kSerialLow,
+    topo::NetworkType::kParallelHomogeneous,
+    topo::NetworkType::kParallelHeterogeneous,
+    topo::NetworkType::kSerialHigh,
+};
+
+inline topo::NetworkSpec make_spec(topo::TopoKind kind,
+                                   topo::NetworkType type, int hosts,
+                                   int parallelism, std::uint64_t seed) {
+  topo::NetworkSpec spec;
+  spec.topo = kind;
+  spec.type = type;
+  spec.hosts = hosts;
+  spec.parallelism = parallelism;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Routing schemes for the LP experiments of section 5.1.1.
+enum class LpScheme {
+  /// Host hashes each flow onto one plane; inside the plane the flow may
+  /// split over all equal-cost shortest paths (ideal switch ECMP).
+  kEcmp,
+  /// MPTCP + K globally-shortest paths across planes.
+  kKsp,
+};
+
+struct LpRun {
+  double total_throughput_bps = 0.0;
+  double alpha = 0.0;
+};
+
+/// Ideal throughput with computed routes (Figs 6a/6b/8a/8b and the
+/// multipath sweeps 6c/8c): maximum total throughput subject to the
+/// computed routes, the paper's "constrain the flows in the LP solver to
+/// use the routes computed by ECMP or KSP".
+///
+/// ECMP: the host hashes each flow onto one plane; inside the plane the
+/// flow may use any of its equal-cost shortest paths (what switch-level
+/// hashing achieves in aggregate). KSP: the flow may use its K globally-
+/// shortest paths across all planes (MPTCP subflows). KSP tie-breaks are
+/// randomized per flow so equal-cost-rich fabrics (fat trees) do not
+/// collapse onto one corner of the fabric.
+inline LpRun lp_throughput(const topo::ParallelNetwork& net,
+                           const std::vector<workload::HostPair>& pairs,
+                           LpScheme scheme, int k, double epsilon) {
+  const lp::LinkIndex index(net);
+  std::vector<lp::Commodity> commodities;
+  commodities.reserve(pairs.size());
+  std::uint64_t flow_id = 0;
+  for (const auto& [src, dst] : pairs) {
+    lp::Commodity commodity;
+    commodity.demand = net.host_uplink_bps();
+    std::vector<routing::Path> paths;
+    if (scheme == LpScheme::kEcmp) {
+      const int plane = routing::ecmp_pick(
+          mix64(flow_id * 0x9E3779B9ULL + 1), net.num_planes());
+      paths = routing::ecmp_paths_in_plane(net, plane, src, dst, 64);
+    } else {
+      paths = routing::ksp_across_planes(net, src, dst, k,
+                                         mix64(flow_id + 0xABCD));
+    }
+    for (const auto& path : paths) {
+      commodity.paths.push_back(index.to_global(path));
+    }
+    commodities.push_back(std::move(commodity));
+    ++flow_id;
+  }
+  lp::McfOptions options;
+  options.epsilon = epsilon;
+  const auto result =
+      lp::max_total_flow(index.capacity(), commodities, options);
+  return {result.total_throughput, result.alpha};
+}
+
+/// The physical saturation throughput of the serial low-bandwidth network
+/// with the same host count: the normalization denominator used by every
+/// LP figure (serial low-bw == 1.0, N planes saturate at N).
+inline double serial_low_capacity_bps(const topo::ParallelNetwork& net) {
+  return static_cast<double>(net.num_hosts()) * net.spec().base_rate_bps;
+}
+
+/// Summary statistics of a sample, for figure series with error bars.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+inline Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  RunningStats stats;
+  for (double x : samples) stats.add(x);
+  s.mean = stats.mean();
+  s.stddev = stats.stddev();
+  const auto ps = percentiles(samples, {50, 90, 99});
+  s.median = ps[0];
+  s.p90 = ps[1];
+  s.p99 = ps[2];
+  return s;
+}
+
+/// Prints a CDF as x/y rows, downsampled for readability.
+inline void print_cdf(const std::string& title, const Cdf& cdf,
+                      const std::string& x_label, std::size_t points = 15) {
+  TextTable table(title, {x_label, "cdf"});
+  for (const auto& [x, p] : cdf.resampled(points).points) {
+    table.add_row(format_double(x, 2), {p}, 3);
+  }
+  table.print();
+}
+
+inline void print_header(const std::string& what, const Flags& flags) {
+  std::printf("# %s\n# scale=%s (use --scale=paper or PNET_SCALE=paper for "
+              "paper-size runs)\n\n",
+              what.c_str(), flags.paper_scale() ? "paper" : "default");
+}
+
+}  // namespace pnet::bench

@@ -1,0 +1,78 @@
+// Performance isolation with dataplanes (paper §7): pin tenants to
+// disjoint planes of one P-Net and their traffic cannot interfere — a
+// property a serial network can only approximate with QoS machinery.
+//
+// Run:  ./example_performance_isolation
+//
+// Tenant A runs latency-critical 20 kB RPCs; tenant B runs bulk 20 MB
+// elephants. We measure A's p99 with B idle and with B blasting, twice:
+// once sharing all planes, once with A pinned to plane 0 and B to planes
+// 1-3.
+#include <cstdio>
+
+#include "core/harness.hpp"
+#include "util/stats.hpp"
+#include "workload/apps.hpp"
+#include "workload/patterns.hpp"
+
+using namespace pnet;
+
+namespace {
+
+double tenant_a_p99(bool pinned, bool tenant_b_active) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.type = topo::NetworkType::kParallelHomogeneous;
+  spec.hosts = 16;
+  spec.parallelism = 4;
+
+  core::PolicyConfig policy_a;
+  policy_a.policy = core::RoutingPolicy::kRoundRobin;
+  if (pinned) policy_a.allowed_planes = {0};
+  core::SimHarness harness(spec, policy_a);
+
+  core::PolicyConfig policy_b;
+  policy_b.policy = core::RoutingPolicy::kRoundRobin;
+  if (pinned) policy_b.allowed_planes = {1, 2, 3};
+  core::PathSelector selector_b(harness.net(), policy_b);
+  auto starter_b = selector_b.make_starter(harness.factory());
+
+  if (tenant_b_active) {
+    for (int i = 0; i < 8; ++i) {
+      starter_b(HostId{i}, HostId{15 - i}, 20'000'000, 0, {});
+    }
+  }
+
+  workload::ClosedLoopApp::Config config;
+  config.rounds_per_worker = 30;
+  workload::ClosedLoopApp app(
+      harness.starter(), harness.all_hosts(), config,
+      [&](HostId src, Rng& rng) {
+        return workload::random_destination(harness.net().num_hosts(), src,
+                                            rng);
+      },
+      [](Rng&) { return std::uint64_t{20'000}; });
+  app.start(0);
+  harness.run();
+  auto v = app.completion_times_us();
+  return percentile(v, 99);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("tenant A: 20 kB RPCs, tenant B: 20 MB elephants, one 4-plane "
+              "P-Net\n\n");
+  std::printf("%-34s %-16s %-16s\n", "", "B idle", "B blasting");
+  for (bool pinned : {false, true}) {
+    const double quiet = tenant_a_p99(pinned, false);
+    const double busy = tenant_a_p99(pinned, true);
+    std::printf("%-34s %8.1f us     %8.1f us  (%+.0f%%)\n",
+                pinned ? "planes partitioned (A:0, B:1-3)"
+                       : "planes shared (both on all 4)",
+                quiet, busy, 100.0 * (busy / quiet - 1.0));
+  }
+  std::printf("\npartitioning the planes turns \"noisy neighbour\" into a "
+              "non-event:\nthe paper's §7 strict performance isolation.\n");
+  return 0;
+}

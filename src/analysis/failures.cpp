@@ -1,0 +1,119 @@
+#include "analysis/failures.hpp"
+
+#include <queue>
+
+#include "routing/shortest.hpp"
+
+namespace pnet::analysis {
+
+std::vector<bool> random_fabric_failures(const topo::Graph& graph,
+                                         double fraction, Rng& rng) {
+  std::vector<bool> failed(static_cast<std::size_t>(graph.num_links()),
+                           false);
+  // Collect fabric cables: forward link of each (switch, switch) pair.
+  std::vector<LinkId> cables;
+  for (int l = 0; l < graph.num_links(); l += 2) {
+    const topo::Link& link = graph.link(LinkId{l});
+    if (!graph.is_host(link.src) && !graph.is_host(link.dst)) {
+      cables.push_back(LinkId{l});
+    }
+  }
+  const auto to_fail = static_cast<std::size_t>(
+      fraction * static_cast<double>(cables.size()) + 0.5);
+  rng.shuffle(cables);
+  for (std::size_t i = 0; i < to_fail && i < cables.size(); ++i) {
+    failed[static_cast<std::size_t>(cables[i].v)] = true;
+    failed[static_cast<std::size_t>(graph.reverse(cables[i]).v)] = true;
+  }
+  return failed;
+}
+
+std::vector<int> bfs_hops_with_failures(const topo::Graph& graph, NodeId src,
+                                        const std::vector<bool>& failed) {
+  std::vector<int> dist(static_cast<std::size_t>(graph.num_nodes()),
+                        routing::kUnreachable);
+  dist[static_cast<std::size_t>(src.v)] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    if (u != src && graph.is_host(u)) continue;  // hosts do not transit
+    for (LinkId id : graph.out_links(u)) {
+      if (failed[static_cast<std::size_t>(id.v)]) continue;
+      const NodeId v = graph.link(id).dst;
+      if (dist[static_cast<std::size_t>(v.v)] == routing::kUnreachable) {
+        dist[static_cast<std::size_t>(v.v)] =
+            dist[static_cast<std::size_t>(u.v)] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+HopCountResult average_hop_count(
+    const topo::ParallelNetwork& net,
+    const std::vector<std::vector<bool>>& failed_per_plane) {
+  const int racks = static_cast<int>(net.plane(0).switch_nodes.size());
+  // min over planes of hops, per ordered pair (indexed by rack position).
+  std::vector<std::vector<int>> best(
+      static_cast<std::size_t>(racks),
+      std::vector<int>(static_cast<std::size_t>(racks),
+                       routing::kUnreachable));
+
+  for (int p = 0; p < net.num_planes(); ++p) {
+    const topo::Graph& g = net.plane(p).graph;
+    const auto& switches = net.plane(p).switch_nodes;
+    for (int a = 0; a < racks; ++a) {
+      const auto dist = bfs_hops_with_failures(
+          g, switches[static_cast<std::size_t>(a)],
+          failed_per_plane[static_cast<std::size_t>(p)]);
+      for (int b = 0; b < racks; ++b) {
+        const int d =
+            dist[static_cast<std::size_t>(
+                switches[static_cast<std::size_t>(b)].v)];
+        auto& cell = best[static_cast<std::size_t>(a)]
+                         [static_cast<std::size_t>(b)];
+        if (d < cell) cell = d;
+      }
+    }
+  }
+
+  HopCountResult result;
+  std::size_t reachable = 0;
+  double total = 0.0;
+  for (int a = 0; a < racks; ++a) {
+    for (int b = 0; b < racks; ++b) {
+      if (a == b) continue;
+      const int d =
+          best[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+      if (d != routing::kUnreachable) {
+        ++reachable;
+        total += d;
+      }
+    }
+  }
+  const auto pairs =
+      static_cast<std::size_t>(racks) * static_cast<std::size_t>(racks - 1);
+  result.connectivity =
+      pairs > 0 ? static_cast<double>(reachable) / static_cast<double>(pairs)
+                : 0.0;
+  result.mean_hops = reachable > 0 ? total / static_cast<double>(reachable)
+                                   : 0.0;
+  return result;
+}
+
+HopCountResult hop_count_under_failures(const topo::ParallelNetwork& net,
+                                        double fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<bool>> failed;
+  failed.reserve(static_cast<std::size_t>(net.num_planes()));
+  for (int p = 0; p < net.num_planes(); ++p) {
+    failed.push_back(
+        random_fabric_failures(net.plane(p).graph, fraction, rng));
+  }
+  return average_hop_count(net, failed);
+}
+
+}  // namespace pnet::analysis

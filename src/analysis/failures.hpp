@@ -1,0 +1,46 @@
+// Link-failure injection and hop-count analysis (the Fig 14 fault-tolerance
+// study). Failures are injected per plane and independently: the paper's
+// homogeneous P-Net keeps its resilience edge precisely because identical
+// planes fail independently, so the per-pair minimum over planes degrades
+// far slower than any single plane.
+#pragma once
+
+#include <vector>
+
+#include "topo/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace pnet::analysis {
+
+/// Marks a random `fraction` of a plane's switch-to-switch cables failed.
+/// Returns a per-directed-link failed flag (both directions of a cable fail
+/// together). Host uplinks never fail here, matching the paper's focus on
+/// in-fabric failures.
+std::vector<bool> random_fabric_failures(const topo::Graph& graph,
+                                         double fraction, Rng& rng);
+
+/// BFS hop counts from `src` ignoring failed links.
+std::vector<int> bfs_hops_with_failures(const topo::Graph& graph, NodeId src,
+                                        const std::vector<bool>& failed);
+
+struct HopCountResult {
+  /// Mean shortest-path hop count over reachable ordered switch pairs,
+  /// taking the minimum over planes for each pair (P-Net semantics).
+  double mean_hops = 0.0;
+  /// Fraction of ordered switch pairs still connected in >= 1 plane.
+  double connectivity = 0.0;
+};
+
+/// Average min-over-planes switch-to-switch hop count under per-plane
+/// failure sets (`failed[plane]` aligned with each plane's link ids; pass
+/// all-false vectors for the healthy baseline).
+HopCountResult average_hop_count(
+    const topo::ParallelNetwork& net,
+    const std::vector<std::vector<bool>>& failed_per_plane);
+
+/// Convenience: inject `fraction` failures in every plane (independent
+/// draws) and measure. Seed controls the draw.
+HopCountResult hop_count_under_failures(const topo::ParallelNetwork& net,
+                                        double fraction, std::uint64_t seed);
+
+}  // namespace pnet::analysis

@@ -1,0 +1,63 @@
+#include "analysis/plane_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pnet::analysis {
+
+std::uint64_t PlaneStatsReport::total_forwarded() const {
+  std::uint64_t total = 0;
+  for (const auto& p : planes) total += p.packets_forwarded;
+  return total;
+}
+
+std::uint64_t PlaneStatsReport::total_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& p : planes) total += p.drops;
+  return total;
+}
+
+double PlaneStatsReport::imbalance() const {
+  if (planes.empty()) return 0.0;
+  std::uint64_t max_load = 0;
+  std::uint64_t sum = 0;
+  for (const auto& p : planes) {
+    max_load = std::max(max_load, p.packets_forwarded);
+    sum += p.packets_forwarded;
+  }
+  if (sum == 0) return 1.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(planes.size());
+  return static_cast<double>(max_load) / mean;
+}
+
+std::string PlaneStatsReport::to_string() const {
+  std::ostringstream out;
+  for (const auto& p : planes) {
+    out << "plane " << p.plane << ": forwarded=" << p.packets_forwarded
+        << " drops=" << p.drops << " ecn=" << p.ecn_marks
+        << " backlog=" << p.queued_bytes << "B\n";
+  }
+  out << "imbalance=" << imbalance() << "\n";
+  return out.str();
+}
+
+PlaneStatsReport collect_plane_stats(sim::SimNetwork& network) {
+  PlaneStatsReport report;
+  const auto& net = network.net();
+  for (int p = 0; p < net.num_planes(); ++p) {
+    PlaneStats stats;
+    stats.plane = p;
+    for (int l = 0; l < net.plane(p).graph.num_links(); ++l) {
+      const sim::Queue& q = network.queue(p, LinkId{l});
+      stats.packets_forwarded += q.forwarded();
+      stats.drops += q.drops();
+      stats.ecn_marks += q.ecn_marks();
+      stats.queued_bytes += q.queued_bytes();
+    }
+    report.planes.push_back(stats);
+  }
+  return report;
+}
+
+}  // namespace pnet::analysis

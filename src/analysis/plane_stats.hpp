@@ -1,0 +1,37 @@
+// Per-plane statistics merging — the §7 "monitoring and diagnostics"
+// direction: each dataplane is logically separate, so an operator view must
+// merge per-plane counters to describe the network as a whole.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace pnet::analysis {
+
+struct PlaneStats {
+  int plane = 0;
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t ecn_marks = 0;
+  std::uint64_t queued_bytes = 0;  // instantaneous backlog
+};
+
+struct PlaneStatsReport {
+  std::vector<PlaneStats> planes;
+
+  [[nodiscard]] std::uint64_t total_forwarded() const;
+  [[nodiscard]] std::uint64_t total_drops() const;
+  /// Load-balance quality: max plane load / mean plane load (1.0 = even).
+  /// The paper's round-robin/ECMP discussion is exactly about keeping this
+  /// near 1 so the parallel capacity is actually usable.
+  [[nodiscard]] double imbalance() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Walks every queue of every plane and merges the counters.
+PlaneStatsReport collect_plane_stats(sim::SimNetwork& network);
+
+}  // namespace pnet::analysis

@@ -1,0 +1,118 @@
+#include "core/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace pnet::core {
+
+namespace {
+
+/// hosts supported by a t-tier folded Clos of radix-k chips: 2 * (k/2)^t.
+std::int64_t clos_hosts(int radix, int tiers) {
+  std::int64_t h = 2;
+  for (int t = 0; t < tiers; ++t) h *= radix / 2;
+  return h;
+}
+
+}  // namespace
+
+ComponentCount serial_scale_out(std::int64_t hosts, int radix) {
+  if (radix < 2 || radix % 2 != 0) {
+    throw std::invalid_argument("radix must be even");
+  }
+  int tiers = 1;
+  while (clos_hosts(radix, tiers) < hosts) ++tiers;
+  const std::int64_t supported = clos_hosts(radix, tiers);
+
+  // A full t-tier fat tree has (2t-1) * (k/2)^(t-1) chips.
+  std::int64_t half_pow = 1;
+  for (int t = 0; t < tiers - 1; ++t) half_pow *= radix / 2;
+
+  ComponentCount c;
+  c.architecture = "serial scale-out";
+  c.tiers = tiers;
+  c.hops = 2 * tiers - 1;
+  c.chips = static_cast<std::int64_t>(2 * tiers - 1) * half_pow;
+  c.boxes = c.chips;  // one chip per box
+  c.links = static_cast<std::int64_t>(tiers - 1) * supported;
+  return c;
+}
+
+ComponentCount serial_chassis(std::int64_t hosts, int radix,
+                              int chassis_ports) {
+  if (chassis_ports % 2 != 0) {
+    throw std::invalid_argument("chassis ports must be even");
+  }
+  // Internal chassis construction from radix-port chips (§2.2):
+  //  * spine: non-blocking 3-stage Clos -> 3 * ports / radix chips
+  //    (e.g. 128-port from 16-port chips = 24 chips);
+  //  * aggregation: 2-stage blocking -> 2 * ports / radix chips
+  //    (e.g. 16 chips for 128 ports).
+  const int spine_chips = 3 * chassis_ports / radix;
+  const int agg_chips = 2 * chassis_ports / radix;
+
+  // 2-tier fat tree of chassis: hosts = ports^2 / 2.
+  const std::int64_t supported =
+      static_cast<std::int64_t>(chassis_ports) * chassis_ports / 2;
+  if (supported < hosts) {
+    throw std::invalid_argument("chassis design too small for host count");
+  }
+  const std::int64_t agg_boxes = hosts / (chassis_ports / 2);
+  const std::int64_t spine_boxes = agg_boxes / 2;
+
+  ComponentCount c;
+  c.architecture = "serial chassis";
+  c.tiers = 2;
+  // host -> agg (2 chips) -> spine (3 chips) -> agg (2 chips) -> host.
+  c.hops = 2 + 3 + 2;
+  c.chips = agg_boxes * agg_chips + spine_boxes * spine_chips;
+  c.boxes = agg_boxes + spine_boxes;
+  c.links = hosts;  // one uplink per host worth of agg<->spine cables
+  return c;
+}
+
+ComponentCount parallel_pnet(std::int64_t hosts, int radix, int planes,
+                             bool bundle, bool shared_boxes) {
+  // Each chip runs at high radix: radix * planes ports at 1/planes speed
+  // (§3.3: "more ports at lower speed").
+  const int high_radix = radix * planes;
+  const std::int64_t plane_hosts =
+      static_cast<std::int64_t>(high_radix) * high_radix / 2;
+  if (plane_hosts < hosts) {
+    throw std::invalid_argument("plane design too small for host count");
+  }
+  const std::int64_t edge = hosts / (high_radix / 2);
+  const std::int64_t spine = edge / 2;
+
+  ComponentCount c;
+  c.architecture = std::to_string(planes) + "x parallel";
+  c.tiers = 2;
+  c.hops = 3;  // edge -> spine -> edge, single chip each
+  c.chips = planes * (edge + spine);
+  c.boxes = shared_boxes ? (edge + spine) : c.chips;
+  const std::int64_t per_plane_links = hosts;  // edge<->spine cables
+  c.links = bundle ? per_plane_links : per_plane_links * planes;
+  return c;
+}
+
+DeploymentEstimate estimate_deployment(
+    const ComponentCount& design, const DeploymentAssumptions& assumptions) {
+  DeploymentEstimate estimate;
+  estimate.fiber_runs = design.links;
+  // Two ends per fiber run. An optical core replaces the in-fabric optics
+  // with passive patch-panel ports / OCS ports instead.
+  if (assumptions.optical_core) {
+    estimate.transceivers = 0;
+    estimate.patch_panel_ports = design.links * 2;
+  } else {
+    estimate.transceivers = design.links * 2;
+    estimate.patch_panel_ports = 0;
+  }
+  estimate.switch_power_kw =
+      static_cast<double>(design.chips) * assumptions.watts_per_chip / 1e3;
+  estimate.transceiver_power_kw =
+      static_cast<double>(estimate.transceivers) *
+      assumptions.watts_per_transceiver / 1e3;
+  return estimate;
+}
+
+}  // namespace pnet::core

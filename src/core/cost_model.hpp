@@ -1,0 +1,77 @@
+// Component-count cost model reproducing Table 1: serial scale-out fat
+// tree, serial chassis-based fat tree, and the N-way parallel P-Net, all
+// built from the same merchant-silicon switch chip.
+//
+// Conventions follow the paper:
+//   * "links" counts inter-switch cables only (host links are identical in
+//     every design and excluded);
+//   * "hops" counts switch chips traversed host-to-host;
+//   * the parallel design runs each chip in its high-radix configuration
+//     (radix x planes at 1/planes the per-port speed), bundles the planes'
+//     cables together, and packages one chip per plane into a shared box
+//     (§3.3, §6.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pnet::core {
+
+struct ComponentCount {
+  std::string architecture;
+  int tiers = 0;
+  int hops = 0;
+  std::int64_t chips = 0;
+  std::int64_t boxes = 0;
+  std::int64_t links = 0;
+};
+
+/// t-tier folded-Clos scale-out fat tree of `radix`-port chips, one chip
+/// per box. Tiers are chosen as the minimum supporting `hosts`.
+ComponentCount serial_scale_out(std::int64_t hosts, int radix);
+
+/// Chassis-based fat tree: 2 tiers of chassis built internally from
+/// `radix`-port chips. Spine chassis are non-blocking 3-stage Clos
+/// (3/2 * ports/radix * ... chips); aggregation chassis are 2-stage
+/// blocking, as deployed in production (§2.2).
+ComponentCount serial_chassis(std::int64_t hosts, int radix,
+                              int chassis_ports);
+
+/// N-way parallel P-Net: each plane is a 2-tier fat tree of chips run at
+/// high radix (radix * planes ports). `bundle` merges the planes' parallel
+/// cables (§6.1); `shared_boxes` packages one chip per plane together.
+ComponentCount parallel_pnet(std::int64_t hosts, int radix, int planes,
+                             bool bundle = true, bool shared_boxes = true);
+
+/// Deployment estimate per §6.1: fiber runs, optical transceivers, patch
+/// panel ports, and power. With an optically-switched core (patch panels /
+/// OCS / rotor switches), in-fabric transceivers are eliminated — the
+/// paper's "key scaling mechanism into Terabit ethernet".
+struct DeploymentEstimate {
+  std::int64_t fiber_runs = 0;       // physical cable pulls
+  std::int64_t transceivers = 0;     // pluggable optics
+  std::int64_t patch_panel_ports = 0;
+  double switch_power_kw = 0.0;
+  double transceiver_power_kw = 0.0;
+
+  [[nodiscard]] double total_power_kw() const {
+    return switch_power_kw + transceiver_power_kw;
+  }
+};
+
+struct DeploymentAssumptions {
+  /// Merchant-silicon switch chip, full configuration.
+  double watts_per_chip = 350.0;
+  /// One pluggable optic per fiber end.
+  double watts_per_transceiver = 12.0;
+  /// Replace the electrically-switched core's transceivers with optical
+  /// patch panels / OCS (§6.1-§6.2).
+  bool optical_core = false;
+};
+
+/// Deployment costs for a design produced by the generators above.
+DeploymentEstimate estimate_deployment(const ComponentCount& design,
+                                       const DeploymentAssumptions&
+                                           assumptions = {});
+
+}  // namespace pnet::core

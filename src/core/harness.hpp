@@ -1,0 +1,60 @@
+// One-stop simulation harness: builds the topology, the simulated network,
+// the path selector, and the workload-facing flow starter in the right
+// order. Benches and examples compose experiments from this plus the
+// workload drivers.
+#pragma once
+
+#include <memory>
+
+#include "core/path_selector.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "topo/parallel.hpp"
+#include "workload/apps.hpp"
+
+namespace pnet::core {
+
+class SimHarness {
+ public:
+  SimHarness(const topo::NetworkSpec& spec, const PolicyConfig& policy,
+             const sim::SimConfig& sim_config = {})
+      : net_(topo::build_network(spec)),
+        network_(events_, pool_, net_, sim_config),
+        factory_(events_, pool_, network_, logger_),
+        selector_(net_, policy),
+        starter_(selector_.make_starter(factory_)) {}
+
+  [[nodiscard]] const topo::ParallelNetwork& net() const { return net_; }
+  [[nodiscard]] sim::EventQueue& events() { return events_; }
+  [[nodiscard]] sim::SimNetwork& network() { return network_; }
+  [[nodiscard]] sim::FlowLogger& logger() { return logger_; }
+  [[nodiscard]] sim::FlowFactory& factory() { return factory_; }
+  [[nodiscard]] PathSelector& selector() { return selector_; }
+  [[nodiscard]] const workload::FlowStarter& starter() const {
+    return starter_;
+  }
+
+  /// All hosts of the network, for workload drivers.
+  [[nodiscard]] std::vector<HostId> all_hosts() const {
+    std::vector<HostId> hosts;
+    hosts.reserve(static_cast<std::size_t>(net_.num_hosts()));
+    for (int h = 0; h < net_.num_hosts(); ++h) hosts.push_back(HostId{h});
+    return hosts;
+  }
+
+  /// Runs the event loop to completion (or to a deadline).
+  void run() { events_.run(); }
+  void run_until(SimTime deadline) { events_.run_until(deadline); }
+
+ private:
+  topo::ParallelNetwork net_;
+  sim::EventQueue events_;
+  sim::PacketPool pool_;
+  sim::FlowLogger logger_;
+  sim::SimNetwork network_;
+  sim::FlowFactory factory_;
+  PathSelector selector_;
+  workload::FlowStarter starter_;
+};
+
+}  // namespace pnet::core

@@ -1,0 +1,68 @@
+#include "core/interfaces.hpp"
+
+#include <stdexcept>
+
+namespace pnet::core {
+
+std::string to_string(TrafficClass traffic_class) {
+  switch (traffic_class) {
+    case TrafficClass::kLowLatency: return "low-latency";
+    case TrafficClass::kHighThroughput: return "high-throughput";
+    case TrafficClass::kDefault: return "default";
+  }
+  return "?";
+}
+
+HostInterfaces::HostInterfaces(const topo::ParallelNetwork& net,
+                               sim::FlowFactory& factory, int k) {
+  PolicyConfig low;
+  low.policy = RoutingPolicy::kShortestPlane;
+  low_latency_ = std::make_unique<PathSelector>(net, low);
+
+  PolicyConfig high;
+  high.policy = RoutingPolicy::kKspMultipath;
+  high.k = k;
+  high_throughput_ = std::make_unique<PathSelector>(net, high);
+
+  PolicyConfig fallback;
+  fallback.policy = RoutingPolicy::kSizeThreshold;
+  fallback.k = k;
+  default_ = std::make_unique<PathSelector>(net, fallback);
+
+  low_latency_starter_ = low_latency_->make_starter(factory);
+  high_throughput_starter_ = high_throughput_->make_starter(factory);
+  default_starter_ = default_->make_starter(factory);
+}
+
+const workload::FlowStarter& HostInterfaces::starter(
+    TrafficClass traffic_class) const {
+  switch (traffic_class) {
+    case TrafficClass::kLowLatency: return low_latency_starter_;
+    case TrafficClass::kHighThroughput: return high_throughput_starter_;
+    case TrafficClass::kDefault: return default_starter_;
+  }
+  throw std::invalid_argument("unknown traffic class");
+}
+
+void HostInterfaces::send(TrafficClass traffic_class, HostId src, HostId dst,
+                          std::uint64_t bytes, SimTime start,
+                          sim::FlowFactory::FlowCallback on_complete) const {
+  starter(traffic_class)(src, dst, bytes, start, std::move(on_complete));
+}
+
+void HostInterfaces::set_plane_failed(int plane, bool failed) {
+  low_latency_->set_plane_failed(plane, failed);
+  high_throughput_->set_plane_failed(plane, failed);
+  default_->set_plane_failed(plane, failed);
+}
+
+PathSelector& HostInterfaces::selector(TrafficClass traffic_class) {
+  switch (traffic_class) {
+    case TrafficClass::kLowLatency: return *low_latency_;
+    case TrafficClass::kHighThroughput: return *high_throughput_;
+    case TrafficClass::kDefault: return *default_;
+  }
+  throw std::invalid_argument("unknown traffic class");
+}
+
+}  // namespace pnet::core

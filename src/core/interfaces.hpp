@@ -1,0 +1,62 @@
+// The end-host API of §3.4: "end hosts ... can provide pseudo/proxy
+// interfaces like 'low-latency' single-shortest-path and 'high-throughput'
+// multipath interfaces. Applications/flows can use special tags like
+// traffic classes to choose how to take advantage of the multiple
+// dataplanes."
+//
+// HostInterfaces bundles one PathSelector per interface over a shared
+// FlowFactory, so an application picks per flow — exactly the tag-based
+// dispatch the paper sketches — while everything shares one simulated
+// fabric.
+#pragma once
+
+#include <memory>
+
+#include "core/path_selector.hpp"
+
+namespace pnet::core {
+
+/// The traffic classes applications tag flows with.
+enum class TrafficClass : std::uint8_t {
+  /// Single path on the plane with the fewest hops: small RPCs.
+  kLowLatency,
+  /// MPTCP over the K globally-shortest paths: bulk transfers.
+  kHighThroughput,
+  /// The §5.1.2 size-threshold policy: let the stack decide per flow.
+  kDefault,
+};
+
+[[nodiscard]] std::string to_string(TrafficClass traffic_class);
+
+class HostInterfaces {
+ public:
+  /// `k` is the multipath degree of the high-throughput interface; the
+  /// default interface uses it with the paper's 100 MB cutoff.
+  HostInterfaces(const topo::ParallelNetwork& net,
+                 sim::FlowFactory& factory, int k = 8);
+
+  /// The flow starter for one traffic class.
+  [[nodiscard]] const workload::FlowStarter& starter(
+      TrafficClass traffic_class) const;
+
+  /// Tag-dispatching starter: launches `bytes` from src to dst under the
+  /// given class.
+  void send(TrafficClass traffic_class, HostId src, HostId dst,
+            std::uint64_t bytes, SimTime start,
+            sim::FlowFactory::FlowCallback on_complete = {}) const;
+
+  /// Failure propagation (§3.4 link-status detection) to every interface.
+  void set_plane_failed(int plane, bool failed);
+
+  [[nodiscard]] PathSelector& selector(TrafficClass traffic_class);
+
+ private:
+  std::unique_ptr<PathSelector> low_latency_;
+  std::unique_ptr<PathSelector> high_throughput_;
+  std::unique_ptr<PathSelector> default_;
+  workload::FlowStarter low_latency_starter_;
+  workload::FlowStarter high_throughput_starter_;
+  workload::FlowStarter default_starter_;
+};
+
+}  // namespace pnet::core

@@ -1,0 +1,184 @@
+#include "core/path_selector.hpp"
+
+#include <cassert>
+
+#include "routing/ecmp.hpp"
+#include "util/rng.hpp"
+
+namespace pnet::core {
+
+std::string to_string(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kEcmp: return "ecmp";
+    case RoutingPolicy::kRoundRobin: return "round-robin";
+    case RoutingPolicy::kShortestPlane: return "shortest-plane";
+    case RoutingPolicy::kKspMultipath: return "ksp-multipath";
+    case RoutingPolicy::kSizeThreshold: return "size-threshold";
+  }
+  return "?";
+}
+
+void PathSelector::set_plane_failed(int plane, bool failed) {
+  plane_failed_[static_cast<std::size_t>(plane)] = failed;
+}
+
+bool PathSelector::plane_usable(int plane) const {
+  if (plane_failed_[static_cast<std::size_t>(plane)]) return false;
+  if (config_.allowed_planes.empty()) return true;
+  for (int allowed : config_.allowed_planes) {
+    if (allowed == plane) return true;
+  }
+  return false;
+}
+
+std::vector<int> PathSelector::usable_planes() const {
+  std::vector<int> out;
+  for (int p = 0; p < net_.num_planes(); ++p) {
+    if (plane_usable(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<routing::Path> PathSelector::shortest_plane_pick(
+    const PairPaths& paths, std::uint64_t flow_key) const {
+  // The "low-latency" single-path interface: restrict to the planes tied at
+  // the global minimum hop count, then hash the flow over the union of
+  // their equal-cost shortest paths. On heterogeneous P-Nets this usually
+  // singles out one plane (the latency win of §5.2.1); on homogeneous ones
+  // every plane ties, so flows spread plane-wide instead of piling onto
+  // plane 0.
+  int best_hops = -1;
+  std::vector<const routing::Path*> pool;
+  const routing::Path* fallback = nullptr;
+  for (const auto& candidate : paths.shortest_per_plane) {
+    if (!plane_usable(candidate.plane)) continue;
+    if (fallback == nullptr) fallback = &candidate;
+    if (best_hops < 0) best_hops = candidate.hops();
+    if (candidate.hops() != best_hops) break;  // sorted by hops
+    for (const auto& path :
+         paths.ecmp[static_cast<std::size_t>(candidate.plane)]) {
+      pool.push_back(&path);
+    }
+  }
+  if (pool.empty()) return fallback != nullptr
+                               ? std::vector<routing::Path>{*fallback}
+                               : std::vector<routing::Path>{};
+  const int pick =
+      routing::ecmp_pick(flow_key, static_cast<int>(pool.size()));
+  return {*pool[static_cast<std::size_t>(pick)]};
+}
+
+const PathSelector::PairPaths& PathSelector::pair_paths(HostId src,
+                                                        HostId dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(src.v))
+                             << 32) |
+                            static_cast<std::uint32_t>(dst.v);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  PairPaths paths;
+  paths.shortest_per_plane = routing::shortest_per_plane(net_, src, dst);
+  if (config_.policy == RoutingPolicy::kKspMultipath ||
+      config_.policy == RoutingPolicy::kSizeThreshold) {
+    // Keep k candidates per plane (not just k overall) with per-pair
+    // randomized tie-breaks, so plane failures can be filtered out at
+    // selection time and fat-tree ties do not collapse onto one corner.
+    paths.ksp = routing::ksp_across_planes(
+        net_, src, dst, config_.k, mix64(key ^ 0xD1CE),
+        config_.k * net_.num_planes());
+  }
+  // Every single-path policy hashes among the plane's equal-cost shortest
+  // paths (what a real ECMP dataplane does); enumerate them once per pair.
+  paths.ecmp.reserve(static_cast<std::size_t>(net_.num_planes()));
+  for (int p = 0; p < net_.num_planes(); ++p) {
+    paths.ecmp.push_back(routing::ecmp_paths_in_plane(net_, p, src, dst,
+                                                      config_.ecmp_path_cap));
+  }
+  return cache_.emplace(key, std::move(paths)).first->second;
+}
+
+std::vector<routing::Path> PathSelector::select(HostId src, HostId dst,
+                                                std::uint64_t bytes,
+                                                std::uint64_t flow_key) {
+  const PairPaths& paths = pair_paths(src, dst);
+  const std::vector<int> usable = usable_planes();
+  if (usable.empty()) return {};
+
+  // Filters the cached cross-plane KSP pool to usable planes, first k.
+  auto usable_ksp = [&] {
+    std::vector<routing::Path> out;
+    for (const auto& path : paths.ksp) {
+      if (plane_usable(path.plane)) out.push_back(path);
+      if (static_cast<int>(out.size()) == config_.k) break;
+    }
+    return out;
+  };
+
+  switch (config_.policy) {
+    case RoutingPolicy::kEcmp: {
+      // Hash onto a plane, then onto one equal-cost path within it — what a
+      // standard ECMP dataplane does with the host applying the same idea
+      // across planes.
+      const int plane = usable[static_cast<std::size_t>(routing::ecmp_pick(
+          mix64(flow_key) ^ 0x9E37, static_cast<int>(usable.size())))];
+      const auto& in_plane = paths.ecmp[static_cast<std::size_t>(plane)];
+      if (in_plane.empty()) return {};
+      const int pick = routing::ecmp_pick(flow_key,
+                                          static_cast<int>(in_plane.size()));
+      return {in_plane[static_cast<std::size_t>(pick)]};
+    }
+    case RoutingPolicy::kRoundRobin: {
+      // Cycle usable planes per source host (hash-offset start); within
+      // the plane, hash among equal-cost shortest paths.
+      const auto it = round_robin_
+                          .try_emplace(src.v,
+                                       mix64(static_cast<std::uint64_t>(
+                                           static_cast<std::uint32_t>(src.v))))
+                          .first;
+      const int plane = usable[static_cast<std::size_t>(
+          it->second++ % usable.size())];
+      const auto& in_plane = paths.ecmp[static_cast<std::size_t>(plane)];
+      if (in_plane.empty()) return {};
+      const int pick = routing::ecmp_pick(flow_key,
+                                          static_cast<int>(in_plane.size()));
+      return {in_plane[static_cast<std::size_t>(pick)]};
+    }
+    case RoutingPolicy::kShortestPlane:
+      return shortest_plane_pick(paths, flow_key);
+    case RoutingPolicy::kKspMultipath:
+      return usable_ksp();
+    case RoutingPolicy::kSizeThreshold: {
+      if (bytes > config_.multipath_cutoff_bytes) {
+        auto multi = usable_ksp();
+        if (multi.size() > 1) return multi;
+      }
+      return shortest_plane_pick(paths, flow_key);  // small flows
+    }
+  }
+  return {};
+}
+
+workload::FlowStarter PathSelector::make_starter(sim::FlowFactory& factory) {
+  return [this, &factory](HostId src, HostId dst, std::uint64_t bytes,
+                          SimTime start,
+                          sim::FlowFactory::FlowCallback on_complete) {
+    const std::uint64_t flow_key =
+        mix64((static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(src.v))
+               << 32) ^
+              static_cast<std::uint32_t>(dst.v) ^
+              (static_cast<std::uint64_t>(factory.flows_created()) << 17));
+    auto paths = select(src, dst, bytes, flow_key);
+    assert(!paths.empty() && "no path between hosts");
+    if (paths.size() == 1) {
+      factory.tcp_flow(src, dst, paths.front(), bytes, start,
+                       std::move(on_complete));
+    } else {
+      factory.mptcp_flow(src, dst, paths, bytes, start,
+                         std::move(on_complete), config_.coupling);
+    }
+  };
+}
+
+}  // namespace pnet::core

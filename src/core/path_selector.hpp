@@ -1,0 +1,106 @@
+// P-Net end-host path selection — the paper's core contribution (§3.4, §4).
+//
+// The end host owns the plane/path decision in a P-Net (packets cannot
+// change planes in flight), so this class is where every policy the paper
+// studies lives:
+//   * kEcmp          — hash the flow onto one plane, and onto one equal-cost
+//                      path inside it (the naive baseline of §4 that wastes
+//                      parallel capacity on sparse traffic);
+//   * kRoundRobin    — cycle planes per flow, shortest path within the
+//                      plane (the §3.4 default load balancer);
+//   * kShortestPlane — the "low-latency" interface: single path on the
+//                      plane offering the fewest hops (heterogeneous P-Nets'
+//                      latency win, §5.2.1);
+//   * kKspMultipath  — MPTCP over the K globally-shortest paths across all
+//                      planes (§4's recommended transport);
+//   * kSizeThreshold — the empirical §5.1.2 policy: small flows single-path
+//                      on the shortest plane, bulk flows K-way MPTCP.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/plane_paths.hpp"
+#include "sim/network.hpp"
+#include "topo/parallel.hpp"
+#include "workload/apps.hpp"
+
+namespace pnet::core {
+
+enum class RoutingPolicy : std::uint8_t {
+  kEcmp,
+  kRoundRobin,
+  kShortestPlane,
+  kKspMultipath,
+  kSizeThreshold,
+};
+
+[[nodiscard]] std::string to_string(RoutingPolicy policy);
+
+struct PolicyConfig {
+  RoutingPolicy policy = RoutingPolicy::kRoundRobin;
+  /// Multipath degree for kKspMultipath / the bulk side of kSizeThreshold.
+  int k = 8;
+  /// kSizeThreshold cutoff: flows strictly larger than this use multipath.
+  /// 100 MB is the paper's empirical small/large boundary (§5.1.2).
+  std::uint64_t multipath_cutoff_bytes = 100'000'000;
+  /// Cap on enumerated equal-cost paths per plane for kEcmp.
+  int ecmp_path_cap = 64;
+  sim::Coupling coupling = sim::Coupling::kLia;
+  /// Planes this selector may use (empty = all). The §7 performance-
+  /// isolation mechanism: pin a traffic class/tenant to its own plane(s)
+  /// by giving it a selector restricted to them.
+  std::vector<int> allowed_planes;
+};
+
+class PathSelector {
+ public:
+  PathSelector(const topo::ParallelNetwork& net, PolicyConfig config)
+      : net_(net), config_(std::move(config)),
+        plane_failed_(static_cast<std::size_t>(net.num_planes()), false) {}
+
+  /// The paths a new flow of `bytes` should use. `flow_key` feeds the ECMP
+  /// hash / round-robin sequencing; callers pass a per-flow unique value.
+  /// One path => single-path TCP; several => MPTCP, one subflow per path.
+  std::vector<routing::Path> select(HostId src, HostId dst,
+                                    std::uint64_t bytes,
+                                    std::uint64_t flow_key);
+
+  /// Wraps this selector and a flow factory into the workload-facing flow
+  /// starter: each request picks paths here, then launches TCP or MPTCP.
+  workload::FlowStarter make_starter(sim::FlowFactory& factory);
+
+  /// Marks a plane failed/recovered: the §3.4 link-status reaction. New
+  /// flows avoid the plane immediately (graceful degradation); flows in
+  /// flight are the transport's problem.
+  void set_plane_failed(int plane, bool failed);
+  [[nodiscard]] bool plane_usable(int plane) const;
+
+  [[nodiscard]] const PolicyConfig& config() const { return config_; }
+
+ private:
+  struct PairPaths {
+    std::vector<routing::Path> ksp;               // global K shortest
+    std::vector<routing::Path> shortest_per_plane;  // sorted by hops
+    std::vector<std::vector<routing::Path>> ecmp;   // per plane
+  };
+  const PairPaths& pair_paths(HostId src, HostId dst);
+  std::vector<routing::Path> shortest_plane_pick(const PairPaths& paths,
+                                                 std::uint64_t flow_key) const;
+  [[nodiscard]] std::vector<int> usable_planes() const;
+
+  const topo::ParallelNetwork& net_;
+  PolicyConfig config_;
+  std::unordered_map<std::uint64_t, PairPaths> cache_;
+  /// Planes currently marked failed by set_plane_failed.
+  std::vector<bool> plane_failed_;
+  /// Per-source round-robin counters, seeded with a per-host hash offset.
+  /// A single global counter would synchronize plane choice across hosts
+  /// (every m-th flow in creation order lands on the same plane), which
+  /// concentrates fan-in traffic of a receiver onto one plane — exactly the
+  /// pathology host-local round-robin (§3.4) avoids.
+  std::unordered_map<std::int32_t, std::uint64_t> round_robin_;
+};
+
+}  // namespace pnet::core

@@ -1,0 +1,27 @@
+#include "lp/link_index.hpp"
+
+namespace pnet::lp {
+
+LinkIndex::LinkIndex(const topo::ParallelNetwork& net) {
+  offsets_.reserve(static_cast<std::size_t>(net.num_planes()));
+  counts_.reserve(static_cast<std::size_t>(net.num_planes()));
+  int offset = 0;
+  for (int p = 0; p < net.num_planes(); ++p) {
+    const topo::Graph& g = net.plane(p).graph;
+    offsets_.push_back(offset);
+    counts_.push_back(g.num_links());
+    for (int l = 0; l < g.num_links(); ++l) {
+      capacity_.push_back(g.link(LinkId{l}).rate_bps);
+    }
+    offset += g.num_links();
+  }
+}
+
+std::vector<int> LinkIndex::to_global(const routing::Path& path) const {
+  std::vector<int> out;
+  out.reserve(path.links.size());
+  for (LinkId id : path.links) out.push_back(global(path.plane, id));
+  return out;
+}
+
+}  // namespace pnet::lp

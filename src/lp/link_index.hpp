@@ -1,0 +1,44 @@
+// Flattens the links of all dataplanes of a ParallelNetwork into one dense
+// index space so the multicommodity-flow solvers can treat a P-Net as a
+// single capacitated link set. Plane-disjointness is preserved simply
+// because no path ever mixes indices from two planes.
+#pragma once
+
+#include <vector>
+
+#include "routing/path.hpp"
+#include "topo/parallel.hpp"
+
+namespace pnet::lp {
+
+class LinkIndex {
+ public:
+  explicit LinkIndex(const topo::ParallelNetwork& net);
+
+  [[nodiscard]] int num_links() const {
+    return static_cast<int>(capacity_.size());
+  }
+  [[nodiscard]] int global(int plane, LinkId link) const {
+    return offsets_[static_cast<std::size_t>(plane)] + link.v;
+  }
+  /// Capacity in bits/second, indexed by global link id.
+  [[nodiscard]] const std::vector<double>& capacity() const {
+    return capacity_;
+  }
+  [[nodiscard]] int plane_offset(int plane) const {
+    return offsets_[static_cast<std::size_t>(plane)];
+  }
+  [[nodiscard]] int plane_link_count(int plane) const {
+    return counts_[static_cast<std::size_t>(plane)];
+  }
+
+  /// Converts a routed Path to global link ids.
+  [[nodiscard]] std::vector<int> to_global(const routing::Path& path) const;
+
+ private:
+  std::vector<int> offsets_;
+  std::vector<int> counts_;
+  std::vector<double> capacity_;
+};
+
+}  // namespace pnet::lp

@@ -1,0 +1,87 @@
+// Multicommodity-flow throughput solvers — the repository's substitute for
+// the Gurobi LP runs in section 5.1.1 of the paper.
+//
+// Primary solver: the Garg–Könemann / Fleischer multiplicative-weights
+// algorithm for MAX CONCURRENT FLOW, which maximizes the common fraction
+// alpha of every commodity's demand that can be routed simultaneously.
+// Two oracles are supported:
+//   * fixed candidate path sets (the "constrain the flows to use routes
+//     computed by ECMP or KSP" experiments, Figs 6 and 8);
+//   * an exact shortest-path oracle over all planes (the "ideal throughput
+//     under no path constraint" experiment, Fig 7).
+//
+// The raw GK flow is super-feasible by construction; we rescale by the peak
+// link utilization at the end, which makes the answer *always* feasible and
+// empirically within a few percent of the LP optimum (cross-validated
+// against the dense simplex solver in tests/lp_test.cpp).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lp/link_index.hpp"
+
+namespace pnet::lp {
+
+struct Commodity {
+  double demand = 1.0;
+  /// Candidate paths as global link-id lists; ignored by the oracle solver.
+  std::vector<std::vector<int>> paths;
+};
+
+struct McfResult {
+  /// Common satisfiable demand fraction (the LP objective).
+  double alpha = 0.0;
+  /// Sum of delivered rates, bits/second.
+  double total_throughput = 0.0;
+  /// Delivered rate per commodity, bits/second.
+  std::vector<double> rates;
+};
+
+struct McfOptions {
+  /// Approximation accuracy; solve time grows ~1/eps^2.
+  double epsilon = 0.05;
+  /// Safety cap on phases (the solver normally stops on its own).
+  int max_phases = 100000;
+};
+
+/// Max concurrent flow with fixed candidate path sets per commodity.
+McfResult max_concurrent_flow(const std::vector<double>& capacity,
+                              const std::vector<Commodity>& commodities,
+                              const McfOptions& options = {});
+
+/// Maximum TOTAL multicommodity flow (no fairness constraint) with fixed
+/// candidate path sets. This is the "total throughput of flows" objective
+/// the paper's dense all-to-all LP experiments report; per-commodity demand
+/// caps the rate any single commodity may take (pass the host uplink rate).
+/// Result's `alpha` is min rate / demand, usually 0 here — read
+/// total_throughput instead.
+McfResult max_total_flow(const std::vector<double>& capacity,
+                         const std::vector<Commodity>& commodities,
+                         const McfOptions& options = {});
+
+/// Commodity endpoints for the unconstrained (oracle) solver: a node pair
+/// that exists in every plane (host or ToR), identified per plane.
+struct OracleCommodity {
+  double demand = 1.0;
+  /// Per-plane (src, dst) node ids, aligned with the network's planes.
+  std::vector<std::pair<NodeId, NodeId>> endpoints;
+};
+
+/// Max concurrent flow where each commodity may use ANY path in ANY plane;
+/// the oracle runs a weighted Dijkstra per plane each iteration. This is the
+/// Fig 7 "ideal throughput, no path constraint" engine: heterogeneous planes
+/// win because the min-length path over planes is shorter, so each unit of
+/// flow consumes less capacity.
+McfResult max_concurrent_flow_oracle(
+    const topo::ParallelNetwork& net, const LinkIndex& index,
+    const std::vector<OracleCommodity>& commodities,
+    const McfOptions& options = {});
+
+/// Max-min fair rate allocation for flows pinned to a single path each
+/// (progressive filling). Used for simpler experiments and as a test oracle.
+std::vector<double> max_min_fair(
+    const std::vector<double>& capacity,
+    const std::vector<std::vector<int>>& flow_paths);
+
+}  // namespace pnet::lp

@@ -1,0 +1,148 @@
+#include "lp/simplex.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pnet::lp {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+std::optional<SimplexSolution> solve_simplex(const LinearProgram& lp) {
+  const std::size_t n = lp.objective.size();
+  const std::size_t m = lp.rows.size();
+  assert(lp.rhs.size() == m);
+  for (double b : lp.rhs) {
+    if (b < -kEps) {
+      throw std::invalid_argument("solve_simplex requires b >= 0");
+    }
+  }
+
+  // Tableau with slack variables: columns [x (n), slack (m), rhs].
+  const std::size_t cols = n + m + 1;
+  std::vector<std::vector<double>> t(m + 1,
+                                     std::vector<double>(cols, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    assert(lp.rows[i].size() == n);
+    for (std::size_t j = 0; j < n; ++j) t[i][j] = lp.rows[i][j];
+    t[i][n + i] = 1.0;
+    t[i][cols - 1] = lp.rhs[i];
+  }
+  // Objective row holds -c (we maximize).
+  for (std::size_t j = 0; j < n; ++j) t[m][j] = -lp.objective[j];
+
+  std::vector<std::size_t> basis(m);
+  for (std::size_t i = 0; i < m; ++i) basis[i] = n + i;
+
+  while (true) {
+    // Bland's rule: entering variable = lowest-index negative cost.
+    std::size_t pivot_col = cols;
+    for (std::size_t j = 0; j + 1 < cols; ++j) {
+      if (t[m][j] < -kEps) {
+        pivot_col = j;
+        break;
+      }
+    }
+    if (pivot_col == cols) break;  // optimal
+
+    // Ratio test with Bland tie-break on basis index.
+    std::size_t pivot_row = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t[i][pivot_col] > kEps) {
+        const double ratio = t[i][cols - 1] / t[i][pivot_col];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (pivot_row == m || basis[i] < basis[pivot_row]))) {
+          best_ratio = ratio;
+          pivot_row = i;
+        }
+      }
+    }
+    if (pivot_row == m) return std::nullopt;  // unbounded
+
+    // Pivot.
+    const double pivot = t[pivot_row][pivot_col];
+    for (std::size_t j = 0; j < cols; ++j) t[pivot_row][j] /= pivot;
+    for (std::size_t i = 0; i <= m; ++i) {
+      if (i == pivot_row) continue;
+      const double factor = t[i][pivot_col];
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t j = 0; j < cols; ++j) {
+        t[i][j] -= factor * t[pivot_row][j];
+      }
+    }
+    basis[pivot_row] = pivot_col;
+  }
+
+  SimplexSolution solution;
+  solution.x.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) solution.x[basis[i]] = t[i][cols - 1];
+  }
+  solution.objective_value = t[m][cols - 1];
+  return solution;
+}
+
+double exact_max_concurrent_flow(
+    const std::vector<double>& capacity,
+    const std::vector<double>& demands,
+    const std::vector<std::vector<std::vector<int>>>& commodity_paths) {
+  // Variables: one rate per (commodity, path), then alpha last.
+  std::size_t num_vars = 1;
+  std::vector<std::size_t> first_var;
+  for (const auto& paths : commodity_paths) {
+    first_var.push_back(num_vars - 1);
+    num_vars += paths.size();
+  }
+  const std::size_t alpha_var = num_vars - 1;
+
+  LinearProgram lp;
+  lp.objective.assign(num_vars, 0.0);
+  lp.objective[alpha_var] = 1.0;
+
+  // Capacity rows: sum of path rates crossing link e <= cap_e.
+  for (std::size_t e = 0; e < capacity.size(); ++e) {
+    std::vector<double> row(num_vars, 0.0);
+    bool used = false;
+    std::size_t var = 0;
+    for (const auto& paths : commodity_paths) {
+      for (const auto& path : paths) {
+        for (int link : path) {
+          if (static_cast<std::size_t>(link) == e) {
+            row[var] += 1.0;
+            used = true;
+          }
+        }
+        ++var;
+      }
+    }
+    if (used) {
+      lp.rows.push_back(std::move(row));
+      lp.rhs.push_back(capacity[e]);
+    }
+  }
+
+  // Demand rows: alpha * demand_j - sum paths_j <= 0.
+  std::size_t var = 0;
+  for (std::size_t j = 0; j < commodity_paths.size(); ++j) {
+    std::vector<double> row(num_vars, 0.0);
+    for (std::size_t p = 0; p < commodity_paths[j].size(); ++p) {
+      row[var++] = -1.0;
+    }
+    row[alpha_var] = demands[j];
+    lp.rows.push_back(std::move(row));
+    lp.rhs.push_back(0.0);
+  }
+  // A commodity with no paths pins alpha to 0 via its demand row
+  // (alpha * d <= 0).
+
+  const auto solution = solve_simplex(lp);
+  if (!solution) throw std::runtime_error("concurrent-flow LP unbounded");
+  return solution->objective_value;
+}
+
+}  // namespace pnet::lp

@@ -1,0 +1,42 @@
+// Dense primal simplex for small LPs:  max c^T x  s.t.  A x <= b,  x >= 0,
+// with b >= 0 (every instance we build is of this form: path rates bounded
+// by link capacities).
+//
+// This is NOT the production throughput solver — Garg–Könemann in mcf.hpp
+// is — but the exact reference the tests cross-validate GK against, standing
+// in for the role Gurobi played for the paper's authors.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace pnet::lp {
+
+struct LinearProgram {
+  /// Objective coefficients (maximize).
+  std::vector<double> objective;
+  /// Constraint matrix rows (each row has objective.size() entries).
+  std::vector<std::vector<double>> rows;
+  /// Right-hand sides, one per row, all >= 0.
+  std::vector<double> rhs;
+};
+
+struct SimplexSolution {
+  double objective_value = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the LP; returns nullopt if unbounded. Bland's rule, so it cannot
+/// cycle; intended for instances with at most a few hundred variables.
+std::optional<SimplexSolution> solve_simplex(const LinearProgram& lp);
+
+/// Convenience: the exact max-concurrent-flow LP over fixed paths, solved
+/// with the simplex above. Variables are per-path rates plus alpha;
+/// maximize alpha subject to sum_path_on_link <= cap and
+/// sum_paths_of_commodity >= alpha * demand.
+double exact_max_concurrent_flow(
+    const std::vector<double>& capacity,
+    const std::vector<double>& demands,
+    const std::vector<std::vector<std::vector<int>>>& commodity_paths);
+
+}  // namespace pnet::lp

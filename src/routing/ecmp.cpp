@@ -1,0 +1,58 @@
+#include "routing/ecmp.hpp"
+
+#include "routing/shortest.hpp"
+#include "util/rng.hpp"
+
+namespace pnet::routing {
+
+namespace {
+
+void dfs_paths(const topo::Graph& g, NodeId at, NodeId dst,
+               const std::vector<int>& dist_to_dst, Path& current,
+               std::vector<Path>& out, int cap) {
+  if (static_cast<int>(out.size()) >= cap) return;
+  if (at == dst) {
+    out.push_back(current);
+    return;
+  }
+  // Hosts never forward; only the source host may be expanded.
+  if (g.is_host(at) && !current.links.empty()) return;
+  for (LinkId id : g.out_links(at)) {
+    const NodeId v = g.link(id).dst;
+    const int dv = dist_to_dst[static_cast<std::size_t>(v.v)];
+    // Stay on the shortest-path DAG: each step must reduce the distance to
+    // the destination by exactly one.
+    if (dv == kUnreachable ||
+        dv != dist_to_dst[static_cast<std::size_t>(at.v)] - 1) {
+      continue;
+    }
+    current.links.push_back(id);
+    dfs_paths(g, v, dst, dist_to_dst, current, out, cap);
+    current.links.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Path> enumerate_shortest_paths(const topo::Graph& g, NodeId src,
+                                           NodeId dst, int cap) {
+  std::vector<Path> out;
+  if (src == dst) return out;
+  // BFS from dst over reversed edges == BFS from dst in this graph, because
+  // every link has a same-latency reverse twin (duplex construction).
+  const std::vector<int> dist_to_dst = bfs_hops(g, dst);
+  if (dist_to_dst[static_cast<std::size_t>(src.v)] == kUnreachable) {
+    return out;
+  }
+  Path current;
+  dfs_paths(g, src, dst, dist_to_dst, current, out, cap);
+  return out;
+}
+
+int ecmp_pick(std::uint64_t flow_key, int count) {
+  if (count <= 1) return 0;
+  return static_cast<int>(mix64(flow_key) %
+                          static_cast<std::uint64_t>(count));
+}
+
+}  // namespace pnet::routing

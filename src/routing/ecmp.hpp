@@ -1,0 +1,25 @@
+// ECMP path enumeration and per-flow hashing.
+//
+// enumerate_shortest_paths lists the equal-cost shortest paths a standard
+// ECMP dataplane spreads over (the shortest-path DAG's paths), capped to
+// keep fat-tree core fan-outs tractable. ecmp_pick hashes flow identifiers
+// to one of those paths, the way a switch hashes the five-tuple.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/path.hpp"
+
+namespace pnet::routing {
+
+/// All (up to `cap`) fewest-hop paths from src to dst, found by DFS over the
+/// shortest-path DAG. Deterministic order (link-id lexicographic).
+std::vector<Path> enumerate_shortest_paths(const topo::Graph& g, NodeId src,
+                                           NodeId dst, int cap = 256);
+
+/// Stable per-flow choice among `count` equal options; `flow_key` identifies
+/// the flow (e.g. mix of src, dst and flow index).
+int ecmp_pick(std::uint64_t flow_key, int count);
+
+}  // namespace pnet::routing

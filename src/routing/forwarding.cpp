@@ -1,0 +1,97 @@
+#include "routing/forwarding.hpp"
+
+#include <queue>
+
+#include "routing/shortest.hpp"
+
+namespace pnet::routing {
+
+std::vector<ForwardingTable> build_plane_tables(
+    const topo::Graph& graph, const std::vector<NodeId>& switches) {
+  // Map node id -> dense switch index for table slots.
+  std::vector<int> index_of(static_cast<std::size_t>(graph.num_nodes()), -1);
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    index_of[static_cast<std::size_t>(switches[i].v)] = static_cast<int>(i);
+  }
+
+  std::vector<ForwardingTable> tables(switches.size());
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    tables[i].switch_node = switches[i];
+    tables[i].next_hops.resize(switches.size());
+  }
+
+  // One BFS per destination over the switch-to-switch subgraph; every
+  // switch records each out-link that steps one hop closer.
+  for (std::size_t d = 0; d < switches.size(); ++d) {
+    const auto dist = bfs_hops(graph, switches[d]);
+    for (std::size_t s = 0; s < switches.size(); ++s) {
+      if (s == d) continue;
+      const int ds = dist[static_cast<std::size_t>(switches[s].v)];
+      if (ds == kUnreachable) continue;
+      for (LinkId id : graph.out_links(switches[s])) {
+        const NodeId v = graph.link(id).dst;
+        if (graph.is_host(v)) continue;
+        if (dist[static_cast<std::size_t>(v.v)] == ds - 1) {
+          tables[s].next_hops[d].push_back(id);
+        }
+      }
+    }
+  }
+  return tables;
+}
+
+ForwardingFootprint forwarding_footprint(const topo::ParallelNetwork& net) {
+  ForwardingFootprint footprint;
+  for (int p = 0; p < net.num_planes(); ++p) {
+    const auto tables = build_plane_tables(net.plane(p).graph,
+                                           net.plane(p).switch_nodes);
+    for (const auto& table : tables) {
+      ++footprint.switches;
+      const std::size_t entries = table.entries();
+      footprint.total_entries += entries;
+      footprint.max_entries_per_switch =
+          std::max(footprint.max_entries_per_switch, entries);
+    }
+  }
+  footprint.mean_entries_per_switch =
+      footprint.switches > 0
+          ? static_cast<double>(footprint.total_entries) /
+                static_cast<double>(footprint.switches)
+          : 0.0;
+  return footprint;
+}
+
+bool tables_cover_all_pairs(const topo::Graph& graph,
+                            const std::vector<NodeId>& switches,
+                            const std::vector<ForwardingTable>& tables) {
+  // Walk greedily from every source to every destination using the first
+  // installed next hop; path length must match BFS distance.
+  for (std::size_t d = 0; d < switches.size(); ++d) {
+    const auto dist = bfs_hops(graph, switches[d]);
+    for (std::size_t s = 0; s < switches.size(); ++s) {
+      if (s == d) continue;
+      const int expect = dist[static_cast<std::size_t>(switches[s].v)];
+      if (expect == kUnreachable) continue;
+      std::size_t at = s;
+      int steps = 0;
+      while (at != d) {
+        const auto& hops = tables[at].next_hops[d];
+        if (hops.empty() || steps > expect) return false;
+        const NodeId next = graph.link(hops.front()).dst;
+        const int idx = [&] {
+          for (std::size_t i = 0; i < switches.size(); ++i) {
+            if (switches[i] == next) return static_cast<int>(i);
+          }
+          return -1;
+        }();
+        if (idx < 0) return false;
+        at = static_cast<std::size_t>(idx);
+        ++steps;
+      }
+      if (steps != expect) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pnet::routing

@@ -1,0 +1,61 @@
+// Table-driven forwarding state — the counterpart to the source routing
+// the simulator uses. §3.4 argues for end-host routing partly because of
+// "the limited memory constraint on commodity switches in order to support
+// routing over multiple dataplanes": this module builds the per-switch
+// ECMP next-hop tables a conventional deployment would install and
+// quantifies that state, so the claim can be checked numerically
+// (bench_ablation_memory).
+//
+// Because P-Net planes are independent, each plane's switches only carry
+// that plane's destinations — total state grows linearly with planes while
+// per-switch state stays flat, unlike a serial network of equal capacity
+// whose (larger-radix or multi-tier) switches hold everything.
+#pragma once
+
+#include <vector>
+
+#include "routing/path.hpp"
+#include "topo/parallel.hpp"
+
+namespace pnet::routing {
+
+/// Per-switch ECMP forwarding table: for every destination ToR, the set of
+/// out-links on a shortest path toward it.
+struct ForwardingTable {
+  NodeId switch_node;
+  /// next_hops[d] = equal-cost out-links toward destination ToR index d
+  /// (empty for the switch's own index, or if unreachable).
+  std::vector<std::vector<LinkId>> next_hops;
+
+  /// Total ECMP entries (destination, next-hop) — the TCAM/RIB footprint.
+  [[nodiscard]] std::size_t entries() const {
+    std::size_t total = 0;
+    for (const auto& hops : next_hops) total += hops.size();
+    return total;
+  }
+};
+
+/// Builds the ECMP tables for every switch of one plane (destinations are
+/// the plane's ToRs/switches).
+std::vector<ForwardingTable> build_plane_tables(const topo::Graph& graph,
+                                                const std::vector<NodeId>&
+                                                    switches);
+
+struct ForwardingFootprint {
+  std::size_t switches = 0;
+  std::size_t total_entries = 0;
+  std::size_t max_entries_per_switch = 0;
+  double mean_entries_per_switch = 0.0;
+};
+
+/// Aggregate table state across every plane of the network.
+ForwardingFootprint forwarding_footprint(const topo::ParallelNetwork& net);
+
+/// Validates that hop-by-hop table lookups reach every destination in the
+/// same hop count as shortest paths (used by tests; returns false on any
+/// mismatch).
+bool tables_cover_all_pairs(const topo::Graph& graph,
+                            const std::vector<NodeId>& switches,
+                            const std::vector<ForwardingTable>& tables);
+
+}  // namespace pnet::routing

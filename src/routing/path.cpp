@@ -1,0 +1,23 @@
+#include "routing/path.hpp"
+
+#include <unordered_set>
+
+namespace pnet::routing {
+
+bool is_valid_path(const topo::Graph& g, const Path& path, NodeId src,
+                   NodeId dst) {
+  if (path.empty()) return false;
+  if (path.src(g) != src || path.dst(g) != dst) return false;
+  std::unordered_set<std::int32_t> seen;
+  NodeId at = src;
+  seen.insert(at.v);
+  for (LinkId id : path.links) {
+    const topo::Link& link = g.link(id);
+    if (link.src != at) return false;
+    at = link.dst;
+    if (!seen.insert(at.v).second) return false;  // revisited a node
+  }
+  return at == dst;
+}
+
+}  // namespace pnet::routing

@@ -1,0 +1,43 @@
+// Path representation shared by routing, LP and simulation code.
+//
+// A Path lives entirely inside one dataplane (plane index + link sequence),
+// mirroring the P-Net invariant. Host<->ToR links are included, so hops() is
+// the number of links traversed, and hops() - 2 is the switch-to-switch hop
+// count for host-to-host paths.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace pnet::routing {
+
+struct Path {
+  int plane = 0;
+  std::vector<LinkId> links;
+
+  [[nodiscard]] int hops() const { return static_cast<int>(links.size()); }
+  [[nodiscard]] bool empty() const { return links.empty(); }
+
+  [[nodiscard]] NodeId src(const topo::Graph& g) const {
+    return g.link(links.front()).src;
+  }
+  [[nodiscard]] NodeId dst(const topo::Graph& g) const {
+    return g.link(links.back()).dst;
+  }
+
+  /// Total one-way propagation + per-hop latency along the path.
+  [[nodiscard]] SimTime latency(const topo::Graph& g) const {
+    SimTime total = 0;
+    for (LinkId id : links) total += g.link(id).latency;
+    return total;
+  }
+
+  friend bool operator==(const Path&, const Path&) = default;
+};
+
+/// True iff the path is link-contiguous from `src` to `dst` and loopless.
+bool is_valid_path(const topo::Graph& g, const Path& path, NodeId src,
+                   NodeId dst);
+
+}  // namespace pnet::routing

@@ -1,0 +1,40 @@
+// Shortest-path primitives: BFS (hop metric), Dijkstra (weighted), and a
+// filtered variant used by Yen's algorithm. Host nodes never act as transit:
+// a search only expands a host when it is the source, so computed paths obey
+// the physical constraint that servers do not forward.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "routing/path.hpp"
+
+namespace pnet::routing {
+
+inline constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+/// Hop distance from `src` to every node (kUnreachable if none).
+std::vector<int> bfs_hops(const topo::Graph& g, NodeId src);
+
+/// One shortest (fewest-hop) path, deterministic tie-break by link id.
+std::optional<Path> shortest_path(const topo::Graph& g, NodeId src,
+                                  NodeId dst);
+
+/// Per-link weights for weighted searches; indexed by LinkId::v.
+using LinkWeights = std::vector<double>;
+
+/// Weighted shortest path; `banned_links`/`banned_nodes` (optional, may be
+/// empty) support Yen's spur computations. Weights must be non-negative.
+std::optional<Path> dijkstra(const topo::Graph& g, NodeId src, NodeId dst,
+                             const LinkWeights& weights,
+                             const std::vector<bool>& banned_links = {},
+                             const std::vector<bool>& banned_nodes = {});
+
+/// Hop distances between every pair of switches, indexed by position in
+/// `switches`. Used by the fault-tolerance study (Fig 14).
+std::vector<std::vector<int>> all_pairs_switch_hops(
+    const topo::Graph& g, const std::vector<NodeId>& switches);
+
+}  // namespace pnet::routing

@@ -1,0 +1,71 @@
+// Discrete-event core, modelled after htsim's EventList: sources register
+// wake-ups at absolute simulated times; the queue dispatches them in time
+// order. Ties dispatch in scheduling order (a monotonic sequence number),
+// so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pnet::sim {
+
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  /// Called when a scheduled wake-up fires.
+  virtual void do_next_event() = 0;
+};
+
+class EventQueue {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  void schedule_at(SimTime when, EventSource* source) {
+    // Clamp to the present: scheduling "in the past" (e.g. an app reacting
+    // to a completion record with a stale timestamp) must never move the
+    // clock backwards.
+    heap_.emplace(when < now_ ? now_ : when, next_seq_++, source);
+  }
+  void schedule_in(SimTime delay, EventSource* source) {
+    schedule_at(now_ + delay, source);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Dispatches one event; returns false when the queue is empty.
+  bool run_one() {
+    if (heap_.empty()) return false;
+    auto [when, seq, source] = heap_.top();
+    heap_.pop();
+    now_ = when;
+    source->do_next_event();
+    return true;
+  }
+
+  /// Runs until the queue drains or simulated time exceeds `deadline`.
+  void run_until(SimTime deadline) {
+    while (!heap_.empty() && std::get<0>(heap_.top()) <= deadline) {
+      run_one();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  /// Runs until the queue drains.
+  void run() {
+    while (run_one()) {
+    }
+  }
+
+ private:
+  using Entry = std::tuple<SimTime, std::uint64_t, EventSource*>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pnet::sim

@@ -1,0 +1,196 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace pnet::sim {
+
+SimNetwork::SimNetwork(EventQueue& events, PacketPool& pool,
+                       const topo::ParallelNetwork& net,
+                       const SimConfig& config)
+    : net_(net), config_(config) {
+  queues_.resize(static_cast<std::size_t>(net.num_planes()));
+  pipes_.resize(static_cast<std::size_t>(net.num_planes()));
+  for (int p = 0; p < net.num_planes(); ++p) {
+    const topo::Graph& g = net.plane(p).graph;
+    auto& qs = queues_[static_cast<std::size_t>(p)];
+    auto& ps = pipes_[static_cast<std::size_t>(p)];
+    qs.reserve(static_cast<std::size_t>(g.num_links()));
+    ps.reserve(static_cast<std::size_t>(g.num_links()));
+    for (int l = 0; l < g.num_links(); ++l) {
+      const topo::Link& link = g.link(LinkId{l});
+      qs.push_back(std::make_unique<Queue>(events, pool, link.rate_bps,
+                                           config.queue_buffer_bytes,
+                                           config.ecn_threshold_bytes,
+                                           config.priority_acks,
+                                           config.trim_to_header));
+      ps.push_back(std::make_unique<Pipe>(events, link.latency));
+    }
+  }
+}
+
+const Route* SimNetwork::make_route(const routing::Path& path,
+                                    PacketSink& endpoint) {
+  auto route = std::make_unique<Route>();
+  route->sinks.reserve(path.links.size() * 2 + 1);
+  for (LinkId id : path.links) {
+    route->sinks.push_back(&queue(path.plane, id));
+    route->sinks.push_back(&pipe(path.plane, id));
+  }
+  route->sinks.push_back(&endpoint);
+  route->hop_count = path.hops();
+  routes_.push_back(std::move(route));
+  return routes_.back().get();
+}
+
+routing::Path SimNetwork::reverse_path(const routing::Path& path) const {
+  const topo::Graph& g = net_.plane(path.plane).graph;
+  routing::Path rev;
+  rev.plane = path.plane;
+  rev.links.reserve(path.links.size());
+  for (auto it = path.links.rbegin(); it != path.links.rend(); ++it) {
+    rev.links.push_back(g.reverse(*it));
+  }
+  return rev;
+}
+
+std::uint64_t SimNetwork::total_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& plane : queues_) {
+    for (const auto& q : plane) total += q->drops();
+  }
+  return total;
+}
+
+std::uint64_t SimNetwork::total_ecn_marks() const {
+  std::uint64_t total = 0;
+  for (const auto& plane : queues_) {
+    for (const auto& q : plane) total += q->ecn_marks();
+  }
+  return total;
+}
+
+void SimNetwork::set_cable_failed(int plane, LinkId link, bool failed) {
+  queue(plane, link).set_failed(failed);
+  queue(plane, net_.plane(plane).graph.reverse(link)).set_failed(failed);
+}
+
+void SimNetwork::set_plane_failed(int plane, bool failed) {
+  for (const auto& q : queues_[static_cast<std::size_t>(plane)]) {
+    q->set_failed(failed);
+  }
+}
+
+std::vector<double> FlowLogger::fct_us() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    out.push_back(units::to_microseconds(r.end - r.start));
+  }
+  return out;
+}
+
+int FlowLogger::total_retransmits() const {
+  int total = 0;
+  for (const auto& r : records_) total += r.retransmits;
+  return total;
+}
+
+int FlowLogger::total_timeouts() const {
+  int total = 0;
+  for (const auto& r : records_) total += r.timeouts;
+  return total;
+}
+
+void FlowLogger::write_csv(std::ostream& out) const {
+  out << "flow,src,dst,bytes,start_ps,end_ps,fct_us,hops,subflows,"
+         "retransmits,timeouts\n";
+  for (const auto& r : records_) {
+    out << r.id.v << ',' << r.src.v << ',' << r.dst.v << ',' << r.bytes
+        << ',' << r.start << ',' << r.end << ','
+        << units::to_microseconds(r.end - r.start) << ',' << r.hops << ','
+        << r.subflows << ',' << r.retransmits << ',' << r.timeouts << '\n';
+  }
+}
+
+TcpSrc& FlowFactory::tcp_flow(HostId src, HostId dst,
+                              const routing::Path& path, std::uint64_t bytes,
+                              SimTime start, FlowCallback on_complete) {
+  const FlowId id = next_id();
+  sources_.push_back(std::make_unique<TcpSrc>(events_, pool_, id,
+                                              network_.config().tcp));
+  TcpSrc& source = *sources_.back();
+  sinks_.push_back(std::make_unique<TcpSink>(events_, pool_,
+                                             network_.config().tcp));
+  TcpSink& sink = *sinks_.back();
+
+  const Route* fwd = network_.make_route(path, sink);
+  const Route* rev =
+      network_.make_route(network_.reverse_path(path), source);
+  sink.set_ack_route(rev);
+  source.set_flow_size(bytes);
+
+  const int hops = path.hops();
+  source.set_completion_callback(
+      [this, id, src, dst, bytes, start, hops,
+       cb = std::move(on_complete)](TcpSrc& s) {
+        FlowRecord record{id,    src,
+                          dst,   bytes,
+                          start, s.completion_time(),
+                          hops,  1,
+                          s.retransmits(), s.timeouts()};
+        logger_.record(record);
+        if (cb) cb(record);
+      });
+  source.connect(fwd, start);
+  return source;
+}
+
+MptcpConnection& FlowFactory::mptcp_flow(HostId src, HostId dst,
+                                         const std::vector<routing::Path>& paths,
+                                         std::uint64_t bytes, SimTime start,
+                                         FlowCallback on_complete,
+                                         Coupling coupling) {
+  const FlowId id = next_id();
+  connections_.push_back(std::make_unique<MptcpConnection>(
+      events_, pool_, id, network_.config().tcp, bytes, coupling));
+  MptcpConnection& connection = *connections_.back();
+
+  // MP_JOIN staggering: secondary subflows join one handshake later, the
+  // handshake riding the primary path's round trip.
+  SimTime join_delay = 0;
+  if (network_.config().tcp.mptcp_staggered_join && !paths.empty()) {
+    const auto& primary = paths.front();
+    join_delay =
+        2 * primary.latency(network_.net().plane(primary.plane).graph);
+  }
+  bool first = true;
+  for (const auto& path : paths) {
+    MptcpSubflow& subflow = connection.add_subflow();
+    sinks_.push_back(std::make_unique<TcpSink>(events_, pool_,
+                                               network_.config().tcp));
+    TcpSink& sink = *sinks_.back();
+    const Route* fwd = network_.make_route(path, sink);
+    const Route* rev =
+        network_.make_route(network_.reverse_path(path), subflow);
+    sink.set_ack_route(rev);
+    subflow.connect(fwd, first ? start : start + join_delay);
+    first = false;
+  }
+
+  const int hops = paths.empty() ? 0 : paths.front().hops();
+  const int num_subflows = static_cast<int>(paths.size());
+  connection.set_completion_callback(
+      [this, id, src, dst, bytes, start, hops, num_subflows,
+       cb = std::move(on_complete)](MptcpConnection& c) {
+        FlowRecord record{id,    src,
+                          dst,   bytes,
+                          start, c.completion_time(),
+                          hops,  num_subflows,
+                          c.total_retransmits(), c.total_timeouts()};
+        logger_.record(record);
+        if (cb) cb(record);
+      });
+  return connection;
+}
+
+}  // namespace pnet::sim

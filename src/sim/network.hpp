@@ -1,0 +1,170 @@
+// Instantiates the simulation objects for a ParallelNetwork (one Queue +
+// Pipe per directed link per plane) and builds source routes from routing
+// Paths. FlowFactory creates TCP/MPTCP endpoints wired over those routes
+// and reports completions to a FlowLogger.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "routing/path.hpp"
+#include "sim/mptcp.hpp"
+#include "sim/pipe.hpp"
+#include "sim/queue.hpp"
+#include "sim/tcp.hpp"
+#include "topo/parallel.hpp"
+
+namespace pnet::sim {
+
+struct SimConfig {
+  /// Per-port buffering; default 100 MTU-sized packets, the usual htsim
+  /// shallow-buffer datacenter setting.
+  std::uint64_t queue_buffer_bytes = 100 * 1500;
+  /// ECN marking threshold per port (0 disables). DCTCP's guidance is
+  /// ~20% of a shallow buffer; pair with TcpParams::dctcp.
+  std::uint64_t ecn_threshold_bytes = 0;
+  /// Strict-priority service for ACKs at every port (common DC QoS).
+  bool priority_acks = false;
+  /// NDP-style cut-payload: overloaded ports trim data packets to headers
+  /// (forwarded at priority) instead of dropping; receivers NACK and the
+  /// sender retransmits immediately — the §6.5 incast-aware fabric option.
+  bool trim_to_header = false;
+  TcpParams tcp;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(EventQueue& events, PacketPool& pool,
+             const topo::ParallelNetwork& net, const SimConfig& config);
+
+  [[nodiscard]] const topo::ParallelNetwork& net() const { return net_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  [[nodiscard]] Queue& queue(int plane, LinkId link) {
+    return *queues_[static_cast<std::size_t>(plane)]
+                   [static_cast<std::size_t>(link.v)];
+  }
+  [[nodiscard]] Pipe& pipe(int plane, LinkId link) {
+    return *pipes_[static_cast<std::size_t>(plane)]
+                  [static_cast<std::size_t>(link.v)];
+  }
+
+  /// Builds a forwarding chain along `path`, ending at `endpoint`.
+  /// The returned route is owned by this network (stable address).
+  const Route* make_route(const routing::Path& path, PacketSink& endpoint);
+
+  /// The reverse of `path` (ACK direction), using each link's duplex twin.
+  [[nodiscard]] routing::Path reverse_path(const routing::Path& path) const;
+
+  /// Total tail-drops across every queue (Fig 11c's retransmit driver).
+  [[nodiscard]] std::uint64_t total_drops() const;
+  /// Total ECN CE marks across every queue.
+  [[nodiscard]] std::uint64_t total_ecn_marks() const;
+
+  /// Fails (or repairs) a full-duplex cable: both directed links drop all
+  /// arriving packets. `link` may be either direction of the pair.
+  void set_cable_failed(int plane, LinkId link, bool failed);
+  /// Fails (or repairs) every link of one dataplane — the whole-plane
+  /// outage the paper's §3.4 link-status detection reacts to.
+  void set_plane_failed(int plane, bool failed);
+
+ private:
+  const topo::ParallelNetwork& net_;
+  SimConfig config_;
+  std::vector<std::vector<std::unique_ptr<Queue>>> queues_;  // [plane][link]
+  std::vector<std::vector<std::unique_ptr<Pipe>>> pipes_;
+  std::vector<std::unique_ptr<Route>> routes_;
+};
+
+/// One completed transport flow, as logged for analysis.
+struct FlowRecord {
+  FlowId id;
+  HostId src;
+  HostId dst;
+  std::uint64_t bytes = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  /// Links traversed by the (first) path; the latency-relevant hop count.
+  int hops = 0;
+  int subflows = 1;
+  int retransmits = 0;
+  int timeouts = 0;
+};
+
+class FlowLogger {
+ public:
+  void record(const FlowRecord& r) { records_.push_back(r); }
+  [[nodiscard]] const std::vector<FlowRecord>& records() const {
+    return records_;
+  }
+  /// Flow completion times in microseconds, one per record.
+  [[nodiscard]] std::vector<double> fct_us() const;
+  [[nodiscard]] int total_retransmits() const;
+  [[nodiscard]] int total_timeouts() const;
+  void clear() { records_.clear(); }
+
+  /// CSV dump (header + one row per flow) for external plotting, matching
+  /// the artifact's workflow of post-processing simulator output.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<FlowRecord> records_;
+};
+
+class FlowFactory {
+ public:
+  using FlowCallback = std::function<void(const FlowRecord&)>;
+
+  FlowFactory(EventQueue& events, PacketPool& pool, SimNetwork& network,
+              FlowLogger& logger)
+      : events_(events), pool_(pool), network_(network), logger_(logger) {}
+
+  /// Single-path TCP flow; returns the source endpoint.
+  TcpSrc& tcp_flow(HostId src, HostId dst, const routing::Path& path,
+                   std::uint64_t bytes, SimTime start,
+                   FlowCallback on_complete = {});
+
+  /// MPTCP flow with one subflow per path.
+  MptcpConnection& mptcp_flow(HostId src, HostId dst,
+                              const std::vector<routing::Path>& paths,
+                              std::uint64_t bytes, SimTime start,
+                              FlowCallback on_complete = {},
+                              Coupling coupling = Coupling::kLia);
+
+  [[nodiscard]] int flows_created() const { return next_flow_id_; }
+
+  /// Diagnostic: transport endpoints that have not completed yet. Useful
+  /// when an experiment's event queue drains unexpectedly early.
+  [[nodiscard]] std::vector<const TcpSrc*> incomplete_tcp_flows() const {
+    std::vector<const TcpSrc*> out;
+    for (const auto& src : sources_) {
+      if (!src->complete()) out.push_back(src.get());
+    }
+    return out;
+  }
+  [[nodiscard]] std::vector<const MptcpConnection*> incomplete_mptcp_flows()
+      const {
+    std::vector<const MptcpConnection*> out;
+    for (const auto& conn : connections_) {
+      if (!conn->complete()) out.push_back(conn.get());
+    }
+    return out;
+  }
+
+ private:
+  FlowId next_id() { return FlowId{next_flow_id_++}; }
+
+  EventQueue& events_;
+  PacketPool& pool_;
+  SimNetwork& network_;
+  FlowLogger& logger_;
+  int next_flow_id_ = 0;
+
+  std::vector<std::unique_ptr<TcpSrc>> sources_;
+  std::vector<std::unique_ptr<TcpSink>> sinks_;
+  std::vector<std::unique_ptr<MptcpConnection>> connections_;
+};
+
+}  // namespace pnet::sim

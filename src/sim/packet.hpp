@@ -1,0 +1,97 @@
+// Packets, routes and the pool that recycles packet objects.
+//
+// As in htsim, forwarding is source-routed: a packet carries a pointer to an
+// immutable Route (a chain of PacketSinks — queues, pipes, and a transport
+// endpoint last) plus the index of its next hop. There are no switch
+// forwarding tables; path selection happened at the end host, which is
+// exactly the P-Net model (section 3.4).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace pnet::sim {
+
+struct Packet;
+
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void receive(Packet& packet) = 0;
+};
+
+/// An immutable forwarding chain. `hop_count` is the number of physical
+/// links the route crosses (queues == links; pipes do not add hops).
+struct Route {
+  std::vector<PacketSink*> sinks;
+  int hop_count = 0;
+};
+
+struct Packet {
+  FlowId flow;
+  /// Byte offset of the first payload byte (data), or unused for ACKs.
+  std::uint64_t seq = 0;
+  /// Cumulative ACK: the next byte the receiver expects.
+  std::uint64_t ack_seq = 0;
+  std::uint32_t size_bytes = 0;
+  bool is_ack = false;
+  bool retransmitted = false;
+  /// Timestamp echoed by the receiver so the sender can sample RTT without
+  /// keeping per-packet state (Karn's rule: not echoed for retransmits).
+  SimTime ts_echo = -1;
+  /// MPTCP subflow index (0 for plain TCP).
+  int subflow = 0;
+  /// ECN: Congestion Experienced, set by a queue above its marking
+  /// threshold (data packets); echoed back to the sender on ACKs.
+  bool ecn_ce = false;
+  bool ecn_echo = false;
+  /// NDP-style trimming: an overloaded queue cut this data packet to its
+  /// header. The receiver learns WHAT was lost instantly and NACKs it.
+  bool trimmed = false;
+  /// On ACKs: this is (also) a NACK for the segment starting at `seq`.
+  bool is_nack = false;
+
+  const Route* route = nullptr;
+  std::uint32_t next_hop = 0;
+
+  /// Hands the packet to the next sink on its route.
+  void forward() {
+    assert(route != nullptr && next_hop < route->sinks.size());
+    PacketSink* sink = route->sinks[next_hop++];
+    sink->receive(*this);
+  }
+};
+
+/// Free-list pool. Millions of packets flow through a run; recycling avoids
+/// allocator churn and keeps packets out of the hot path's cache misses.
+class PacketPool {
+ public:
+  Packet* allocate() {
+    if (free_.empty()) {
+      storage_.push_back(std::make_unique<Packet>());
+      return storage_.back().get();
+    }
+    Packet* p = free_.back();
+    free_.pop_back();
+    *p = Packet{};
+    return p;
+  }
+
+  void free(Packet* packet) { free_.push_back(packet); }
+
+  [[nodiscard]] std::size_t allocated() const { return storage_.size(); }
+  [[nodiscard]] std::size_t live() const {
+    return storage_.size() - free_.size();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Packet>> storage_;
+  std::vector<Packet*> free_;
+};
+
+}  // namespace pnet::sim

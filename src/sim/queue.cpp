@@ -1,0 +1,90 @@
+#include "sim/queue.hpp"
+
+#include <cassert>
+
+namespace pnet::sim {
+
+void Queue::receive(Packet& packet) {
+  if (failed_) {
+    ++drops_;
+    pool_.free(&packet);
+    return;
+  }
+
+  const bool priority_class =
+      (priority_acks_ && packet.is_ack) || packet.trimmed;
+  if (priority_class) {
+    // ACKs / already-trimmed headers ride the priority queue with its own
+    // budget (mirrors NDP's separate header queue).
+    if (ack_queued_bytes_ + packet.size_bytes > buffer_bytes_) {
+      ++drops_;
+      pool_.free(&packet);
+      return;
+    }
+    ack_fifo_.push_back(&packet);
+    ack_queued_bytes_ += packet.size_bytes;
+  } else if (queued_bytes_ + packet.size_bytes > buffer_bytes_) {
+    // Data buffer full: cut payload if enabled, else tail-drop.
+    if (trim_to_header_ && !packet.is_ack &&
+        ack_queued_bytes_ + kHeaderBytes <= buffer_bytes_) {
+      packet.size_bytes = kHeaderBytes;
+      packet.trimmed = true;
+      ++trims_;
+      ack_fifo_.push_back(&packet);
+      ack_queued_bytes_ += packet.size_bytes;
+    } else {
+      ++drops_;
+      pool_.free(&packet);
+      return;
+    }
+  } else {
+    if (ecn_threshold_bytes_ > 0 && !packet.is_ack &&
+        queued_bytes_ >= ecn_threshold_bytes_) {
+      packet.ecn_ce = true;
+      ++ecn_marks_;
+    }
+    fifo_.push_back(&packet);
+    queued_bytes_ += packet.size_bytes;
+  }
+
+  if (!busy_) {
+    busy_ = true;
+    start_service();
+  }
+}
+
+void Queue::start_service() {
+  // Strict priority: serve the ACK/header queue first. The selected packet
+  // is committed (no preemption) — a later arrival cannot steal its slot.
+  assert(in_service_ == nullptr);
+  if (!ack_fifo_.empty()) {
+    in_service_ = ack_fifo_.front();
+    ack_fifo_.pop_front();
+    in_service_priority_ = true;
+  } else {
+    in_service_ = fifo_.front();
+    fifo_.pop_front();
+    in_service_priority_ = false;
+  }
+  events_.schedule_in(
+      units::serialization_delay(in_service_->size_bytes, rate_bps_), this);
+}
+
+void Queue::do_next_event() {
+  Packet* packet = in_service_;
+  in_service_ = nullptr;
+  if (in_service_priority_) {
+    ack_queued_bytes_ -= packet->size_bytes;
+  } else {
+    queued_bytes_ -= packet->size_bytes;
+  }
+  ++forwarded_;
+  if (ack_fifo_.empty() && fifo_.empty()) {
+    busy_ = false;
+  } else {
+    start_service();
+  }
+  packet->forward();
+}
+
+}  // namespace pnet::sim

@@ -1,0 +1,82 @@
+// FIFO tail-drop output queue: one per directed link, modelling the egress
+// port serialization and buffering of the upstream device (the host NIC for
+// host->ToR links, a switch port otherwise).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/event_queue.hpp"
+#include "sim/packet.hpp"
+
+namespace pnet::sim {
+
+class Queue : public EventSource, public PacketSink {
+ public:
+  /// Trimmed headers are this many wire bytes.
+  static constexpr std::uint32_t kHeaderBytes = 64;
+
+  Queue(EventQueue& events, PacketPool& pool, double rate_bps,
+        std::uint64_t buffer_bytes, std::uint64_t ecn_threshold_bytes = 0,
+        bool priority_acks = false, bool trim_to_header = false)
+      : events_(events), pool_(pool), rate_bps_(rate_bps),
+        buffer_bytes_(buffer_bytes),
+        ecn_threshold_bytes_(ecn_threshold_bytes),
+        priority_acks_(priority_acks), trim_to_header_(trim_to_header) {}
+
+  /// Enqueues or tail-drops; starts serializing when idle. When the link is
+  /// failed, every packet is dropped (a dead cable). With an ECN threshold
+  /// configured, data packets enqueued above it are CE-marked (DCTCP-style
+  /// instantaneous marking).
+  void receive(Packet& packet) override;
+  /// Serialization of the head packet finished: forward it, start the next.
+  void do_next_event() override;
+
+  /// Simulates cable failure/repair. Packets already buffered still drain.
+  void set_failed(bool failed) { failed_ = failed; }
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  [[nodiscard]] std::uint64_t queued_bytes() const {
+    return queued_bytes_ + ack_queued_bytes_;
+  }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t ecn_marks() const { return ecn_marks_; }
+  [[nodiscard]] std::uint64_t trims() const { return trims_; }
+  [[nodiscard]] double rate_bps() const { return rate_bps_; }
+
+ private:
+  EventQueue& events_;
+  PacketPool& pool_;
+  double rate_bps_;
+  std::uint64_t buffer_bytes_;
+  std::uint64_t ecn_threshold_bytes_;
+  /// Strict-priority service for ACKs (a common datacenter QoS setting):
+  /// keeps the ACK clock ticking through standing data queues.
+  bool priority_acks_;
+  /// NDP-style cut-payload: when a data packet does not fit, forward its
+  /// header through the priority queue instead of dropping, so the
+  /// receiver can NACK instantly (§6.5's incast-aware direction, htsim's
+  /// flagship mechanism).
+  bool trim_to_header_;
+  bool failed_ = false;
+  std::uint64_t ecn_marks_ = 0;
+  std::uint64_t trims_ = 0;
+
+  void start_service();
+
+  std::deque<Packet*> fifo_;
+  /// Priority queue for ACKs (when priority_acks_) and trimmed headers
+  /// (when trim_to_header_); budgeted separately from the data buffer, as
+  /// a real NDP header queue is.
+  std::deque<Packet*> ack_fifo_;
+  Packet* in_service_ = nullptr;     // committed to the wire
+  bool in_service_priority_ = false; // which budget it came from
+  std::uint64_t queued_bytes_ = 0;     // data fifo, incl. in-service data
+  std::uint64_t ack_queued_bytes_ = 0; // priority fifo, incl. in-service
+  bool busy_ = false;
+  std::uint64_t drops_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace pnet::sim

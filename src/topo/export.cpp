@@ -1,0 +1,83 @@
+#include "topo/export.hpp"
+
+#include <sstream>
+
+namespace pnet::topo {
+
+namespace {
+
+const char* kPlaneColors[] = {"red",    "blue",  "green",  "orange",
+                              "purple", "brown", "magenta", "cyan"};
+
+void emit_nodes(std::ostringstream& out, const Graph& graph,
+                const std::string& prefix) {
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const NodeId id{i};
+    if (graph.is_host(id)) {
+      out << "  " << prefix << i << " [shape=box,label=\"h"
+          << graph.node(id).host.v << "\"];\n";
+    } else {
+      out << "  " << prefix << i << " [shape=circle,label=\"s" << i
+          << "\"];\n";
+    }
+  }
+}
+
+void emit_edges(std::ostringstream& out, const Graph& graph,
+                const std::string& prefix, const char* color) {
+  for (int l = 0; l < graph.num_links(); l += 2) {
+    const auto& link = graph.link(LinkId{l});
+    out << "  " << prefix << link.src.v << " -- " << prefix << link.dst.v
+        << " [color=" << color << "];\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& graph, const std::string& name) {
+  std::ostringstream out;
+  out << "graph " << name << " {\n";
+  emit_nodes(out, graph, "n");
+  emit_edges(out, graph, "n", "black");
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const ParallelNetwork& net, const std::string& name) {
+  std::ostringstream out;
+  out << "graph " << name << " {\n";
+  // Shared hosts once.
+  for (int h = 0; h < net.num_hosts(); ++h) {
+    out << "  h" << h << " [shape=box,label=\"h" << h << "\"];\n";
+  }
+  for (int p = 0; p < net.num_planes(); ++p) {
+    const Graph& g = net.plane(p).graph;
+    const char* color = kPlaneColors[static_cast<std::size_t>(p) %
+                                     std::size(kPlaneColors)];
+    const std::string prefix = "p" + std::to_string(p) + "_";
+    out << "  subgraph cluster_plane" << p << " {\n    label=\"plane " << p
+        << "\";\n";
+    for (int i = 0; i < g.num_nodes(); ++i) {
+      const NodeId id{i};
+      if (!g.is_host(id)) {
+        out << "    " << prefix << i << " [shape=circle,color=" << color
+            << ",label=\"s" << i << "\"];\n";
+      }
+    }
+    out << "  }\n";
+    for (int l = 0; l < g.num_links(); l += 2) {
+      const auto& link = g.link(LinkId{l});
+      auto endpoint = [&](NodeId node) {
+        return g.is_host(node)
+                   ? "h" + std::to_string(g.node(node).host.v)
+                   : prefix + std::to_string(node.v);
+      };
+      out << "  " << endpoint(link.src) << " -- " << endpoint(link.dst)
+          << " [color=" << color << "];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace pnet::topo

@@ -1,0 +1,22 @@
+// Topology export for visualization and debugging: Graphviz DOT for a
+// single plane, and a multi-plane variant that colors each dataplane
+// (hosts shared, one subgraph of switches/links per plane) — the picture
+// in the paper's Figs 4 and 5.
+#pragma once
+
+#include <string>
+
+#include "topo/parallel.hpp"
+
+namespace pnet::topo {
+
+/// DOT for one graph. Hosts are boxes, switches are circles; each duplex
+/// pair is emitted once as an undirected edge.
+std::string to_dot(const Graph& graph, const std::string& name = "plane");
+
+/// DOT for a whole P-Net: shared host nodes, one colored edge set per
+/// dataplane.
+std::string to_dot(const ParallelNetwork& net,
+                   const std::string& name = "pnet");
+
+}  // namespace pnet::topo

@@ -1,0 +1,87 @@
+#include "topo/fat_tree.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pnet::topo {
+
+FatTree build_fat_tree(const FatTreeConfig& config) {
+  const int k = config.k;
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("fat tree radix k must be even and >= 2");
+  }
+  const int half = k / 2;
+  const int num_pods = k;
+  const int hosts_per_edge = half;
+  const int num_hosts = k * k * k / 4;
+  const int num_core = half * half;
+
+  FatTree ft;
+  ft.k = k;
+  Graph& g = ft.graph;
+
+  // Core switches first so their ids are stable regardless of pod count.
+  ft.core_switches.reserve(static_cast<std::size_t>(num_core));
+  for (int c = 0; c < num_core; ++c) {
+    ft.core_switches.push_back(g.add_node(NodeKind::kSwitch));
+  }
+
+  ft.host_nodes.reserve(static_cast<std::size_t>(num_hosts));
+  for (int pod = 0; pod < num_pods; ++pod) {
+    std::vector<NodeId> edges;
+    std::vector<NodeId> aggs;
+    for (int i = 0; i < half; ++i) {
+      edges.push_back(g.add_node(NodeKind::kSwitch));
+    }
+    for (int i = 0; i < half; ++i) {
+      aggs.push_back(g.add_node(NodeKind::kSwitch));
+    }
+
+    // Hosts under each edge switch.
+    for (int e = 0; e < half; ++e) {
+      for (int h = 0; h < hosts_per_edge; ++h) {
+        const int local = static_cast<int>(ft.host_nodes.size());
+        const NodeId host = g.add_node(
+            NodeKind::kHost, HostId{config.first_host_index + local});
+        ft.host_nodes.push_back(host);
+        g.add_duplex_link(host, edges[static_cast<std::size_t>(e)],
+                          config.link_rate_bps, config.host_link_latency);
+      }
+    }
+
+    // Full bipartite edge <-> aggregation mesh within the pod.
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        g.add_duplex_link(edges[static_cast<std::size_t>(e)],
+                          aggs[static_cast<std::size_t>(a)],
+                          config.link_rate_bps, config.fabric_link_latency);
+      }
+    }
+
+    // Aggregation switch a connects to core switches [a*half, (a+1)*half).
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        const int core_index = a * half + c;
+        g.add_duplex_link(
+            aggs[static_cast<std::size_t>(a)],
+            ft.core_switches[static_cast<std::size_t>(core_index)],
+            config.link_rate_bps, config.fabric_link_latency);
+      }
+    }
+
+    ft.edge_switches.insert(ft.edge_switches.end(), edges.begin(),
+                            edges.end());
+    ft.agg_switches.insert(ft.agg_switches.end(), aggs.begin(), aggs.end());
+  }
+
+  assert(static_cast<int>(ft.host_nodes.size()) == num_hosts);
+  return ft;
+}
+
+int fat_tree_k_for_hosts(int hosts) {
+  int k = 2;
+  while (k * k * k / 4 < hosts) k += 2;
+  return k;
+}
+
+}  // namespace pnet::topo

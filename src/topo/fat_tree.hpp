@@ -1,0 +1,52 @@
+// Three-tier k-ary fat tree (folded Clos) builder, per Al-Fares et al. [5].
+//
+//   * k pods; each pod has k/2 edge (ToR) and k/2 aggregation switches;
+//   * (k/2)^2 core switches;
+//   * each edge switch serves k/2 hosts, so the fabric hosts k^3/4 machines.
+//
+// This is the per-dataplane building block for both the "serial" baselines
+// and the homogeneous P-Net planes of the paper (Figs 2 and 4).
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace pnet::topo {
+
+struct FatTreeConfig {
+  int k = 8;                                  // switch radix; must be even
+  double link_rate_bps = 100e9;               // per the paper's 100G baseline
+  SimTime host_link_latency = units::kMicrosecond / 2;  // 100 m in-rack run
+  SimTime fabric_link_latency = units::kMicrosecond;    // 200 m per core hop
+  /// First global host index assigned (planes of a P-Net share host ids).
+  int first_host_index = 0;
+};
+
+struct FatTree {
+  Graph graph;
+  int k = 0;
+  std::vector<NodeId> host_nodes;   // indexed by local host index
+  std::vector<NodeId> edge_switches;
+  std::vector<NodeId> agg_switches;
+  std::vector<NodeId> core_switches;
+
+  [[nodiscard]] int num_hosts() const {
+    return static_cast<int>(host_nodes.size());
+  }
+  /// The pod a host belongs to.
+  [[nodiscard]] int pod_of_host(int host_index) const {
+    return host_index / (k * k / 4);
+  }
+  /// The edge switch (rack) a host attaches to.
+  [[nodiscard]] int rack_of_host(int host_index) const {
+    return host_index / (k / 2);
+  }
+};
+
+FatTree build_fat_tree(const FatTreeConfig& config);
+
+/// Smallest even k whose fat tree holds at least `hosts` machines.
+int fat_tree_k_for_hosts(int hosts);
+
+}  // namespace pnet::topo

@@ -1,0 +1,203 @@
+#include "topo/jellyfish.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace pnet::topo {
+
+namespace {
+
+using Edge = std::pair<int, int>;  // switch indices, ordered lo < hi
+
+Edge make_edge(int a, int b) { return a < b ? Edge{a, b} : Edge{b, a}; }
+
+/// Random r-regular graph on n vertices, returned as an edge set.
+std::set<Edge> random_regular_graph(int n, int r, Rng& rng) {
+  if (n * r % 2 != 0) {
+    throw std::invalid_argument("jellyfish: n * r must be even");
+  }
+  if (r >= n) {
+    throw std::invalid_argument("jellyfish: degree must be < num switches");
+  }
+
+  std::set<Edge> edges;
+  std::vector<int> free_ports(static_cast<std::size_t>(n), r);
+
+  auto switches_with_free_ports = [&] {
+    std::vector<int> out;
+    for (int i = 0; i < n; ++i) {
+      if (free_ports[static_cast<std::size_t>(i)] > 0) out.push_back(i);
+    }
+    return out;
+  };
+
+  while (true) {
+    // Connect random non-adjacent pairs until no progress is possible.
+    auto candidates = switches_with_free_ports();
+    bool progress = true;
+    while (progress && candidates.size() >= 2) {
+      progress = false;
+      // Try a bounded number of random picks before scanning exhaustively.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const int i =
+            candidates[rng.next_below(candidates.size())];
+        const int j =
+            candidates[rng.next_below(candidates.size())];
+        if (i == j || edges.contains(make_edge(i, j))) continue;
+        edges.insert(make_edge(i, j));
+        --free_ports[static_cast<std::size_t>(i)];
+        --free_ports[static_cast<std::size_t>(j)];
+        progress = true;
+        break;
+      }
+      if (!progress) {
+        // Exhaustive check: is there *any* connectable pair left?
+        for (std::size_t a = 0; a < candidates.size() && !progress; ++a) {
+          for (std::size_t b = a + 1; b < candidates.size(); ++b) {
+            const Edge e = make_edge(candidates[a], candidates[b]);
+            if (!edges.contains(e)) {
+              edges.insert(e);
+              --free_ports[static_cast<std::size_t>(candidates[a])];
+              --free_ports[static_cast<std::size_t>(candidates[b])];
+              progress = true;
+              break;
+            }
+          }
+        }
+      }
+      if (progress) candidates = switches_with_free_ports();
+    }
+
+    candidates = switches_with_free_ports();
+    if (candidates.empty()) return edges;
+
+    // Stuck: some switch p retains free ports but all its non-neighbors are
+    // full. Splice p into a random existing edge (x, y) with x, y != p and
+    // neither adjacent to p (Jellyfish section 3 construction).
+    bool spliced = false;
+    for (int p : candidates) {
+      if (free_ports[static_cast<std::size_t>(p)] < 2) continue;
+      std::vector<Edge> pool(edges.begin(), edges.end());
+      rng.shuffle(pool);
+      for (const Edge& e : pool) {
+        const auto [x, y] = e;
+        if (x == p || y == p) continue;
+        if (edges.contains(make_edge(p, x)) ||
+            edges.contains(make_edge(p, y))) {
+          continue;
+        }
+        edges.erase(e);
+        edges.insert(make_edge(p, x));
+        edges.insert(make_edge(p, y));
+        free_ports[static_cast<std::size_t>(p)] -= 2;
+        spliced = true;
+        break;
+      }
+      if (spliced) break;
+    }
+    if (!spliced) {
+      // A single dangling port (odd leftover) cannot be wired; admissible
+      // per the Jellyfish paper, which leaves such ports unused.
+      return edges;
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Materializes a Jellyfish from an explicit switch-edge set.
+Jellyfish assemble(const std::set<Edge>& edge_set, int num_switches,
+                   const JellyfishConfig& config) {
+  Jellyfish jf;
+  jf.network_degree = config.network_degree;
+  Graph& g = jf.graph;
+
+  jf.switch_nodes.reserve(static_cast<std::size_t>(num_switches));
+  for (int i = 0; i < num_switches; ++i) {
+    jf.switch_nodes.push_back(g.add_node(NodeKind::kSwitch));
+  }
+  for (const auto& [a, b] : edge_set) {
+    g.add_duplex_link(jf.switch_nodes[static_cast<std::size_t>(a)],
+                      jf.switch_nodes[static_cast<std::size_t>(b)],
+                      config.link_rate_bps, config.fabric_link_latency);
+  }
+  jf.host_nodes.reserve(
+      static_cast<std::size_t>(num_switches * config.hosts_per_switch));
+  for (int s = 0; s < num_switches; ++s) {
+    for (int h = 0; h < config.hosts_per_switch; ++h) {
+      const int local = static_cast<int>(jf.host_nodes.size());
+      const NodeId host = g.add_node(
+          NodeKind::kHost, HostId{config.first_host_index + local});
+      jf.host_nodes.push_back(host);
+      g.add_duplex_link(host, jf.switch_nodes[static_cast<std::size_t>(s)],
+                        config.link_rate_bps, config.host_link_latency);
+    }
+  }
+  return jf;
+}
+
+/// Recovers the switch-edge set of an existing Jellyfish.
+std::set<Edge> edge_set_of(const Jellyfish& jf) {
+  std::vector<int> switch_index(
+      static_cast<std::size_t>(jf.graph.num_nodes()), -1);
+  for (std::size_t i = 0; i < jf.switch_nodes.size(); ++i) {
+    switch_index[static_cast<std::size_t>(jf.switch_nodes[i].v)] =
+        static_cast<int>(i);
+  }
+  std::set<Edge> edges;
+  for (int l = 0; l < jf.graph.num_links(); l += 2) {
+    const auto& link = jf.graph.link(LinkId{l});
+    const int a = switch_index[static_cast<std::size_t>(link.src.v)];
+    const int b = switch_index[static_cast<std::size_t>(link.dst.v)];
+    if (a >= 0 && b >= 0) edges.insert(make_edge(a, b));
+  }
+  return edges;
+}
+
+}  // namespace
+
+Jellyfish expand_jellyfish(const Jellyfish& base,
+                           const JellyfishConfig& config,
+                           int additional_switches, std::uint64_t seed) {
+  Rng rng(seed);
+  std::set<Edge> edges = edge_set_of(base);
+  int n = static_cast<int>(base.switch_nodes.size());
+  const int r = config.network_degree;
+
+  for (int added = 0; added < additional_switches; ++added) {
+    const int p = n++;
+    int wired = 0;
+    // Splice into r/2 random existing links not already adjacent to p.
+    for (int attempt = 0; attempt < 1000 && wired + 2 <= r; ++attempt) {
+      std::vector<Edge> pool(edges.begin(), edges.end());
+      const Edge e = pool[rng.next_below(pool.size())];
+      const auto [u, v] = e;
+      if (u == p || v == p || edges.contains(make_edge(p, u)) ||
+          edges.contains(make_edge(p, v))) {
+        continue;
+      }
+      edges.erase(e);
+      edges.insert(make_edge(p, u));
+      edges.insert(make_edge(p, v));
+      wired += 2;
+    }
+  }
+  return assemble(edges, n, config);
+}
+
+Jellyfish build_jellyfish(const JellyfishConfig& config) {
+  Rng rng(config.seed);
+  const int n = config.num_switches;
+
+  const std::set<Edge> edge_set =
+      random_regular_graph(n, config.network_degree, rng);
+  return assemble(edge_set, n, config);
+}
+
+}  // namespace pnet::topo

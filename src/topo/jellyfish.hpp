@@ -1,0 +1,59 @@
+// Jellyfish random-regular-graph topology builder (Singla et al., NSDI'12).
+//
+// Switches form a random r-regular graph; each switch additionally serves
+// `hosts_per_switch` machines. Different seeds give different instantiations,
+// which is exactly what a heterogeneous P-Net exploits: each dataplane is an
+// independent draw, so for any rack pair the minimum path length over the N
+// planes is stochastically shorter than in any single plane (section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace pnet::topo {
+
+struct JellyfishConfig {
+  int num_switches = 98;
+  int network_degree = 7;   // r: ports used for switch-to-switch links
+  int hosts_per_switch = 7; // k - r ports face hosts
+  double link_rate_bps = 100e9;
+  SimTime host_link_latency = units::kMicrosecond / 2;
+  SimTime fabric_link_latency = units::kMicrosecond;
+  std::uint64_t seed = 1;
+  int first_host_index = 0;
+};
+
+struct Jellyfish {
+  Graph graph;
+  std::vector<NodeId> host_nodes;      // indexed by local host index
+  std::vector<NodeId> switch_nodes;    // the racks/ToRs
+  int network_degree = 0;
+
+  [[nodiscard]] int num_hosts() const {
+    return static_cast<int>(host_nodes.size());
+  }
+  [[nodiscard]] int rack_of_host(int host_index) const {
+    return host_index /
+           (num_hosts() / static_cast<int>(switch_nodes.size()));
+  }
+};
+
+/// Builds the random regular graph with the paper's construction: connect
+/// uniformly random pairs of non-adjacent switches with free ports; when the
+/// process gets stuck with one switch holding >= 2 free ports, break a random
+/// existing link and splice the stuck switch in.
+Jellyfish build_jellyfish(const JellyfishConfig& config);
+
+/// Incremental expansion (Jellyfish §4, cited by the paper's §6.1 as what
+/// lets operators "more easily scale up" expander planes): each new switch
+/// is spliced in by removing degree/2 random existing fabric links (u, v)
+/// and wiring (new, u) and (new, v) instead. Existing switch degrees are
+/// preserved; the result is a fresh Jellyfish whose first
+/// `base.num_hosts()` hosts keep their indices.
+Jellyfish expand_jellyfish(const Jellyfish& base,
+                           const JellyfishConfig& config,
+                           int additional_switches, std::uint64_t seed);
+
+}  // namespace pnet::topo

@@ -1,0 +1,276 @@
+#include "topo/multitier.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "routing/shortest.hpp"
+
+namespace pnet::topo {
+
+namespace {
+
+/// A pod of the recursive folded Clos: levels[0] = edge chips, levels back()
+/// = the pod's top chips (each with radix/2 free up-ports).
+struct Pod {
+  std::vector<std::vector<NodeId>> levels;
+};
+
+int int_pow(int base, int exp) {
+  int v = 1;
+  for (int i = 0; i < exp; ++i) v *= base;
+  return v;
+}
+
+/// Builds a tier-j pod and attaches hosts below its edge switches.
+Pod build_pod(Graph& g, int j, const MultiTierConfig& config,
+              std::vector<NodeId>& hosts) {
+  const int half = config.radix / 2;
+  if (j == 1) {
+    Pod pod;
+    const NodeId sw = g.add_node(NodeKind::kSwitch);
+    pod.levels.push_back({sw});
+    for (int h = 0; h < half; ++h) {
+      const NodeId host = g.add_node(
+          NodeKind::kHost, HostId{static_cast<std::int32_t>(hosts.size())});
+      hosts.push_back(host);
+      g.add_duplex_link(host, sw, config.link_rate_bps,
+                        config.host_link_latency);
+    }
+    return pod;
+  }
+
+  // half sub-pods plus (half)^(j-1) level-j chips.
+  std::vector<Pod> sub_pods;
+  sub_pods.reserve(static_cast<std::size_t>(half));
+  for (int p = 0; p < half; ++p) {
+    sub_pods.push_back(build_pod(g, j - 1, config, hosts));
+  }
+  std::vector<NodeId> tops;
+  const int top_count = int_pow(half, j - 1);
+  tops.reserve(static_cast<std::size_t>(top_count));
+  for (int s = 0; s < top_count; ++s) {
+    tops.push_back(g.add_node(NodeKind::kSwitch));
+  }
+
+  // Sub-pod uplink u*half+q (top chip u, up-port q) goes to level-j chip
+  // u*half+q; every sub-pod wires the same pattern.
+  Pod pod;
+  for (const auto& sub : sub_pods) {
+    const auto& sub_tops = sub.levels.back();
+    for (std::size_t u = 0; u < sub_tops.size(); ++u) {
+      for (int q = 0; q < half; ++q) {
+        const int parent = static_cast<int>(u) * half + q;
+        g.add_duplex_link(sub_tops[u],
+                          tops[static_cast<std::size_t>(parent)],
+                          config.link_rate_bps, config.fabric_link_latency);
+      }
+    }
+  }
+
+  // Merge levels.
+  pod.levels.resize(static_cast<std::size_t>(j));
+  for (const auto& sub : sub_pods) {
+    for (std::size_t lvl = 0; lvl < sub.levels.size(); ++lvl) {
+      pod.levels[lvl].insert(pod.levels[lvl].end(), sub.levels[lvl].begin(),
+                             sub.levels[lvl].end());
+    }
+  }
+  pod.levels.back() = std::move(tops);
+  return pod;
+}
+
+}  // namespace
+
+MultiTierFatTree build_multi_tier_fat_tree(const MultiTierConfig& config) {
+  if (config.radix < 2 || config.radix % 2 != 0) {
+    throw std::invalid_argument("radix must be even and >= 2");
+  }
+  if (config.tiers < 1) throw std::invalid_argument("tiers must be >= 1");
+
+  MultiTierFatTree ft;
+  Graph& g = ft.graph;
+  const int half = config.radix / 2;
+  const int l = config.tiers;
+
+  if (l == 1) {
+    // Degenerate: one switch with all radix ports facing hosts.
+    const NodeId sw = g.add_node(NodeKind::kSwitch);
+    for (int h = 0; h < config.radix; ++h) {
+      const NodeId host = g.add_node(
+          NodeKind::kHost,
+          HostId{static_cast<std::int32_t>(ft.host_nodes.size())});
+      ft.host_nodes.push_back(host);
+      g.add_duplex_link(host, sw, config.link_rate_bps,
+                        config.host_link_latency);
+    }
+    ft.tier_switches.push_back({sw});
+    return ft;
+  }
+
+  // radix pods of tier l-1 under (half)^(l-1) core chips (all ports down).
+  std::vector<Pod> pods;
+  pods.reserve(static_cast<std::size_t>(config.radix));
+  for (int p = 0; p < config.radix; ++p) {
+    pods.push_back(build_pod(g, l - 1, config, ft.host_nodes));
+  }
+  const int core_count = int_pow(half, l - 1);
+  std::vector<NodeId> cores;
+  cores.reserve(static_cast<std::size_t>(core_count));
+  for (int c = 0; c < core_count; ++c) {
+    cores.push_back(g.add_node(NodeKind::kSwitch));
+  }
+  for (const auto& pod : pods) {
+    const auto& tops = pod.levels.back();
+    for (std::size_t u = 0; u < tops.size(); ++u) {
+      for (int q = 0; q < half; ++q) {
+        const int core = static_cast<int>(u) * half + q;
+        g.add_duplex_link(tops[u], cores[static_cast<std::size_t>(core)],
+                          config.link_rate_bps, config.fabric_link_latency);
+      }
+    }
+  }
+
+  ft.tier_switches.resize(static_cast<std::size_t>(l));
+  for (const auto& pod : pods) {
+    for (std::size_t lvl = 0; lvl < pod.levels.size(); ++lvl) {
+      ft.tier_switches[lvl].insert(ft.tier_switches[lvl].end(),
+                                   pod.levels[lvl].begin(),
+                                   pod.levels[lvl].end());
+    }
+  }
+  ft.tier_switches.back() = std::move(cores);
+  return ft;
+}
+
+int ChassisFatTree::num_chips() const {
+  int total = 0;
+  for (const auto& box : agg_chassis) total += static_cast<int>(box.size());
+  for (const auto& box : spine_chassis) {
+    total += static_cast<int>(box.size());
+  }
+  return total;
+}
+
+ChassisFatTree build_chassis_fat_tree(int hosts, int radix,
+                                      int chassis_ports,
+                                      const MultiTierConfig& config) {
+  const int half = radix / 2;
+  if (radix % 2 != 0 || chassis_ports % radix != 0) {
+    throw std::invalid_argument("chassis: ports must be a multiple of the "
+                                "even chip radix");
+  }
+  const std::int64_t supported =
+      static_cast<std::int64_t>(chassis_ports) * chassis_ports / 2;
+  if (supported < hosts) {
+    throw std::invalid_argument("chassis design too small for host count");
+  }
+  if (hosts % (chassis_ports / 2) != 0) {
+    throw std::invalid_argument("hosts must fill whole aggregation chassis");
+  }
+
+  ChassisFatTree ct;
+  Graph& g = ct.graph;
+
+  const int num_agg = hosts / (chassis_ports / 2);
+  const int num_spine = num_agg / 2;
+  if (num_spine > chassis_ports / 2) {
+    throw std::invalid_argument("more spines than aggregation up-ports");
+  }
+
+  // --- aggregation chassis: leaf chips (host side) + fabric chips (spine
+  // side), full bipartite internal mesh over the backplane.
+  const int agg_leaves = (chassis_ports / 2) / half;  // e.g. 8 at 128/16
+  struct AggBox {
+    std::vector<NodeId> leaves;
+    std::vector<NodeId> fabrics;
+  };
+  std::vector<AggBox> aggs(static_cast<std::size_t>(num_agg));
+  for (auto& box : aggs) {
+    std::vector<NodeId> chips;
+    for (int i = 0; i < agg_leaves; ++i) {
+      box.leaves.push_back(g.add_node(NodeKind::kSwitch));
+    }
+    for (int i = 0; i < agg_leaves; ++i) {
+      box.fabrics.push_back(g.add_node(NodeKind::kSwitch));
+    }
+    for (NodeId leaf : box.leaves) {
+      for (NodeId fabric : box.fabrics) {
+        g.add_duplex_link(leaf, fabric, config.link_rate_bps,
+                          config.backplane_latency);
+      }
+    }
+    chips = box.leaves;
+    chips.insert(chips.end(), box.fabrics.begin(), box.fabrics.end());
+    ct.agg_chassis.push_back(std::move(chips));
+
+    // Hosts under the leaf chips.
+    for (NodeId leaf : box.leaves) {
+      for (int h = 0; h < half; ++h) {
+        const NodeId host = g.add_node(
+            NodeKind::kHost,
+            HostId{static_cast<std::int32_t>(ct.host_nodes.size())});
+        ct.host_nodes.push_back(host);
+        g.add_duplex_link(host, leaf, config.link_rate_bps,
+                          config.host_link_latency);
+      }
+    }
+  }
+
+  // --- spine chassis: folded 3-stage Clos; ingress/egress chips face the
+  // aggregation layer, middle chips interconnect them.
+  const int spine_ie = chassis_ports / half;        // e.g. 16 at 128/16
+  const int spine_middle = (chassis_ports / 2) / half;  // e.g. 8
+  struct SpineBox {
+    std::vector<NodeId> ie;
+    std::vector<NodeId> middle;
+  };
+  std::vector<SpineBox> spines(static_cast<std::size_t>(num_spine));
+  for (auto& box : spines) {
+    for (int i = 0; i < spine_ie; ++i) {
+      box.ie.push_back(g.add_node(NodeKind::kSwitch));
+    }
+    for (int i = 0; i < spine_middle; ++i) {
+      box.middle.push_back(g.add_node(NodeKind::kSwitch));
+    }
+    for (NodeId ie : box.ie) {
+      for (NodeId mid : box.middle) {
+        g.add_duplex_link(ie, mid, config.link_rate_bps,
+                          config.backplane_latency);
+      }
+    }
+    std::vector<NodeId> chips = box.ie;
+    chips.insert(chips.end(), box.middle.begin(), box.middle.end());
+    ct.spine_chassis.push_back(std::move(chips));
+  }
+
+  // --- inter-chassis cabling: aggregation box a's fabric chips expose
+  // chassis_ports/2 up-ports; up-port u goes to spine box (u % num_spine),
+  // landing on the spine's external port indexed by the agg box.
+  for (int a = 0; a < num_agg; ++a) {
+    for (int u = 0; u < chassis_ports / 2; ++u) {
+      const int s = u % num_spine;
+      const NodeId agg_fabric =
+          aggs[static_cast<std::size_t>(a)]
+              .fabrics[static_cast<std::size_t>(u / half)];
+      // Spine external port index: spread the (agg, uplink) pairs evenly
+      // over the spine's ingress chips.
+      const int spine_port =
+          (a * (chassis_ports / 2 / num_spine) + u / num_spine) %
+          chassis_ports;
+      const NodeId spine_ie_chip =
+          spines[static_cast<std::size_t>(s)]
+              .ie[static_cast<std::size_t>(spine_port / half)];
+      g.add_duplex_link(agg_fabric, spine_ie_chip, config.link_rate_bps,
+                        config.fabric_link_latency);
+    }
+  }
+  return ct;
+}
+
+int chip_hops(const Graph& graph, NodeId src_host, NodeId dst_host) {
+  const auto path = routing::shortest_path(graph, src_host, dst_host);
+  if (!path) return -1;
+  return path->hops() - 1;  // links minus one = switch chips crossed
+}
+
+}  // namespace pnet::topo

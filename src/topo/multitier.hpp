@@ -1,0 +1,79 @@
+// Generalized t-tier folded-Clos ("scale-out") and chassis-based fat trees
+// — the two serial architectures of Table 1 / Figure 2, built at switch-CHIP
+// granularity so hop counts and component counts can be verified
+// structurally against the analytic cost model (core/cost_model.hpp).
+//
+// Terminology: a t-tier folded Clos of radix-k chips supports 2*(k/2)^t
+// hosts using (2t-1)*(k/2)^(t-1) chips, and a host-to-host path crosses
+// 2t-1 chips. The chassis variant packages chips into 128-port boxes (a
+// 2-stage blocking aggregation chassis and a 3-stage non-blocking spine
+// chassis) and wires a 2-tier fat tree of boxes; packets cross 7 chips.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace pnet::topo {
+
+struct MultiTierConfig {
+  int radix = 8;   // chip radix, even
+  int tiers = 3;   // >= 1
+  double link_rate_bps = 100e9;
+  SimTime host_link_latency = units::kMicrosecond / 2;
+  SimTime fabric_link_latency = units::kMicrosecond;
+  /// Intra-chassis backplane traces are short copper; used by the chassis
+  /// builder only.
+  SimTime backplane_latency = 50 * units::kNanosecond;
+};
+
+struct MultiTierFatTree {
+  Graph graph;
+  std::vector<NodeId> host_nodes;
+  /// switches[t] = all chips at tier t (0 = edge).
+  std::vector<std::vector<NodeId>> tier_switches;
+
+  [[nodiscard]] int num_hosts() const {
+    return static_cast<int>(host_nodes.size());
+  }
+  [[nodiscard]] int num_chips() const {
+    int total = 0;
+    for (const auto& tier : tier_switches) {
+      total += static_cast<int>(tier.size());
+    }
+    return total;
+  }
+};
+
+/// Builds the full t-tier folded Clos recursively: a tier-t fabric is k/2
+/// tier-(t-1) pods interconnected by (k/2)^(t-1) top switches.
+MultiTierFatTree build_multi_tier_fat_tree(const MultiTierConfig& config);
+
+struct ChassisFatTree {
+  Graph graph;
+  std::vector<NodeId> host_nodes;
+  /// Chips, grouped per aggregation chassis and per spine chassis.
+  std::vector<std::vector<NodeId>> agg_chassis;
+  std::vector<std::vector<NodeId>> spine_chassis;
+
+  [[nodiscard]] int num_hosts() const {
+    return static_cast<int>(host_nodes.size());
+  }
+  [[nodiscard]] int num_chips() const;
+  [[nodiscard]] int num_boxes() const {
+    return static_cast<int>(agg_chassis.size() + spine_chassis.size());
+  }
+};
+
+/// Builds a chassis fat tree for `hosts` end hosts out of radix-`radix`
+/// chips packaged into chassis of `chassis_ports` external ports
+/// (aggregation: 2-stage blocking; spine: 3-stage non-blocking Clos).
+ChassisFatTree build_chassis_fat_tree(int hosts, int radix,
+                                      int chassis_ports,
+                                      const MultiTierConfig& config = {});
+
+/// Number of switch chips a shortest host-to-host path crosses between the
+/// two given hosts (BFS over chips; hosts do not forward).
+int chip_hops(const Graph& graph, NodeId src_host, NodeId dst_host);
+
+}  // namespace pnet::topo

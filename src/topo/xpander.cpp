@@ -1,0 +1,57 @@
+#include "topo/xpander.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace pnet::topo {
+
+Xpander build_xpander(const XpanderConfig& config) {
+  const int d = config.network_degree;
+  const int lift = config.lift;
+  if (d < 2) throw std::invalid_argument("xpander: degree must be >= 2");
+  if (lift < 1) throw std::invalid_argument("xpander: lift must be >= 1");
+
+  Rng rng(config.seed);
+  Xpander x;
+  x.network_degree = d;
+  Graph& g = x.graph;
+
+  const int num_metanodes = d + 1;
+  // Switches, grouped by metanode: switch (m, i) has index m * lift + i.
+  for (int m = 0; m < num_metanodes; ++m) {
+    for (int i = 0; i < lift; ++i) {
+      x.switch_nodes.push_back(g.add_node(NodeKind::kSwitch));
+    }
+  }
+
+  // One random perfect matching per metanode pair. Each switch gains one
+  // link per other metanode, i.e. exactly d network links.
+  for (int a = 0; a < num_metanodes; ++a) {
+    for (int b = a + 1; b < num_metanodes; ++b) {
+      const auto matching = rng.permutation(lift);
+      for (int i = 0; i < lift; ++i) {
+        const NodeId sa =
+            x.switch_nodes[static_cast<std::size_t>(a * lift + i)];
+        const NodeId sb = x.switch_nodes[static_cast<std::size_t>(
+            b * lift + matching[static_cast<std::size_t>(i)])];
+        g.add_duplex_link(sa, sb, config.link_rate_bps,
+                          config.fabric_link_latency);
+      }
+    }
+  }
+
+  for (int s = 0; s < x.num_switches(); ++s) {
+    for (int h = 0; h < config.hosts_per_switch; ++h) {
+      const int local = static_cast<int>(x.host_nodes.size());
+      const NodeId host =
+          g.add_node(NodeKind::kHost, HostId{config.first_host_index + local});
+      x.host_nodes.push_back(host);
+      g.add_duplex_link(host, x.switch_nodes[static_cast<std::size_t>(s)],
+                        config.link_rate_bps, config.host_link_latency);
+    }
+  }
+  return x;
+}
+
+}  // namespace pnet::topo

@@ -1,0 +1,52 @@
+// Xpander topology builder (Valadarsky et al., CoNEXT'16 [42]) — the
+// paper's second expander-graph candidate for heterogeneous P-Net planes
+// (§3.2 cites both Jellyfish's random and Xpander's pseudorandom
+// construction).
+//
+// An Xpander is a lift of the complete graph K_{d+1}: d+1 "metanodes" of
+// `lift` switches each; every metanode pair is wired by a random perfect
+// matching between their switch sets. Every switch gets exactly d network
+// links, the graph is d-regular and deterministic given a seed, and
+// different seeds give the distinct-instantiation property heterogeneous
+// P-Nets rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace pnet::topo {
+
+struct XpanderConfig {
+  int network_degree = 8;    // d: also the number of metanodes - 1
+  int lift = 8;              // switches per metanode
+  int hosts_per_switch = 4;
+  double link_rate_bps = 100e9;
+  SimTime host_link_latency = units::kMicrosecond / 2;
+  SimTime fabric_link_latency = units::kMicrosecond;
+  std::uint64_t seed = 1;
+  int first_host_index = 0;
+};
+
+struct Xpander {
+  Graph graph;
+  std::vector<NodeId> host_nodes;
+  std::vector<NodeId> switch_nodes;   // (d+1) * lift switches
+  int network_degree = 0;
+
+  [[nodiscard]] int num_hosts() const {
+    return static_cast<int>(host_nodes.size());
+  }
+  [[nodiscard]] int num_switches() const {
+    return static_cast<int>(switch_nodes.size());
+  }
+  /// The metanode a switch belongs to.
+  [[nodiscard]] int metanode_of_switch(int switch_index) const {
+    return switch_index / (num_switches() / (network_degree + 1));
+  }
+};
+
+Xpander build_xpander(const XpanderConfig& config);
+
+}  // namespace pnet::topo

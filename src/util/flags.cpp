@@ -1,0 +1,62 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace pnet {
+
+Flags::Flags(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      std::fprintf(stderr, "%s: expected --key=value, got '%s'\n",
+                   program_.c_str(), argv[i]);
+      std::exit(2);
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(arg)] = "1";
+    } else {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+std::string Flags::get(const std::string& key, const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int Flags::get_int(const std::string& key, int def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::stoi(it->second);
+}
+
+std::int64_t Flags::get_i64(const std::string& key, std::int64_t def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::stoll(it->second);
+}
+
+double Flags::get_double(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::stod(it->second);
+}
+
+bool Flags::get_bool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second != "0" && it->second != "false";
+}
+
+bool Flags::has(const std::string& key) const { return values_.contains(key); }
+
+bool Flags::paper_scale() const {
+  if (get("scale", "") == "paper") return true;
+  const char* env = std::getenv("PNET_SCALE");
+  return env != nullptr && std::string_view(env) == "paper";
+}
+
+}  // namespace pnet

@@ -1,0 +1,41 @@
+// Minimal --key=value command-line parser for bench and example binaries.
+//
+// Every bench accepts the same knobs (hosts, planes, seed, scale...) so the
+// parser lives here rather than being copy-pasted. Unknown flags abort with
+// a usage message; experiments should fail loudly, not silently ignore a
+// misspelled parameter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pnet {
+
+class Flags {
+ public:
+  /// Parses argv. Accepts "--key=value" and bare "--key" (value "1").
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def) const;
+  [[nodiscard]] int get_int(const std::string& key, int def) const;
+  [[nodiscard]] std::int64_t get_i64(const std::string& key,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// True when the run should use paper-scale parameters. Set either with
+  /// --scale=paper or env PNET_SCALE=paper.
+  [[nodiscard]] bool paper_scale() const;
+
+  /// Name of the binary, for usage messages.
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pnet

@@ -1,0 +1,48 @@
+// Strongly-typed integer identifiers.
+//
+// Topology code juggles node indices, link indices, host indices and plane
+// indices; mixing them up is the classic off-by-one-dimension bug. Each id
+// is a distinct type so the compiler rejects the mix-up.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace pnet {
+
+template <class Tag>
+struct Id {
+  std::int32_t v = -1;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t value) : v(value) {}
+
+  [[nodiscard]] constexpr bool valid() const { return v >= 0; }
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct NodeTag {};
+struct LinkTag {};
+struct HostTag {};
+struct FlowTag {};
+
+/// A vertex (host or switch) within one dataplane's graph.
+using NodeId = Id<NodeTag>;
+/// A directed link within one dataplane's graph.
+using LinkId = Id<LinkTag>;
+/// A host's global index, shared across all dataplanes of a P-Net.
+using HostId = Id<HostTag>;
+/// A transport-level flow.
+using FlowId = Id<FlowTag>;
+
+}  // namespace pnet
+
+namespace std {
+template <class Tag>
+struct hash<pnet::Id<Tag>> {
+  size_t operator()(pnet::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.v);
+  }
+};
+}  // namespace std

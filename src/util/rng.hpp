@@ -1,0 +1,124 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be reproducible from a single seed, so everything random
+// in the library flows through this xoshiro256** generator (public-domain
+// algorithm by Blackman & Vigna) seeded via SplitMix64. It is much faster
+// than std::mt19937_64 and its streams are stable across platforms and
+// standard-library versions, unlike std::uniform_int_distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pnet {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's rejection method, so the
+  /// result is exactly uniform for any bound.
+  std::uint64_t next_below(std::uint64_t bound) {
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  int next_int(int lo, int hi_exclusive) {
+    return lo + static_cast<int>(
+                    next_below(static_cast<std::uint64_t>(hi_exclusive - lo)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  std::vector<int> permutation(int n) {
+    std::vector<int> p(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = i;
+    shuffle(p);
+    return p;
+  }
+
+  /// A random derangement of [0, n): a permutation with no fixed point, used
+  /// for permutation traffic so no host sends to itself. Rejection sampling;
+  /// the acceptance probability converges to 1/e, so this terminates fast.
+  std::vector<int> derangement(int n) {
+    if (n < 2) return std::vector<int>(static_cast<std::size_t>(n), 0);
+    while (true) {
+      auto p = permutation(n);
+      bool ok = true;
+      for (int i = 0; i < n; ++i) {
+        if (p[static_cast<std::size_t>(i)] == i) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return p;
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+/// Stable 64-bit mix used for per-flow ECMP hashing. Distinct from Rng so a
+/// flow's plane/path choice is a pure function of its identifiers, exactly
+/// like a switch hashing the five-tuple.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace pnet

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pnet {
+
+namespace {
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  assert(!sorted.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, p);
+}
+
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double>& ps) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(percentile_sorted(samples, p));
+  return out;
+}
+
+Cdf Cdf::from_samples(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  Cdf cdf;
+  cdf.points.reserve(samples.size());
+  const auto n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // Collapse runs of equal values into the highest cumulative probability.
+    if (!cdf.points.empty() && cdf.points.back().first == samples[i]) {
+      cdf.points.back().second = static_cast<double>(i + 1) / n;
+    } else {
+      cdf.points.emplace_back(samples[i], static_cast<double>(i + 1) / n);
+    }
+  }
+  return cdf;
+}
+
+double Cdf::at(double x) const {
+  if (points.empty() || x < points.front().first) return 0.0;
+  auto it = std::upper_bound(
+      points.begin(), points.end(), x,
+      [](double value, const auto& pt) { return value < pt.first; });
+  return std::prev(it)->second;
+}
+
+double Cdf::quantile(double q) const {
+  if (points.empty()) return 0.0;
+  auto it = std::lower_bound(
+      points.begin(), points.end(), q,
+      [](const auto& pt, double prob) { return pt.second < prob; });
+  if (it == points.end()) return points.back().first;
+  return it->first;
+}
+
+Cdf Cdf::resampled(std::size_t n) const {
+  if (points.size() <= n || n < 2) return *this;
+  Cdf out;
+  out.points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(n - 1);
+    const std::size_t idx = std::min(
+        static_cast<std::size_t>(q * static_cast<double>(points.size() - 1)),
+        points.size() - 1);
+    if (out.points.empty() || out.points.back() != points[idx]) {
+      out.points.push_back(points[idx]);
+    }
+  }
+  return out;
+}
+
+}  // namespace pnet

@@ -1,0 +1,65 @@
+// Summary statistics, percentiles and empirical CDFs.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pnet {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample, p in [0, 100], linear interpolation between
+/// order statistics (the "linear" / type-7 estimator that numpy defaults to,
+/// which is also what the paper's plotting scripts would have used).
+double percentile(std::vector<double> samples, double p);
+
+/// Several percentiles of one sample; sorts once.
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double>& ps);
+
+/// Empirical CDF: sorted (value, cumulative probability) points.
+struct Cdf {
+  std::vector<std::pair<double, double>> points;
+
+  static Cdf from_samples(std::vector<double> samples);
+
+  /// CDF value at x (fraction of samples <= x).
+  [[nodiscard]] double at(double x) const;
+  /// Inverse CDF (quantile), q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+  /// Downsample to at most n evenly-spaced-in-probability points, for
+  /// printing a figure's series compactly.
+  [[nodiscard]] Cdf resampled(std::size_t n) const;
+};
+
+}  // namespace pnet

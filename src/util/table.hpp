@@ -1,0 +1,34 @@
+// Aligned text tables: every bench prints the paper's figure/table as rows
+// of one of these, so the output format is uniform across experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pnet {
+
+class TextTable {
+ public:
+  TextTable(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with `precision` significant decimals.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  /// Renders with a title line, a header, a rule and aligned cells.
+  [[nodiscard]] std::string render() const;
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly ("3", "3.1", "0.042").
+std::string format_double(double v, int precision = 3);
+
+}  // namespace pnet

@@ -1,0 +1,55 @@
+// Time, rate and size units used across the library.
+//
+// Conventions (chosen to match the paper's setup, section 5):
+//   * simulated time is an integer count of picoseconds (SimTime);
+//   * link rates are bits per second (double);
+//   * data sizes are bytes (uint64_t).
+// A 1 GB flow at 100 Gb/s lasts 8e10 ps, far below the int64 range, so the
+// picosecond clock never overflows in any experiment in this repository.
+#pragma once
+
+#include <cstdint>
+
+namespace pnet {
+
+/// Simulated time in picoseconds.
+using SimTime = std::int64_t;
+
+namespace units {
+
+inline constexpr SimTime kPicosecond = 1;
+inline constexpr SimTime kNanosecond = 1'000;
+inline constexpr SimTime kMicrosecond = 1'000'000;
+inline constexpr SimTime kMillisecond = 1'000'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000'000;
+
+inline constexpr double kGbps = 1e9;   // bits per second
+inline constexpr double kMbps = 1e6;
+
+inline constexpr std::uint64_t kKB = 1'000;
+inline constexpr std::uint64_t kMB = 1'000'000;
+inline constexpr std::uint64_t kGB = 1'000'000'000;
+
+/// Time to serialize `bytes` onto a link of `rate_bps` bits/second.
+/// Rounded to the nearest picosecond (plain truncation would turn the
+/// 120 ns MTU-at-100G example into 119999 ps).
+constexpr SimTime serialization_delay(std::uint64_t bytes, double rate_bps) {
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 / rate_bps *
+                                  static_cast<double>(kSecond) +
+                              0.5);
+}
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr double to_microseconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+constexpr double to_milliseconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace units
+}  // namespace pnet

@@ -1,0 +1,160 @@
+#include "workload/apps.hpp"
+
+#include <cassert>
+
+#include "workload/patterns.hpp"
+
+namespace pnet::workload {
+
+// ---------------------------------------------------------- ClosedLoopApp
+
+void ClosedLoopApp::start(SimTime start) {
+  for (HostId host : hosts_) {
+    for (int w = 0; w < config_.concurrent_per_host; ++w) {
+      issue_request(host, config_.rounds_per_worker, start);
+    }
+  }
+}
+
+void ClosedLoopApp::issue_request(HostId src, int remaining_rounds,
+                                  SimTime when) {
+  if (remaining_rounds <= 0) return;
+  const HostId dst = dst_picker_(src, rng_);
+  const std::uint64_t bytes = size_picker_(rng_);
+  starter_(src, dst, bytes, when,
+           [this, src, remaining_rounds](const sim::FlowRecord& record) {
+             request_done(src, record, remaining_rounds);
+           });
+}
+
+void ClosedLoopApp::request_done(HostId src, const sim::FlowRecord& request,
+                                 int remaining_rounds) {
+  if (config_.response_bytes == 0) {
+    completions_us_.push_back(
+        units::to_microseconds(request.end - request.start));
+    issue_request(src, remaining_rounds - 1, request.end);
+    return;
+  }
+  // RPC: fire the response back; the round completes when it lands.
+  starter_(request.dst, request.src, config_.response_bytes, request.end,
+           [this, src, remaining_rounds,
+            rpc_start = request.start](const sim::FlowRecord& response) {
+             completions_us_.push_back(
+                 units::to_microseconds(response.end - rpc_start));
+             issue_request(src, remaining_rounds - 1, response.end);
+           });
+}
+
+// -------------------------------------------------------------- HadoopJob
+
+HadoopJob::HadoopJob(FlowStarter starter, std::vector<HostId> cluster_hosts,
+                     Config config)
+    : starter_(std::move(starter)), cluster_(std::move(cluster_hosts)),
+      config_(config), rng_(config.seed) {
+  assert(static_cast<int>(cluster_.size()) >=
+         config_.num_mappers + config_.num_reducers);
+}
+
+void HadoopJob::start(SimTime start) {
+  stage_ = -1;
+  stage_clock_ = start;
+  start_stage(0);
+}
+
+void HadoopJob::start_stage(int stage) {
+  stage_ = stage;
+  if (stage >= 3) return;
+  workers_.clear();
+
+  const auto num_hosts = static_cast<int>(cluster_.size());
+  const std::uint64_t per_mapper =
+      config_.total_bytes / static_cast<std::uint64_t>(config_.num_mappers);
+  const std::uint64_t per_reducer =
+      config_.total_bytes / static_cast<std::uint64_t>(config_.num_reducers);
+
+  auto random_other = [&](HostId self) {
+    return random_destination(num_hosts, self, rng_);
+  };
+
+  if (stage == 0) {
+    // Read input: mappers fetch their share in blocks from random hosts.
+    for (int m = 0; m < config_.num_mappers; ++m) {
+      Worker worker;
+      worker.host = cluster_[static_cast<std::size_t>(m)];
+      std::uint64_t remaining = per_mapper;
+      while (remaining > 0) {
+        const std::uint64_t block = std::min(remaining, config_.block_bytes);
+        worker.tasks.push_back(
+            {random_other(worker.host), block, /*outbound=*/false});
+        remaining -= block;
+      }
+      workers_.push_back(std::move(worker));
+    }
+  } else if (stage == 1) {
+    // Shuffle: every mapper sends an equal bucket to every reducer.
+    const std::uint64_t bucket =
+        per_mapper / static_cast<std::uint64_t>(config_.num_reducers);
+    for (int m = 0; m < config_.num_mappers; ++m) {
+      Worker worker;
+      worker.host = cluster_[static_cast<std::size_t>(m)];
+      for (int r = 0; r < config_.num_reducers; ++r) {
+        worker.tasks.push_back(
+            {cluster_[static_cast<std::size_t>(config_.num_mappers + r)],
+             bucket, /*outbound=*/true});
+      }
+      workers_.push_back(std::move(worker));
+    }
+  } else {
+    // Write output: reducers replicate their share to random hosts.
+    for (int r = 0; r < config_.num_reducers; ++r) {
+      Worker worker;
+      worker.host =
+          cluster_[static_cast<std::size_t>(config_.num_mappers + r)];
+      std::uint64_t remaining = per_reducer;
+      while (remaining > 0) {
+        const std::uint64_t block = std::min(remaining, config_.block_bytes);
+        worker.tasks.push_back(
+            {random_other(worker.host), block, /*outbound=*/true});
+        remaining -= block;
+      }
+      workers_.push_back(std::move(worker));
+    }
+  }
+
+  workers_remaining_ = static_cast<int>(workers_.size());
+  for (auto& worker : workers_) {
+    worker.stage_start = stage_clock_;
+    pump_worker(worker);
+  }
+}
+
+void HadoopJob::pump_worker(Worker& worker) {
+  while (worker.in_flight < config_.concurrent_blocks &&
+         worker.next_task < worker.tasks.size()) {
+    const Task& task = worker.tasks[worker.next_task++];
+    const HostId src = task.outbound ? worker.host : task.peer;
+    const HostId dst = task.outbound ? task.peer : worker.host;
+    ++worker.in_flight;
+    starter_(src, dst, task.bytes, stage_clock_,
+             [this, &worker](const sim::FlowRecord& record) {
+               stage_clock_ = record.end;
+               task_done(worker);
+             });
+  }
+}
+
+void HadoopJob::task_done(Worker& worker) {
+  --worker.in_flight;
+  if (worker.next_task < worker.tasks.size()) {
+    pump_worker(worker);
+    return;
+  }
+  if (worker.in_flight > 0) return;
+
+  // Worker finished its stage.
+  stage_times_s_[static_cast<std::size_t>(stage_)].push_back(
+      units::to_seconds(stage_clock_ - worker.stage_start));
+  if (--workers_remaining_ == 0) start_stage(stage_ + 1);
+}
+
+}  // namespace pnet::workload

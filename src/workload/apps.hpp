@@ -1,0 +1,141 @@
+// Application-level workload drivers on top of the flow layer.
+//
+// All drivers are decoupled from routing policy through FlowStarter: the
+// core library (path selection, section 3.4/4 of the paper) supplies the
+// function that actually launches a flow between two hosts; the drivers
+// only decide who talks to whom, how much, and when.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace pnet::workload {
+
+/// Launches one transport flow; invokes the callback at completion.
+using FlowStarter =
+    std::function<void(HostId src, HostId dst, std::uint64_t bytes,
+                       SimTime start, sim::FlowFactory::FlowCallback)>;
+
+/// Picks the next destination for a worker on `src`.
+using DstPicker = std::function<HostId(HostId src, Rng& rng)>;
+/// Picks the next request size.
+using SizePicker = std::function<std::uint64_t(Rng& rng)>;
+
+/// Closed-loop request/response driver. Each of the `hosts` runs
+/// `concurrent` independent workers; a worker issues a request flow, waits
+/// for it, optionally waits for a response flow back (an RPC), records the
+/// end-to-end completion time, and immediately issues the next request.
+/// Covers the RPC experiments (5.2.1), the trace-driven closed loops (5.3)
+/// and the FCT microbenchmark pattern (5.1.2, with concurrent = 1).
+class ClosedLoopApp {
+ public:
+  struct Config {
+    int concurrent_per_host = 1;
+    /// 0 = pure one-way flows; otherwise an RPC with this response size.
+    std::uint64_t response_bytes = 0;
+    /// Each worker stops issuing new requests after this many completions.
+    int rounds_per_worker = 1;
+    std::uint64_t seed = 1;
+  };
+
+  ClosedLoopApp(FlowStarter starter, std::vector<HostId> hosts,
+                Config config, DstPicker dst_picker, SizePicker size_picker)
+      : starter_(std::move(starter)), hosts_(std::move(hosts)),
+        config_(config), dst_picker_(std::move(dst_picker)),
+        size_picker_(std::move(size_picker)), rng_(config.seed) {}
+
+  /// Issues the initial window of requests at t = `start`.
+  void start(SimTime start);
+
+  /// End-to-end request(+response) completion times, microseconds.
+  [[nodiscard]] const std::vector<double>& completion_times_us() const {
+    return completions_us_;
+  }
+  [[nodiscard]] int requests_completed() const {
+    return static_cast<int>(completions_us_.size());
+  }
+
+ private:
+  void issue_request(HostId src, int remaining_rounds, SimTime when);
+  void request_done(HostId src, const sim::FlowRecord& request,
+                    int remaining_rounds);
+
+  FlowStarter starter_;
+  std::vector<HostId> hosts_;
+  Config config_;
+  DstPicker dst_picker_;
+  SizePicker size_picker_;
+  Rng rng_;
+  std::vector<double> completions_us_;
+};
+
+/// Hadoop-sort model (section 5.2.2): `num_mappers` read input blocks from
+/// random remote hosts, shuffle m x r equal flows, and `num_reducers` write
+/// replica blocks to random hosts. Stages run behind global barriers; each
+/// worker keeps `concurrent_blocks` flows in flight. Per-worker completion
+/// times are recorded per stage (the Fig 12 metric).
+class HadoopJob {
+ public:
+  struct Config {
+    int num_mappers = 32;
+    int num_reducers = 32;
+    std::uint64_t total_bytes = 4'000'000'000;  // scaled-down default
+    std::uint64_t block_bytes = 128'000'000;
+    int concurrent_blocks = 4;
+    std::uint64_t seed = 1;
+  };
+
+  HadoopJob(FlowStarter starter, std::vector<HostId> cluster_hosts,
+            Config config);
+
+  /// Runs the whole job; stages chain via flow-completion callbacks, so the
+  /// caller just runs the event loop afterwards.
+  void start(SimTime start);
+
+  [[nodiscard]] bool finished() const { return stage_ >= 3; }
+  /// Stage currently issuing flows: 0/1/2, or 3 once finished. Stages are
+  /// separated by global barriers.
+  [[nodiscard]] int current_stage() const { return stage_; }
+  /// Per-worker completion times (seconds), one vector per stage:
+  /// 0 = read input, 1 = shuffle, 2 = write output.
+  [[nodiscard]] const std::vector<double>& stage_worker_times_s(
+      int stage) const {
+    return stage_times_s_[static_cast<std::size_t>(stage)];
+  }
+
+ private:
+  struct Task {
+    HostId peer;          // remote end (mapper reads FROM peer, etc.)
+    std::uint64_t bytes;
+    bool outbound;        // true: worker sends; false: worker fetches
+  };
+  struct Worker {
+    HostId host;
+    std::vector<Task> tasks;
+    std::size_t next_task = 0;
+    int in_flight = 0;
+    SimTime stage_start = 0;
+  };
+
+  void start_stage(int stage);
+  void pump_worker(Worker& worker);
+  void task_done(Worker& worker);
+
+  FlowStarter starter_;
+  std::vector<HostId> cluster_;
+  Config config_;
+  Rng rng_;
+
+  int stage_ = -1;
+  int workers_remaining_ = 0;
+  std::vector<Worker> workers_;
+  std::vector<double> stage_times_s_[3];
+  /// Latest observed completion time: the job's notion of "now", advanced
+  /// by every flow callback. Stages and follow-up flows start at this time.
+  SimTime stage_clock_ = 0;
+};
+
+}  // namespace pnet::workload

@@ -1,0 +1,50 @@
+#include "workload/open_loop.hpp"
+
+namespace pnet::workload {
+
+OpenLoopApp::OpenLoopApp(sim::EventQueue& events, FlowStarter starter,
+                         std::vector<HostId> hosts, double host_uplink_bps,
+                         double mean_flow_bytes, Config config,
+                         DstPicker dst_picker, SizePicker size_picker)
+    : events_(events), starter_(std::move(starter)),
+      hosts_(std::move(hosts)), config_(config),
+      dst_picker_(std::move(dst_picker)),
+      size_picker_(std::move(size_picker)), rng_(config.seed) {
+  // load * aggregate edge bandwidth, in flows/second.
+  const double aggregate_bps =
+      host_uplink_bps * static_cast<double>(hosts_.size());
+  flows_per_second_ =
+      config.load * aggregate_bps / (mean_flow_bytes * 8.0);
+}
+
+void OpenLoopApp::start(SimTime start) {
+  events_.schedule_at(start + next_gap(), this);
+}
+
+SimTime OpenLoopApp::next_gap() {
+  // Inverse-transform exponential; clamp u away from 0 to avoid log(0).
+  const double u = std::max(rng_.next_double(), 1e-12);
+  const double seconds = -std::log(u) / flows_per_second_;
+  return static_cast<SimTime>(seconds *
+                              static_cast<double>(units::kSecond));
+}
+
+void OpenLoopApp::do_next_event() {
+  if (flows_started_ >= config_.max_flows) return;
+  ++flows_started_;
+  last_arrival_ = events_.now();
+  const HostId src =
+      hosts_[rng_.next_below(hosts_.size())];
+  const HostId dst = dst_picker_(src, rng_);
+  const std::uint64_t bytes = size_picker_(rng_);
+  starter_(src, dst, bytes, events_.now(),
+           [this](const sim::FlowRecord& r) {
+             completions_us_.push_back(
+                 units::to_microseconds(r.end - r.start));
+           });
+  if (flows_started_ < config_.max_flows) {
+    events_.schedule_in(next_gap(), this);
+  }
+}
+
+}  // namespace pnet::workload

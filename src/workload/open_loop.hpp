@@ -1,0 +1,65 @@
+// Open-loop Poisson traffic: flows arrive at a configured offered load
+// regardless of completions, the standard alternative to the closed loops
+// of §5.3. Open loop exposes overload behaviour closed loops mask (a slow
+// network makes a closed loop back off; an open loop keeps pouring).
+#pragma once
+
+#include <cmath>
+
+#include "sim/event_queue.hpp"
+#include "workload/apps.hpp"
+#include "workload/traces.hpp"
+
+namespace pnet::workload {
+
+class OpenLoopApp : public sim::EventSource {
+ public:
+  struct Config {
+    /// Offered load as a fraction of the hosts' aggregate uplink capacity
+    /// (0.5 = half the network's edge bandwidth in expectation).
+    double load = 0.5;
+    /// Stop injecting after this many flows.
+    int max_flows = 1000;
+    std::uint64_t seed = 1;
+  };
+
+  /// `mean_flow_bytes` must match the size picker's mean so the Poisson
+  /// rate actually delivers the configured load.
+  OpenLoopApp(sim::EventQueue& events, FlowStarter starter,
+              std::vector<HostId> hosts, double host_uplink_bps,
+              double mean_flow_bytes, Config config, DstPicker dst_picker,
+              SizePicker size_picker);
+
+  /// Schedules the first arrival; subsequent arrivals self-schedule.
+  void start(SimTime start);
+  void do_next_event() override;
+
+  [[nodiscard]] int flows_started() const { return flows_started_; }
+  /// When the last flow was injected (the end of the offered-load window;
+  /// completions may drain long after under overload).
+  [[nodiscard]] SimTime last_arrival() const { return last_arrival_; }
+  [[nodiscard]] const std::vector<double>& completion_times_us() const {
+    return completions_us_;
+  }
+  [[nodiscard]] int flows_completed() const {
+    return static_cast<int>(completions_us_.size());
+  }
+
+ private:
+  /// Exponential inter-arrival with the configured aggregate rate.
+  [[nodiscard]] SimTime next_gap();
+
+  sim::EventQueue& events_;
+  FlowStarter starter_;
+  std::vector<HostId> hosts_;
+  Config config_;
+  DstPicker dst_picker_;
+  SizePicker size_picker_;
+  Rng rng_;
+  double flows_per_second_;
+  int flows_started_ = 0;
+  SimTime last_arrival_ = 0;
+  std::vector<double> completions_us_;
+};
+
+}  // namespace pnet::workload

@@ -1,0 +1,56 @@
+#include "workload/partition_aggregate.hpp"
+
+#include <cassert>
+
+namespace pnet::workload {
+
+void PartitionAggregateApp::start(SimTime start) {
+  for (HostId aggregator : aggregators_) {
+    issue_query(aggregator, config_.queries_per_aggregator, start);
+  }
+}
+
+void PartitionAggregateApp::issue_query(HostId aggregator, int remaining,
+                                        SimTime when) {
+  if (remaining <= 0) return;
+  assert(static_cast<int>(workers_.size()) >= config_.fan_out);
+
+  queries_.push_back(std::make_unique<Query>());
+  Query* query = queries_.back().get();
+  query->aggregator = aggregator;
+  query->started = when;
+  query->outstanding = config_.fan_out;
+  query->remaining_queries = remaining;
+
+  // Pick fan_out distinct workers (excluding the aggregator itself).
+  std::vector<HostId> pool;
+  pool.reserve(workers_.size());
+  for (HostId w : workers_) {
+    if (w != aggregator) pool.push_back(w);
+  }
+  rng_.shuffle(pool);
+  for (int i = 0; i < config_.fan_out; ++i) {
+    const HostId worker = pool[static_cast<std::size_t>(i)];
+    // Query leg: aggregator -> worker; response leg fires on completion.
+    starter_(aggregator, worker, config_.query_bytes, when,
+             [this, query, worker](const sim::FlowRecord& request) {
+               starter_(worker, request.src, config_.response_bytes,
+                        request.end,
+                        [this, query](const sim::FlowRecord& response) {
+                          response_done(query, response);
+                        });
+             });
+  }
+}
+
+void PartitionAggregateApp::response_done(Query* query,
+                                          const sim::FlowRecord& response) {
+  query->last_response = std::max(query->last_response, response.end);
+  if (--query->outstanding > 0) return;
+  query_times_us_.push_back(
+      units::to_microseconds(query->last_response - query->started));
+  issue_query(query->aggregator, query->remaining_queries - 1,
+              query->last_response);
+}
+
+}  // namespace pnet::workload

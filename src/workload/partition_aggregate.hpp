@@ -1,0 +1,64 @@
+// Partition-aggregate workload: the user-facing soft-real-time pattern
+// behind the paper's web-search trace [6] and its §6.5 incast discussion.
+// An aggregator fans a small query out to `fan_out` workers; every worker
+// answers with a response; the query completes when the LAST response
+// lands (which is why the tail, not the mean, matters, and why the
+// simultaneous responses incast the aggregator's downlink).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "workload/apps.hpp"
+
+namespace pnet::workload {
+
+class PartitionAggregateApp {
+ public:
+  struct Config {
+    int fan_out = 8;
+    std::uint64_t query_bytes = 1500;      // request to each worker
+    std::uint64_t response_bytes = 20'000; // each worker's answer
+    /// Queries per aggregator, issued back-to-back (closed loop).
+    int queries_per_aggregator = 10;
+    std::uint64_t seed = 1;
+  };
+
+  PartitionAggregateApp(FlowStarter starter,
+                        std::vector<HostId> aggregators,
+                        std::vector<HostId> workers, Config config)
+      : starter_(std::move(starter)), aggregators_(std::move(aggregators)),
+        workers_(std::move(workers)), config_(config), rng_(config.seed) {}
+
+  void start(SimTime start);
+
+  /// End-to-end query completion times (all responses in), microseconds.
+  [[nodiscard]] const std::vector<double>& query_times_us() const {
+    return query_times_us_;
+  }
+  [[nodiscard]] int queries_completed() const {
+    return static_cast<int>(query_times_us_.size());
+  }
+
+ private:
+  struct Query {
+    HostId aggregator;
+    SimTime started = 0;
+    int outstanding = 0;
+    SimTime last_response = 0;
+    int remaining_queries = 0;
+  };
+
+  void issue_query(HostId aggregator, int remaining, SimTime when);
+  void response_done(Query* query, const sim::FlowRecord& response);
+
+  FlowStarter starter_;
+  std::vector<HostId> aggregators_;
+  std::vector<HostId> workers_;
+  Config config_;
+  Rng rng_;
+  std::vector<double> query_times_us_;
+  std::vector<std::unique_ptr<Query>> queries_;
+};
+
+}  // namespace pnet::workload

@@ -1,0 +1,50 @@
+#include "workload/patterns.hpp"
+
+namespace pnet::workload {
+
+std::vector<HostPair> permutation_pairs(int num_hosts, Rng& rng) {
+  const auto d = rng.derangement(num_hosts);
+  std::vector<HostPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(num_hosts));
+  for (int src = 0; src < num_hosts; ++src) {
+    pairs.emplace_back(HostId{src}, HostId{d[static_cast<std::size_t>(src)]});
+  }
+  return pairs;
+}
+
+std::vector<HostPair> all_to_all_pairs(int num_hosts) {
+  std::vector<HostPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(num_hosts) *
+                static_cast<std::size_t>(num_hosts - 1));
+  for (int src = 0; src < num_hosts; ++src) {
+    for (int dst = 0; dst < num_hosts; ++dst) {
+      if (src != dst) pairs.emplace_back(HostId{src}, HostId{dst});
+    }
+  }
+  return pairs;
+}
+
+std::vector<HostPair> rack_all_to_all_pairs(
+    const topo::ParallelNetwork& net) {
+  const int racks = net.num_racks();
+  const int per_rack = net.hosts_per_rack();
+  std::vector<HostPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(racks) *
+                static_cast<std::size_t>(racks - 1));
+  for (int a = 0; a < racks; ++a) {
+    for (int b = 0; b < racks; ++b) {
+      if (a != b) {
+        pairs.emplace_back(HostId{a * per_rack}, HostId{b * per_rack});
+      }
+    }
+  }
+  return pairs;
+}
+
+HostId random_destination(int num_hosts, HostId src, Rng& rng) {
+  int dst = rng.next_int(0, num_hosts - 1);
+  if (dst >= src.v) ++dst;  // skip src while staying uniform
+  return HostId{dst};
+}
+
+}  // namespace pnet::workload

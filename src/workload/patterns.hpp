@@ -1,0 +1,30 @@
+// Synthetic traffic patterns used throughout section 5: permutation (each
+// host talks to exactly one other host), all-to-all, and their rack-level
+// variants.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "topo/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace pnet::workload {
+
+using HostPair = std::pair<HostId, HostId>;
+
+/// Random permutation traffic: a derangement, so no host sends to itself.
+std::vector<HostPair> permutation_pairs(int num_hosts, Rng& rng);
+
+/// Host-level all-to-all: every ordered pair (src != dst).
+std::vector<HostPair> all_to_all_pairs(int num_hosts);
+
+/// One representative host per rack pair, for rack-level all-to-all
+/// experiments (Fig 7). Returns (first host of rack a, first host of rack b)
+/// for every ordered rack pair.
+std::vector<HostPair> rack_all_to_all_pairs(const topo::ParallelNetwork& net);
+
+/// A uniformly random destination different from `src`.
+HostId random_destination(int num_hosts, HostId src, Rng& rng);
+
+}  // namespace pnet::workload

@@ -1,0 +1,115 @@
+// Tests for failure injection and the hop-count-under-failures study.
+#include <gtest/gtest.h>
+
+#include "analysis/failures.hpp"
+#include "routing/shortest.hpp"
+
+namespace pnet::analysis {
+namespace {
+
+topo::ParallelNetwork jellyfish_net(topo::NetworkType type, int planes,
+                                    std::uint64_t seed = 1) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kJellyfish;
+  spec.hosts = 98;
+  spec.parallelism = planes;
+  spec.type = type;
+  spec.seed = seed;
+  return topo::build_network(spec);
+}
+
+TEST(Failures, FractionZeroFailsNothing) {
+  const auto net = jellyfish_net(topo::NetworkType::kSerialLow, 1);
+  Rng rng(1);
+  const auto failed = random_fabric_failures(net.plane(0).graph, 0.0, rng);
+  for (bool f : failed) EXPECT_FALSE(f);
+}
+
+TEST(Failures, FailsRequestedFractionOfFabricCables) {
+  const auto net = jellyfish_net(topo::NetworkType::kSerialLow, 1);
+  const topo::Graph& g = net.plane(0).graph;
+  Rng rng(2);
+  const auto failed = random_fabric_failures(g, 0.25, rng);
+
+  int fabric_cables = 0;
+  int failed_cables = 0;
+  for (int l = 0; l < g.num_links(); l += 2) {
+    const auto& link = g.link(LinkId{l});
+    if (g.is_host(link.src) || g.is_host(link.dst)) {
+      // Host uplinks never fail.
+      EXPECT_FALSE(failed[static_cast<std::size_t>(l)]);
+      continue;
+    }
+    ++fabric_cables;
+    const bool fwd = failed[static_cast<std::size_t>(l)];
+    const bool rev = failed[static_cast<std::size_t>(l + 1)];
+    EXPECT_EQ(fwd, rev);  // duplex pairs fail together
+    failed_cables += fwd;
+  }
+  EXPECT_NEAR(failed_cables, fabric_cables / 4, 1);
+}
+
+TEST(Failures, BfsWithFailuresMatchesPlainBfsWhenHealthy) {
+  const auto net = jellyfish_net(topo::NetworkType::kSerialLow, 1);
+  const topo::Graph& g = net.plane(0).graph;
+  const std::vector<bool> none(static_cast<std::size_t>(g.num_links()),
+                               false);
+  const NodeId src = net.plane(0).switch_nodes.front();
+  EXPECT_EQ(bfs_hops_with_failures(g, src, none), routing::bfs_hops(g, src));
+}
+
+TEST(Failures, FailedLinksIncreaseDistance) {
+  const auto net = jellyfish_net(topo::NetworkType::kSerialLow, 1);
+  const auto healthy = hop_count_under_failures(net, 0.0, 1);
+  const auto degraded = hop_count_under_failures(net, 0.3, 1);
+  EXPECT_DOUBLE_EQ(healthy.connectivity, 1.0);
+  EXPECT_GT(degraded.mean_hops, healthy.mean_hops);
+}
+
+TEST(Failures, HeterogeneousPlanesShortenPaths) {
+  const auto serial = jellyfish_net(topo::NetworkType::kSerialLow, 4);
+  const auto het =
+      jellyfish_net(topo::NetworkType::kParallelHeterogeneous, 4);
+  const auto s = hop_count_under_failures(serial, 0.0, 1);
+  const auto h = hop_count_under_failures(het, 0.0, 1);
+  // Min over 4 independent instantiations beats any single one (§3.2).
+  EXPECT_LT(h.mean_hops, s.mean_hops);
+}
+
+TEST(Failures, HomogeneousParallelDegradesGracefully) {
+  // The Fig 14 effect: at high failure rates the serial network's hop count
+  // inflates far more than a 4-plane homogeneous P-Net's (planes share the
+  // topology but fail independently).
+  const auto serial = jellyfish_net(topo::NetworkType::kSerialLow, 4);
+  const auto hom =
+      jellyfish_net(topo::NetworkType::kParallelHomogeneous, 4);
+  const double serial_healthy =
+      hop_count_under_failures(serial, 0.0, 7).mean_hops;
+  const double serial_degraded =
+      hop_count_under_failures(serial, 0.4, 7).mean_hops;
+  const double hom_healthy = hop_count_under_failures(hom, 0.0, 7).mean_hops;
+  const double hom_degraded =
+      hop_count_under_failures(hom, 0.4, 7).mean_hops;
+  EXPECT_DOUBLE_EQ(hom_healthy, serial_healthy);  // same topology when intact
+  const double serial_inflation = serial_degraded / serial_healthy;
+  const double hom_inflation = hom_degraded / hom_healthy;
+  EXPECT_GT(serial_inflation, 1.10);
+  EXPECT_LT(hom_inflation, 1.06);
+}
+
+TEST(Failures, ConnectivityDropsOnlyAtExtremeFailure) {
+  const auto net = jellyfish_net(topo::NetworkType::kSerialLow, 1);
+  const auto moderate = hop_count_under_failures(net, 0.3, 3);
+  EXPECT_GT(moderate.connectivity, 0.95);
+}
+
+TEST(Failures, DeterministicForFixedSeed) {
+  const auto net = jellyfish_net(topo::NetworkType::kParallelHomogeneous, 2);
+  const auto a = hop_count_under_failures(net, 0.2, 11);
+  const auto b = hop_count_under_failures(net, 0.2, 11);
+  EXPECT_DOUBLE_EQ(a.mean_hops, b.mean_hops);
+  EXPECT_DOUBLE_EQ(a.connectivity, b.connectivity);
+}
+
+}  // namespace
+}  // namespace pnet::analysis

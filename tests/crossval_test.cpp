@@ -1,0 +1,192 @@
+// Cross-validation and newer-feature tests: the packet simulator against
+// the LP solver's throughput prediction, open-loop Poisson traffic, and
+// ACK priority queueing.
+#include <gtest/gtest.h>
+
+#include "core/harness.hpp"
+#include "lp/link_index.hpp"
+#include "lp/mcf.hpp"
+#include "routing/shortest.hpp"
+#include "util/stats.hpp"
+#include "workload/open_loop.hpp"
+#include "workload/patterns.hpp"
+
+namespace pnet {
+namespace {
+
+// The strongest whole-stack check we have: steady-state TCP goodput on a
+// permutation must track the LP's max-min prediction over the same single
+// paths. The simulator and the solver share nothing but the topology.
+TEST(CrossValidation, TcpGoodputTracksLpPrediction) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kJellyfish;
+  spec.hosts = 48;
+  spec.seed = 9;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;
+  sim::SimConfig sim_config;
+  sim_config.queue_buffer_bytes = 400 * 1500;
+  core::SimHarness h(spec, policy, sim_config);
+
+  Rng rng(4);
+  const auto perm = rng.derangement(h.net().num_hosts());
+
+  // Pin each flow's exact path by querying the selector once, then use the
+  // same paths for BOTH the simulator and the LP.
+  std::vector<std::vector<int>> lp_paths;
+  const lp::LinkIndex index(h.net());
+  std::vector<sim::TcpSrc*> flows;
+  for (int src = 0; src < h.net().num_hosts(); ++src) {
+    const auto paths = h.selector().select(
+        HostId{src}, HostId{perm[static_cast<std::size_t>(src)]}, 1 << 30,
+        mix64(static_cast<std::uint64_t>(src) * 31 + 7));
+    ASSERT_EQ(paths.size(), 1u);
+    lp_paths.push_back(index.to_global(paths.front()));
+    flows.push_back(&h.factory().tcp_flow(
+        HostId{src}, HostId{perm[static_cast<std::size_t>(src)]},
+        paths.front(), 1'000'000'000'000ULL, 0));
+  }
+
+  const SimTime window = 30 * units::kMillisecond;
+  h.run_until(window);
+  double sim_total_bps = 0.0;
+  for (const auto* flow : flows) {
+    sim_total_bps += static_cast<double>(flow->acked_bytes()) * 8.0 /
+                     units::to_seconds(window);
+  }
+
+  const auto rates = lp::max_min_fair(index.capacity(), lp_paths);
+  double lp_total_bps = 0.0;
+  for (double r : rates) lp_total_bps += r;
+
+  // TCP pays slow start, sawtooth and header overheads; it must land
+  // within a reasonable envelope of the fluid optimum, and never above.
+  EXPECT_LT(sim_total_bps, lp_total_bps * 1.02);
+  EXPECT_GT(sim_total_bps, lp_total_bps * 0.55);
+}
+
+// ------------------------------------------------------------- open loop
+
+core::SimHarness open_loop_harness() {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;
+  return core::SimHarness(spec, policy);
+}
+
+TEST(OpenLoop, InjectsConfiguredNumberOfFlows) {
+  auto h = open_loop_harness();
+  workload::OpenLoopApp::Config config;
+  config.load = 0.3;
+  config.max_flows = 200;
+  workload::OpenLoopApp app(
+      h.events(), h.starter(), h.all_hosts(), 100e9, 100'000.0, config,
+      [&](HostId src, Rng& rng) {
+        return workload::random_destination(h.net().num_hosts(), src, rng);
+      },
+      [](Rng&) { return std::uint64_t{100'000}; });
+  app.start(0);
+  h.run();
+  EXPECT_EQ(app.flows_started(), 200);
+  EXPECT_EQ(app.flows_completed(), 200);
+}
+
+TEST(OpenLoop, ArrivalRateMatchesLoad) {
+  auto h = open_loop_harness();
+  workload::OpenLoopApp::Config config;
+  config.load = 0.5;
+  config.max_flows = 2000;
+  config.seed = 8;
+  const double mean_bytes = 100'000.0;
+  workload::OpenLoopApp app(
+      h.events(), h.starter(), h.all_hosts(), 100e9, mean_bytes, config,
+      [&](HostId src, Rng& rng) {
+        return workload::random_destination(h.net().num_hosts(), src, rng);
+      },
+      [](Rng&) { return std::uint64_t{100'000}; });
+  app.start(0);
+  h.run();
+  // Offered bytes/second over the injection window ~= load * aggregate
+  // (completions may drain later; that's the open-loop point).
+  const double duration_s = units::to_seconds(app.last_arrival());
+  const double offered_bps = 2000.0 * mean_bytes * 8.0 / duration_s;
+  const double target_bps = 0.5 * 16 * 100e9;
+  EXPECT_NEAR(offered_bps / target_bps, 1.0, 0.15);
+}
+
+TEST(OpenLoop, HigherLoadRaisesLatency) {
+  auto run = [&](double load) {
+    auto h = open_loop_harness();
+    workload::OpenLoopApp::Config config;
+    config.load = load;
+    config.max_flows = 500;
+    config.seed = 3;
+    workload::OpenLoopApp app(
+        h.events(), h.starter(), h.all_hosts(), 100e9, 500'000.0, config,
+        [&](HostId src, Rng& rng) {
+          return workload::random_destination(h.net().num_hosts(), src,
+                                              rng);
+        },
+        [](Rng&) { return std::uint64_t{500'000}; });
+    app.start(0);
+    h.run();
+    auto v = app.completion_times_us();
+    return percentile(v, 90);
+  };
+  EXPECT_GT(run(0.9), run(0.1));
+}
+
+// ---------------------------------------------------------- ACK priority
+
+TEST(AckPriority, AcksBypassStandingDataQueues) {
+  // A bulk flow keeps the shared downlink's queue standing; a small RPC's
+  // request rides the same queue either way, but with priority ACKs its
+  // (and the bulk flow's) ACK clock never sits behind data.
+  auto run = [&](bool priority) {
+    topo::NetworkSpec spec;
+    spec.topo = topo::TopoKind::kFatTree;
+    spec.hosts = 16;
+    core::PolicyConfig policy;
+    policy.policy = core::RoutingPolicy::kShortestPlane;
+    sim::SimConfig sim_config;
+    sim_config.priority_acks = priority;
+    core::SimHarness h(spec, policy, sim_config);
+    // Bulk flow from host 15 back toward host 0: its DATA shares links
+    // with the RPC's ACK path.
+    h.starter()(HostId{15}, HostId{0}, 1'000'000'000, 0, {});
+    double rpc_us = 0.0;
+    h.starter()(HostId{0}, HostId{15}, 15'000, 5 * units::kMillisecond,
+                [&](const sim::FlowRecord& r) {
+                  rpc_us = units::to_microseconds(r.end - r.start);
+                });
+    h.run_until(20 * units::kMillisecond);
+    return rpc_us;
+  };
+  const double fifo = run(false);
+  const double prio = run(true);
+  ASSERT_GT(fifo, 0.0);
+  ASSERT_GT(prio, 0.0);
+  EXPECT_LE(prio, fifo);
+}
+
+TEST(AckPriority, DoesNotChangeDeliveredBytes) {
+  for (bool priority : {false, true}) {
+    topo::NetworkSpec spec;
+    spec.topo = topo::TopoKind::kFatTree;
+    spec.hosts = 16;
+    core::PolicyConfig policy;
+    policy.policy = core::RoutingPolicy::kShortestPlane;
+    sim::SimConfig sim_config;
+    sim_config.priority_acks = priority;
+    core::SimHarness h(spec, policy, sim_config);
+    h.starter()(HostId{0}, HostId{15}, 5'000'000, 0, {});
+    h.run();
+    ASSERT_EQ(h.logger().records().size(), 1u);
+    EXPECT_EQ(h.logger().records().front().bytes, 5'000'000u);
+  }
+}
+
+}  // namespace
+}  // namespace pnet

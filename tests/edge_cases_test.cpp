@@ -1,0 +1,289 @@
+// Edge-case and failure-injection tests across modules: boundary flow
+// sizes, degenerate topologies, event-queue clock safety, LP corner cases,
+// and selector determinism guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/harness.hpp"
+#include "lp/mcf.hpp"
+#include "lp/simplex.hpp"
+#include "routing/plane_paths.hpp"
+#include "routing/yen.hpp"
+#include "util/stats.hpp"
+#include "workload/apps.hpp"
+#include "workload/patterns.hpp"
+
+namespace pnet {
+namespace {
+
+// ----------------------------------------------------------- event clock
+
+TEST(EventClock, SchedulingInThePastClampsToNow) {
+  sim::EventQueue events;
+  class Recorder : public sim::EventSource {
+   public:
+    explicit Recorder(sim::EventQueue& events) : events_(events) {}
+    void do_next_event() override { fired_at.push_back(events_.now()); }
+    std::vector<SimTime> fired_at;
+
+   private:
+    sim::EventQueue& events_;
+  };
+  Recorder r(events);
+  events.schedule_at(1000, &r);
+  events.run();
+  EXPECT_EQ(events.now(), 1000);
+  events.schedule_at(10, &r);  // in the past
+  events.run();
+  ASSERT_EQ(r.fired_at.size(), 2u);
+  EXPECT_EQ(r.fired_at[1], 1000);  // clamped, clock monotone
+}
+
+// ------------------------------------------------------------ tiny flows
+
+core::SimHarness tiny_harness() {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;
+  return core::SimHarness(spec, policy);
+}
+
+class TinyFlowSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TinyFlowSizes, EverySizeCompletesExactly) {
+  auto h = tiny_harness();
+  h.starter()(HostId{0}, HostId{15}, GetParam(), 0, {});
+  h.run();
+  ASSERT_EQ(h.logger().records().size(), 1u);
+  EXPECT_EQ(h.logger().records().front().bytes, GetParam());
+  EXPECT_EQ(h.logger().records().front().retransmits, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, TinyFlowSizes,
+                         ::testing::Values(1u, 1499u, 1500u, 1501u, 2999u,
+                                           3000u, 14999u, 15000u, 15001u,
+                                           100'000u));
+
+TEST(TinyFlows, ManySimultaneousOnePacketFlows) {
+  auto h = tiny_harness();
+  for (int i = 0; i < 15; ++i) {
+    h.starter()(HostId{i}, HostId{15}, 100, 0, {});
+  }
+  h.run();
+  EXPECT_EQ(h.logger().records().size(), 15u);
+  EXPECT_EQ(h.logger().total_timeouts(), 0);
+}
+
+TEST(TinyFlows, SequentialFlowsBetweenSamePair) {
+  auto h = tiny_harness();
+  std::vector<double> fcts;
+  std::function<void(int)> chain = [&](int remaining) {
+    if (remaining == 0) return;
+    h.starter()(HostId{0}, HostId{15}, 50'000, h.events().now(),
+                [&, remaining](const sim::FlowRecord& r) {
+                  fcts.push_back(units::to_microseconds(r.end - r.start));
+                  chain(remaining - 1);
+                });
+  };
+  chain(10);
+  h.run();
+  ASSERT_EQ(fcts.size(), 10u);
+  // An idle network: every run of the same transfer behaves identically.
+  for (double f : fcts) EXPECT_NEAR(f, fcts.front(), 1.0);
+}
+
+// --------------------------------------------------------- LP degeneracy
+
+TEST(LpEdge, SingleLinkSaturates) {
+  std::vector<lp::Commodity> commodities(1);
+  commodities[0].demand = 5.0;
+  commodities[0].paths = {{0}};
+  const auto result = lp::max_total_flow({3.0}, commodities);
+  EXPECT_NEAR(result.total_throughput, 3.0, 0.1);
+}
+
+TEST(LpEdge, DemandCapsMaxTotal) {
+  // Plenty of capacity but the commodity only wants 1 unit.
+  std::vector<lp::Commodity> commodities(1);
+  commodities[0].demand = 1.0;
+  commodities[0].paths = {{0}};
+  const auto result = lp::max_total_flow({100.0}, commodities);
+  EXPECT_LE(result.total_throughput, 1.0 + 1e-9);
+}
+
+TEST(LpEdge, DisjointCommoditiesAreIndependent) {
+  std::vector<lp::Commodity> commodities(2);
+  commodities[0].demand = 10.0;
+  commodities[0].paths = {{0}};
+  commodities[1].demand = 10.0;
+  commodities[1].paths = {{1}};
+  const auto result = lp::max_concurrent_flow({4.0, 8.0}, commodities);
+  // Concurrent: both limited by the worse link's ratio.
+  EXPECT_NEAR(result.alpha, 0.4, 0.02);
+}
+
+TEST(LpEdge, SimplexHandlesZeroObjective) {
+  lp::LinearProgram lp;
+  lp.objective = {0.0, 0.0};
+  lp.rows = {{1.0, 1.0}};
+  lp.rhs = {5.0};
+  const auto solution = lp::solve_simplex(lp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_DOUBLE_EQ(solution->objective_value, 0.0);
+}
+
+// ----------------------------------------------------- routing edge cases
+
+TEST(RoutingEdge, KspTotalCapKeepsPerPlaneCandidates) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  spec.parallelism = 2;
+  spec.type = topo::NetworkType::kParallelHomogeneous;
+  const auto net = topo::build_network(spec);
+  const auto capped =
+      routing::ksp_across_planes(net, HostId{0}, HostId{15}, 4);
+  const auto full =
+      routing::ksp_across_planes(net, HostId{0}, HostId{15}, 4, 0, 8);
+  EXPECT_EQ(capped.size(), 4u);
+  EXPECT_EQ(full.size(), 8u);
+  int plane0 = 0;
+  for (const auto& p : full) plane0 += p.plane == 0;
+  EXPECT_EQ(plane0, 4);  // 4 candidates per plane survive
+}
+
+TEST(RoutingEdge, JitteredTieBreakIsDeterministicPerSeed) {
+  topo::FatTreeConfig config;
+  config.k = 8;
+  const auto ft = topo::build_fat_tree(config);
+  const auto w1 = routing::jittered_unit_weights(ft.graph, 7);
+  const auto w2 = routing::jittered_unit_weights(ft.graph, 7);
+  const auto w3 = routing::jittered_unit_weights(ft.graph, 8);
+  EXPECT_EQ(w1, w2);
+  EXPECT_NE(w1, w3);
+  const auto a = routing::k_shortest_paths(ft.graph, ft.host_nodes.front(),
+                                           ft.host_nodes.back(), 4, &w1);
+  const auto b = routing::k_shortest_paths(ft.graph, ft.host_nodes.front(),
+                                           ft.host_nodes.back(), 4, &w2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].links, b[i].links);
+  }
+}
+
+TEST(RoutingEdge, DifferentJitterSeedsPickDifferentEqualCostPaths) {
+  topo::FatTreeConfig config;
+  config.k = 8;
+  const auto ft = topo::build_fat_tree(config);
+  std::set<std::vector<LinkId>> first_paths;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto w = routing::jittered_unit_weights(ft.graph, seed);
+    const auto paths = routing::k_shortest_paths(
+        ft.graph, ft.host_nodes.front(), ft.host_nodes.back(), 1, &w);
+    ASSERT_EQ(paths.size(), 1u);
+    first_paths.insert(paths.front().links);
+  }
+  // k=8 inter-pod pairs have 16 equal-cost paths; 8 seeds should spread.
+  EXPECT_GE(first_paths.size(), 4u);
+}
+
+// ---------------------------------------------------------- stats corner
+
+TEST(StatsEdge, SingleSamplePercentiles) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 100), 42.0);
+}
+
+TEST(StatsEdge, RunningStatsSingleValue) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(StatsEdge, CdfOfConstantSamples) {
+  const auto cdf = Cdf::from_samples({5, 5, 5, 5});
+  ASSERT_EQ(cdf.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf.points.front().second, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+}
+
+// ------------------------------------------------------- hadoop edge case
+
+TEST(HadoopEdge, SingleMapperSingleReducer) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;
+  core::SimHarness h(spec, policy);
+  workload::HadoopJob::Config config;
+  config.num_mappers = 1;
+  config.num_reducers = 1;
+  config.total_bytes = 10'000'000;
+  config.block_bytes = 3'000'000;  // non-divisible: last block is partial
+  workload::HadoopJob job(h.starter(), h.all_hosts(), config);
+  job.start(0);
+  h.run();
+  ASSERT_TRUE(job.finished());
+  EXPECT_EQ(job.stage_worker_times_s(0).size(), 1u);
+  EXPECT_EQ(job.stage_worker_times_s(2).size(), 1u);
+}
+
+TEST(HadoopEdge, StagesRunInOrderWithBarriers) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;
+  core::SimHarness h(spec, policy);
+  workload::HadoopJob::Config config;
+  config.num_mappers = 2;
+  config.num_reducers = 2;
+  config.total_bytes = 8'000'000;
+  config.block_bytes = 2'000'000;
+
+  // Wrap the starter to record which stage each flow was issued under;
+  // global barriers mean the sequence must be non-decreasing.
+  std::vector<int> issue_stages;
+  workload::HadoopJob* job_ptr = nullptr;
+  workload::FlowStarter spy = [&](HostId src, HostId dst,
+                                  std::uint64_t bytes, SimTime start,
+                                  sim::FlowFactory::FlowCallback cb) {
+    issue_stages.push_back(job_ptr->current_stage());
+    h.starter()(src, dst, bytes, start, std::move(cb));
+  };
+  workload::HadoopJob job(spy, h.all_hosts(), config);
+  job_ptr = &job;
+  job.start(0);
+  h.run();
+  ASSERT_TRUE(job.finished());
+  ASSERT_FALSE(issue_stages.empty());
+  EXPECT_TRUE(std::is_sorted(issue_stages.begin(), issue_stages.end()));
+  EXPECT_EQ(issue_stages.front(), 0);
+  EXPECT_EQ(issue_stages.back(), 2);
+}
+
+// ---------------------------------------------------- closed-loop corner
+
+TEST(ClosedLoopEdge, ZeroRoundsIsANoop) {
+  auto h = tiny_harness();
+  workload::ClosedLoopApp::Config config;
+  config.rounds_per_worker = 0;
+  workload::ClosedLoopApp app(
+      h.starter(), h.all_hosts(), config,
+      [](HostId, Rng&) { return HostId{0}; },
+      [](Rng&) { return std::uint64_t{100}; });
+  app.start(0);
+  h.run();
+  EXPECT_EQ(app.requests_completed(), 0);
+}
+
+}  // namespace
+}  // namespace pnet

@@ -1,0 +1,277 @@
+// Tests for the LP substrate: simplex on known instances, max-min fairness
+// properties, and Garg–Könemann cross-validated against the exact simplex
+// solution on randomized small networks.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lp/link_index.hpp"
+#include "lp/mcf.hpp"
+#include "lp/simplex.hpp"
+#include "routing/plane_paths.hpp"
+#include "routing/yen.hpp"
+#include "topo/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace pnet::lp {
+namespace {
+
+TEST(Simplex, TextbookInstance) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> optimum 36 at (2, 6).
+  LinearProgram lp;
+  lp.objective = {3, 5};
+  lp.rows = {{1, 0}, {0, 2}, {3, 2}};
+  lp.rhs = {4, 12, 18};
+  const auto solution = solve_simplex(lp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_NEAR(solution->objective_value, 36.0, 1e-9);
+  EXPECT_NEAR(solution->x[0], 2.0, 1e-9);
+  EXPECT_NEAR(solution->x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.rows = {};  // no constraints at all
+  lp.rhs = {};
+  EXPECT_FALSE(solve_simplex(lp).has_value());
+}
+
+TEST(Simplex, DegenerateInstanceTerminates) {
+  // Classic degenerate pivot case; Bland's rule must not cycle.
+  LinearProgram lp;
+  lp.objective = {10, -57, -9, -24};
+  lp.rows = {{0.5, -5.5, -2.5, 9}, {0.5, -1.5, -0.5, 1}, {1, 0, 0, 0}};
+  lp.rhs = {0, 0, 1};
+  const auto solution = solve_simplex(lp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_NEAR(solution->objective_value, 1.0, 1e-9);
+}
+
+TEST(Simplex, RejectsNegativeRhs) {
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.rows = {{1}};
+  lp.rhs = {-1};
+  EXPECT_THROW(solve_simplex(lp), std::invalid_argument);
+}
+
+TEST(MaxMinFair, TwoFlowsShareOneLink) {
+  const std::vector<double> cap = {10.0};
+  const std::vector<std::vector<int>> paths = {{0}, {0}};
+  const auto rates = max_min_fair(cap, paths);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+}
+
+TEST(MaxMinFair, ParkingLot) {
+  // Links 0,1,2 in a chain, cap 10. Flow A crosses all three; flows B, C, D
+  // cross one link each. Max-min: A=5, B=C=D=5.
+  const std::vector<double> cap = {10, 10, 10};
+  const std::vector<std::vector<int>> paths = {{0, 1, 2}, {0}, {1}, {2}};
+  const auto rates = max_min_fair(cap, paths);
+  for (double r : rates) EXPECT_DOUBLE_EQ(r, 5.0);
+}
+
+TEST(MaxMinFair, UnevenBottlenecks) {
+  // Flow A uses link 0 (cap 2) and link 1 (cap 10); flow B uses link 1 only.
+  // A is capped at 2 by link 0; B then takes the rest of link 1 => 8.
+  const std::vector<double> cap = {2, 10};
+  const std::vector<std::vector<int>> paths = {{0, 1}, {1}};
+  const auto rates = max_min_fair(cap, paths);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], 8.0);
+}
+
+TEST(MaxMinFair, PathlessFlowGetsZero) {
+  const std::vector<double> cap = {10};
+  const std::vector<std::vector<int>> paths = {{0}, {}};
+  const auto rates = max_min_fair(cap, paths);
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+}
+
+TEST(Gk, SingleCommoditySinglePath) {
+  const std::vector<double> cap = {10, 20};
+  std::vector<Commodity> commodities(1);
+  commodities[0].demand = 5.0;
+  commodities[0].paths = {{0, 1}};
+  const auto result = max_concurrent_flow(cap, commodities);
+  // Bottleneck is 10; alpha = 10 / 5 = 2.
+  EXPECT_NEAR(result.alpha, 2.0, 0.05);
+  EXPECT_NEAR(result.total_throughput, 10.0, 0.3);
+}
+
+TEST(Gk, TwoCommoditiesShareLink) {
+  const std::vector<double> cap = {10};
+  std::vector<Commodity> commodities(2);
+  for (auto& c : commodities) {
+    c.demand = 10.0;
+    c.paths = {{0}};
+  }
+  const auto result = max_concurrent_flow(cap, commodities);
+  EXPECT_NEAR(result.alpha, 0.5, 0.02);
+}
+
+TEST(Gk, PrefersUncongestedParallelPath) {
+  // Two disjoint unit-cap paths; one commodity with demand 2 can use both.
+  const std::vector<double> cap = {1, 1};
+  std::vector<Commodity> commodities(1);
+  commodities[0].demand = 2.0;
+  commodities[0].paths = {{0}, {1}};
+  const auto result = max_concurrent_flow(cap, commodities);
+  EXPECT_NEAR(result.alpha, 1.0, 0.03);
+  EXPECT_NEAR(result.total_throughput, 2.0, 0.06);
+}
+
+TEST(Gk, EmptyPathSetYieldsZero) {
+  const std::vector<double> cap = {1};
+  std::vector<Commodity> commodities(2);
+  commodities[0].demand = 1.0;
+  commodities[0].paths = {{0}};
+  commodities[1].demand = 1.0;  // no paths
+  const auto result = max_concurrent_flow(cap, commodities);
+  EXPECT_DOUBLE_EQ(result.alpha, 0.0);
+}
+
+/// Random small Jellyfish instances: GK must track the exact LP optimum.
+class GkVsSimplex : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GkVsSimplex, WithinFivePercent) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kJellyfish;
+  spec.hosts = 24;
+  spec.jf_switches = 12;
+  spec.jf_degree = 4;
+  spec.jf_hosts_per_switch = 2;
+  spec.type = topo::NetworkType::kSerialLow;
+  spec.base_rate_bps = 1.0;  // unit capacities keep the LP well-scaled
+  spec.seed = GetParam();
+  const auto net = topo::build_network(spec);
+  const LinkIndex index(net);
+
+  Rng rng(GetParam() * 977);
+  const auto perm = rng.derangement(net.num_hosts());
+
+  std::vector<Commodity> commodities;
+  std::vector<std::vector<std::vector<int>>> commodity_paths;
+  std::vector<double> demands;
+  for (int src = 0; src < 8; ++src) {  // a subset keeps the simplex small
+    const int dst = perm[static_cast<std::size_t>(src)];
+    const auto paths = routing::ksp_across_planes(net, HostId{src},
+                                                  HostId{dst}, 4);
+    Commodity c;
+    c.demand = 1.0;
+    std::vector<std::vector<int>> global;
+    for (const auto& p : paths) {
+      global.push_back(index.to_global(p));
+    }
+    c.paths = global;
+    commodities.push_back(c);
+    commodity_paths.push_back(global);
+    demands.push_back(1.0);
+  }
+
+  McfOptions options;
+  options.epsilon = 0.03;
+  const auto gk = max_concurrent_flow(index.capacity(), commodities, options);
+  const double exact =
+      exact_max_concurrent_flow(index.capacity(), demands, commodity_paths);
+  ASSERT_GT(exact, 0.0);
+  EXPECT_GT(gk.alpha, 0.95 * exact);
+  EXPECT_LE(gk.alpha, exact + 1e-6);  // rescaled GK is always feasible
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GkVsSimplex,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Gk, FatTreePermutationWithFullEcmpIsNonBlocking) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  spec.type = topo::NetworkType::kSerialLow;
+  spec.base_rate_bps = 1.0;
+  const auto net = topo::build_network(spec);
+  const LinkIndex index(net);
+
+  Rng rng(7);
+  const auto perm = rng.derangement(net.num_hosts());
+  std::vector<Commodity> commodities;
+  for (int src = 0; src < net.num_hosts(); ++src) {
+    Commodity c;
+    c.demand = 1.0;
+    for (const auto& p : routing::ecmp_paths_in_plane(
+             net, 0, HostId{src}, HostId{perm[static_cast<std::size_t>(src)]})) {
+      c.paths.push_back(index.to_global(p));
+    }
+    commodities.push_back(std::move(c));
+  }
+  const auto result = max_concurrent_flow(index.capacity(), commodities);
+  // A fat tree is non-blocking: every permutation is routable at full rate
+  // when flows may split across all equal-cost paths.
+  EXPECT_GT(result.alpha, 0.93);
+}
+
+TEST(GkOracle, TwoPlanesDoubleThroughput) {
+  topo::NetworkSpec base;
+  base.topo = topo::TopoKind::kJellyfish;
+  base.hosts = 24;
+  base.jf_switches = 12;
+  base.jf_degree = 4;
+  base.jf_hosts_per_switch = 2;
+  base.base_rate_bps = 1.0;
+  base.parallelism = 2;
+
+  auto run = [&](topo::NetworkType type) {
+    topo::NetworkSpec spec = base;
+    spec.type = type;
+    const auto net = topo::build_network(spec);
+    const LinkIndex index(net);
+    Rng rng(3);
+    const auto perm = rng.derangement(net.num_hosts());
+    std::vector<OracleCommodity> commodities;
+    for (int src = 0; src < net.num_hosts(); ++src) {
+      OracleCommodity c;
+      c.demand = 1.0;
+      for (int p = 0; p < net.num_planes(); ++p) {
+        c.endpoints.emplace_back(
+            net.host_node(p, HostId{src}),
+            net.host_node(p, HostId{perm[static_cast<std::size_t>(src)]}));
+      }
+      commodities.push_back(std::move(c));
+    }
+    return max_concurrent_flow_oracle(net, index, commodities).alpha;
+  };
+
+  const double serial = run(topo::NetworkType::kSerialLow);
+  const double parallel = run(topo::NetworkType::kParallelHomogeneous);
+  ASSERT_GT(serial, 0.0);
+  // Two identical planes must carry (about) twice the concurrent flow.
+  EXPECT_NEAR(parallel / serial, 2.0, 0.15);
+}
+
+TEST(LinkIndexTest, FlattensPlanes) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  spec.parallelism = 2;
+  spec.type = topo::NetworkType::kParallelHomogeneous;
+  const auto net = topo::build_network(spec);
+  const LinkIndex index(net);
+  EXPECT_EQ(index.num_links(),
+            net.plane(0).graph.num_links() + net.plane(1).graph.num_links());
+  EXPECT_EQ(index.plane_offset(0), 0);
+  EXPECT_EQ(index.plane_offset(1), net.plane(0).graph.num_links());
+  // Every capacity matches its plane's link rate.
+  for (double c : index.capacity()) EXPECT_DOUBLE_EQ(c, 100e9);
+
+  routing::Path path;
+  path.plane = 1;
+  path.links = {LinkId{0}, LinkId{5}};
+  const auto global = index.to_global(path);
+  EXPECT_EQ(global[0], index.plane_offset(1));
+  EXPECT_EQ(global[1], index.plane_offset(1) + 5);
+}
+
+}  // namespace
+}  // namespace pnet::lp

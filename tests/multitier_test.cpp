@@ -1,0 +1,182 @@
+// Structural validation of the two serial architectures of Table 1: the
+// t-tier scale-out folded Clos and the chassis-based fat tree, built at
+// chip granularity and cross-checked against the analytic cost model.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "routing/shortest.hpp"
+#include "topo/multitier.hpp"
+
+namespace pnet::topo {
+namespace {
+
+class MultiTierShape
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MultiTierShape, MatchesClosFormulas) {
+  const auto [radix, tiers] = GetParam();
+  MultiTierConfig config;
+  config.radix = radix;
+  config.tiers = tiers;
+  const auto ft = build_multi_tier_fat_tree(config);
+
+  const int half = radix / 2;
+  int half_pow = 1;  // (k/2)^(tiers-1)
+  for (int t = 0; t < tiers - 1; ++t) half_pow *= half;
+
+  // hosts = 2 * (k/2)^t; chips = (2t-1) * (k/2)^(t-1).
+  EXPECT_EQ(ft.num_hosts(), 2 * half_pow * half);
+  EXPECT_EQ(ft.num_chips(), (2 * tiers - 1) * half_pow);
+  ASSERT_EQ(static_cast<int>(ft.tier_switches.size()), tiers);
+  for (int lvl = 0; lvl + 1 < tiers; ++lvl) {
+    EXPECT_EQ(static_cast<int>(
+                  ft.tier_switches[static_cast<std::size_t>(lvl)].size()),
+              2 * half_pow)
+        << "level " << lvl;
+  }
+  EXPECT_EQ(static_cast<int>(ft.tier_switches.back().size()), half_pow);
+}
+
+TEST_P(MultiTierShape, EveryChipUsesFullRadixAndPathsCross2TMinus1Chips) {
+  const auto [radix, tiers] = GetParam();
+  MultiTierConfig config;
+  config.radix = radix;
+  config.tiers = tiers;
+  const auto ft = build_multi_tier_fat_tree(config);
+
+  for (const auto& tier : ft.tier_switches) {
+    for (NodeId sw : tier) {
+      EXPECT_EQ(static_cast<int>(ft.graph.out_links(sw).size()), radix);
+    }
+  }
+  // The diameter pair: first and last host live in different top-level
+  // pods, so their shortest path crosses all 2t-1 chip levels.
+  EXPECT_EQ(chip_hops(ft.graph, ft.host_nodes.front(),
+                      ft.host_nodes.back()),
+            2 * tiers - 1);
+  // Same-edge hosts cross exactly one chip.
+  EXPECT_EQ(chip_hops(ft.graph, ft.host_nodes[0], ft.host_nodes[1]), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MultiTierShape,
+                         ::testing::Values(std::tuple{4, 2},
+                                           std::tuple{4, 3},
+                                           std::tuple{4, 4},
+                                           std::tuple{6, 3},
+                                           std::tuple{8, 2},
+                                           std::tuple{8, 3}));
+
+TEST(MultiTier, MatchesCostModelAcrossSizes) {
+  // The analytic Table-1 generator and the structural builder must agree
+  // on chips for every shape we can afford to instantiate.
+  for (const auto& [radix, tiers] :
+       {std::pair{4, 3}, std::pair{4, 4}, std::pair{8, 3}}) {
+    MultiTierConfig config;
+    config.radix = radix;
+    config.tiers = tiers;
+    const auto ft = build_multi_tier_fat_tree(config);
+    const auto analytic = core::serial_scale_out(ft.num_hosts(), radix);
+    EXPECT_EQ(analytic.tiers, tiers);
+    EXPECT_EQ(analytic.chips, ft.num_chips());
+    EXPECT_EQ(analytic.hops, chip_hops(ft.graph, ft.host_nodes.front(),
+                                       ft.host_nodes.back()));
+    // Inter-switch cables: (t-1) * hosts.
+    EXPECT_EQ(analytic.links,
+              ft.graph.num_cables() - ft.num_hosts());
+  }
+}
+
+TEST(MultiTier, AllHostsReachable) {
+  MultiTierConfig config;
+  config.radix = 4;
+  config.tiers = 4;
+  const auto ft = build_multi_tier_fat_tree(config);
+  const auto dist = routing::bfs_hops(ft.graph, ft.host_nodes.front());
+  for (NodeId host : ft.host_nodes) {
+    EXPECT_NE(dist[static_cast<std::size_t>(host.v)],
+              routing::kUnreachable);
+  }
+}
+
+TEST(MultiTier, RejectsBadConfig) {
+  MultiTierConfig config;
+  config.radix = 5;
+  EXPECT_THROW(build_multi_tier_fat_tree(config), std::invalid_argument);
+  config.radix = 4;
+  config.tiers = 0;
+  EXPECT_THROW(build_multi_tier_fat_tree(config), std::invalid_argument);
+}
+
+TEST(MultiTier, SingleTierDegenerate) {
+  MultiTierConfig config;
+  config.radix = 6;
+  config.tiers = 1;
+  const auto ft = build_multi_tier_fat_tree(config);
+  EXPECT_EQ(ft.num_hosts(), 6);
+  EXPECT_EQ(ft.num_chips(), 1);
+  EXPECT_EQ(chip_hops(ft.graph, ft.host_nodes.front(),
+                      ft.host_nodes.back()),
+            1);
+}
+
+class ChassisShape
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ChassisShape, MatchesCostModel) {
+  const auto [hosts, radix, ports] = GetParam();
+  const auto ct = build_chassis_fat_tree(hosts, radix, ports);
+  const auto analytic = core::serial_chassis(hosts, radix, ports);
+  EXPECT_EQ(ct.num_hosts(), hosts);
+  EXPECT_EQ(ct.num_chips(), analytic.chips);
+  EXPECT_EQ(ct.num_boxes(), analytic.boxes);
+}
+
+TEST_P(ChassisShape, PathsCrossSevenChips) {
+  const auto [hosts, radix, ports] = GetParam();
+  const auto ct = build_chassis_fat_tree(hosts, radix, ports);
+  // Hosts in different aggregation chassis: host -> agg leaf -> agg fabric
+  // -> spine ingress -> spine middle -> spine egress -> agg fabric -> agg
+  // leaf -> host = 7 chips (the Table 1 "Hops" entry).
+  EXPECT_EQ(chip_hops(ct.graph, ct.host_nodes.front(),
+                      ct.host_nodes.back()),
+            7);
+  // Same-leaf hosts cross one chip.
+  EXPECT_EQ(chip_hops(ct.graph, ct.host_nodes[0], ct.host_nodes[1]), 1);
+}
+
+TEST_P(ChassisShape, AllHostsReachable) {
+  const auto [hosts, radix, ports] = GetParam();
+  const auto ct = build_chassis_fat_tree(hosts, radix, ports);
+  const auto dist = routing::bfs_hops(ct.graph, ct.host_nodes.front());
+  for (NodeId host : ct.host_nodes) {
+    EXPECT_NE(dist[static_cast<std::size_t>(host.v)],
+              routing::kUnreachable);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ChassisShape,
+                         ::testing::Values(std::tuple{32, 4, 8},
+                                           std::tuple{128, 4, 16},
+                                           std::tuple{512, 8, 32}));
+
+TEST(Chassis, Table1InstanceTooBigToBuildStillChecksAnalytically) {
+  // 8,192 hosts of 16-port chips in 128-port chassis: the exact Table 1
+  // row, verified against the analytic model (building the graph itself
+  // is also possible — ~12k nodes — so do it once here).
+  const auto ct = build_chassis_fat_tree(8192, 16, 128);
+  EXPECT_EQ(ct.num_chips(), 3584);
+  EXPECT_EQ(ct.num_boxes(), 192);
+  EXPECT_EQ(chip_hops(ct.graph, ct.host_nodes.front(),
+                      ct.host_nodes.back()),
+            7);
+}
+
+TEST(Chassis, RejectsBadConfig) {
+  EXPECT_THROW(build_chassis_fat_tree(1 << 20, 16, 128),
+               std::invalid_argument);
+  EXPECT_THROW(build_chassis_fat_tree(100, 16, 128),
+               std::invalid_argument);  // partial chassis
+}
+
+}  // namespace
+}  // namespace pnet::topo

@@ -1,0 +1,222 @@
+// One test per qualitative claim of the paper, each at miniature scale:
+// the fastest way to check that the reproduction still reproduces after a
+// refactor. Quantitative shapes live in the bench binaries; these tests
+// pin the *directions*.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/harness.hpp"
+#include "lp/link_index.hpp"
+#include "lp/mcf.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/plane_paths.hpp"
+#include "util/stats.hpp"
+#include "workload/apps.hpp"
+#include "workload/patterns.hpp"
+
+namespace pnet {
+namespace {
+
+topo::NetworkSpec jf_spec(topo::NetworkType type, int planes,
+                          int hosts = 48) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kJellyfish;
+  spec.type = type;
+  spec.hosts = hosts;
+  spec.parallelism = planes;
+  spec.seed = 3;
+  return spec;
+}
+
+// §4 / Fig 6b: "approaches like ECMP barely leverage the added physical
+// capacity" on sparse (permutation) traffic.
+TEST(PaperClaims, EcmpPermutationDoesNotScaleWithPlanes) {
+  auto throughput = [&](topo::NetworkType type, int planes) {
+    const auto net = topo::build_network(jf_spec(type, planes));
+    const lp::LinkIndex index(net);
+    Rng rng(5);
+    const auto perm = rng.derangement(net.num_hosts());
+    std::vector<lp::Commodity> commodities;
+    for (int src = 0; src < net.num_hosts(); ++src) {
+      lp::Commodity c;
+      c.demand = net.host_uplink_bps();
+      const int plane = routing::ecmp_pick(
+          mix64(static_cast<std::uint64_t>(src) + 1), net.num_planes());
+      for (const auto& p : routing::ecmp_paths_in_plane(
+               net, plane, HostId{src},
+               HostId{perm[static_cast<std::size_t>(src)]}, 32)) {
+        c.paths.push_back(index.to_global(p));
+      }
+      commodities.push_back(std::move(c));
+    }
+    return lp::max_total_flow(index.capacity(), commodities)
+        .total_throughput;
+  };
+  const double serial = throughput(topo::NetworkType::kSerialLow, 1);
+  const double parallel =
+      throughput(topo::NetworkType::kParallelHomogeneous, 4);
+  // 4x the hardware buys < 1.3x under ECMP: the paper's waste argument.
+  EXPECT_LT(parallel, 1.3 * serial);
+}
+
+// §4 / Fig 6c: multipath with K scaled to the plane count recovers it.
+TEST(PaperClaims, KspMultipathScalesWithPlanes) {
+  auto throughput = [&](topo::NetworkType type, int planes, int k) {
+    const auto net = topo::build_network(jf_spec(type, planes));
+    const lp::LinkIndex index(net);
+    Rng rng(5);
+    const auto perm = rng.derangement(net.num_hosts());
+    std::vector<lp::Commodity> commodities;
+    for (int src = 0; src < net.num_hosts(); ++src) {
+      lp::Commodity c;
+      c.demand = net.host_uplink_bps();
+      for (const auto& p : routing::ksp_across_planes(
+               net, HostId{src}, HostId{perm[static_cast<std::size_t>(src)]},
+               k, mix64(static_cast<std::uint64_t>(src) + 77))) {
+        c.paths.push_back(index.to_global(p));
+      }
+      commodities.push_back(std::move(c));
+    }
+    return lp::max_total_flow(index.capacity(), commodities)
+        .total_throughput;
+  };
+  const double serial = throughput(topo::NetworkType::kSerialLow, 1, 8);
+  const double parallel =
+      throughput(topo::NetworkType::kParallelHomogeneous, 4, 32);
+  EXPECT_GT(parallel, 3.0 * serial);  // close to the 4x the planes offer
+}
+
+// Fig 7: with free path choice, heterogeneous planes beat the serial
+// high-bandwidth network built from the same capacity.
+TEST(PaperClaims, HeterogeneousBeatsSerialHighUnconstrained) {
+  auto throughput = [&](topo::NetworkType type, int planes) {
+    auto spec = jf_spec(type, planes);
+    spec.jf_switches = 20;
+    spec.jf_degree = 8;
+    spec.jf_hosts_per_switch = 1;
+    const auto net = topo::build_network(spec);
+    const lp::LinkIndex index(net);
+    std::vector<lp::OracleCommodity> commodities;
+    const int racks = static_cast<int>(net.plane(0).switch_nodes.size());
+    for (int a = 0; a < racks; ++a) {
+      for (int b = 0; b < racks; ++b) {
+        if (a == b) continue;
+        lp::OracleCommodity c;
+        c.demand = 100e9;
+        for (int p = 0; p < net.num_planes(); ++p) {
+          c.endpoints.emplace_back(
+              net.plane(p).switch_nodes[static_cast<std::size_t>(a)],
+              net.plane(p).switch_nodes[static_cast<std::size_t>(b)]);
+        }
+        commodities.push_back(std::move(c));
+      }
+    }
+    return lp::max_concurrent_flow_oracle(net, index, commodities)
+        .total_throughput;
+  };
+  const double high = throughput(topo::NetworkType::kSerialHigh, 4);
+  const double het =
+      throughput(topo::NetworkType::kParallelHeterogeneous, 4);
+  EXPECT_GT(het, 1.05 * high);
+}
+
+// §5.2.1 / Table 2: heterogeneous P-Nets cut small-RPC completion time;
+// homogeneous ones match serial (same hop distribution).
+TEST(PaperClaims, HeterogeneousCutsRpcMedian) {
+  auto median_rpc = [&](topo::NetworkType type) {
+    core::PolicyConfig policy;
+    policy.policy = core::RoutingPolicy::kShortestPlane;
+    core::SimHarness h(jf_spec(type, 4, 96), policy);
+    workload::ClosedLoopApp::Config config;
+    config.response_bytes = 1500;
+    config.rounds_per_worker = 30;
+    workload::ClosedLoopApp app(
+        h.starter(), h.all_hosts(), config,
+        [&](HostId src, Rng& rng) {
+          return workload::random_destination(h.net().num_hosts(), src,
+                                              rng);
+        },
+        [](Rng&) { return std::uint64_t{1500}; });
+    app.start(0);
+    h.run();
+    auto v = app.completion_times_us();
+    return percentile(v, 50);
+  };
+  const double serial = median_rpc(topo::NetworkType::kSerialLow);
+  const double hom = median_rpc(topo::NetworkType::kParallelHomogeneous);
+  const double het = median_rpc(topo::NetworkType::kParallelHeterogeneous);
+  EXPECT_LT(het, 0.95 * serial);
+  EXPECT_NEAR(hom, serial, 0.1 * serial);
+}
+
+// §5.2.1 serialization argument: the serial high-bandwidth network only
+// shaves serialization delay, small next to per-hop propagation.
+TEST(PaperClaims, HighBandwidthBarelyHelpsMtuRpcs) {
+  auto median_rpc = [&](topo::NetworkType type) {
+    core::PolicyConfig policy;
+    policy.policy = core::RoutingPolicy::kShortestPlane;
+    core::SimHarness h(jf_spec(type, 4, 96), policy);
+    workload::ClosedLoopApp::Config config;
+    config.response_bytes = 1500;
+    config.rounds_per_worker = 20;
+    workload::ClosedLoopApp app(
+        h.starter(), h.all_hosts(), config,
+        [&](HostId src, Rng& rng) {
+          return workload::random_destination(h.net().num_hosts(), src,
+                                              rng);
+        },
+        [](Rng&) { return std::uint64_t{1500}; });
+    app.start(0);
+    h.run();
+    auto v = app.completion_times_us();
+    return percentile(v, 50);
+  };
+  const double serial = median_rpc(topo::NetworkType::kSerialLow);
+  const double high = median_rpc(topo::NetworkType::kSerialHigh);
+  EXPECT_GT(high, 0.85 * serial);  // < 15% gain from 4x the link speed
+  EXPECT_LE(high, serial * 1.001);
+}
+
+// Fig 11c: under concurrent RPC load, the serial network's tail explodes
+// into 10 ms retransmission timeouts; the P-Net's does not.
+TEST(PaperClaims, ConcurrentRpcTailExplodesOnlyOnSerial) {
+  auto p99 = [&](topo::NetworkType type) {
+    core::PolicyConfig policy;
+    policy.policy = core::RoutingPolicy::kShortestPlane;
+    core::SimHarness h(jf_spec(type, 4, 48), policy);
+    workload::ClosedLoopApp::Config config;
+    config.concurrent_per_host = 8;
+    config.response_bytes = 1500;
+    config.rounds_per_worker = 20;
+    config.seed = 11;
+    workload::ClosedLoopApp app(
+        h.starter(), h.all_hosts(), config,
+        [&](HostId src, Rng& rng) {
+          return workload::random_destination(h.net().num_hosts(), src,
+                                              rng);
+        },
+        [](Rng&) { return std::uint64_t{100'000}; });
+    app.start(0);
+    h.run();
+    auto v = app.completion_times_us();
+    return percentile(v, 99);
+  };
+  const double serial = p99(topo::NetworkType::kSerialLow);
+  const double pnet = p99(topo::NetworkType::kParallelHomogeneous);
+  EXPECT_GT(serial, 9'000.0);  // an RTO (>= 10 ms) dominates the tail
+  EXPECT_LT(pnet, 2'000.0);
+}
+
+// §3.3 / Table 1: P-Nets cut chips, boxes and hops at equal bisection.
+TEST(PaperClaims, ParallelCutsChipsBoxesAndHops) {
+  const auto scale_out = core::serial_scale_out(8192, 16);
+  const auto chassis = core::serial_chassis(8192, 16, 128);
+  const auto parallel = core::parallel_pnet(8192, 16, 8);
+  EXPECT_LT(parallel.chips, chassis.chips);
+  EXPECT_LE(parallel.boxes, chassis.boxes);
+  EXPECT_LT(parallel.hops, chassis.hops);
+  EXPECT_LT(parallel.hops, scale_out.hops);
+}
+
+}  // namespace
+}  // namespace pnet

@@ -1,0 +1,122 @@
+// Tests for the partition-aggregate (web-search fan-out) workload model.
+#include <gtest/gtest.h>
+
+#include "core/harness.hpp"
+#include "util/stats.hpp"
+#include "workload/partition_aggregate.hpp"
+
+namespace pnet::workload {
+namespace {
+
+core::SimHarness make_harness(topo::NetworkType type, int planes,
+                              bool dctcp = false) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.type = type;
+  spec.hosts = 16;
+  spec.parallelism = planes;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kRoundRobin;
+  sim::SimConfig sim_config;
+  if (dctcp) {
+    sim_config.ecn_threshold_bytes = 20 * 1500;
+    sim_config.tcp.dctcp = true;
+  }
+  return core::SimHarness(spec, policy, sim_config);
+}
+
+TEST(PartitionAggregate, CompletesAllQueries) {
+  auto h = make_harness(topo::NetworkType::kSerialLow, 1);
+  PartitionAggregateApp::Config config;
+  config.fan_out = 4;
+  config.queries_per_aggregator = 5;
+  PartitionAggregateApp app(h.starter(), {HostId{0}, HostId{8}},
+                            h.all_hosts(), config);
+  app.start(0);
+  h.run();
+  EXPECT_EQ(app.queries_completed(), 2 * 5);
+  for (double us : app.query_times_us()) EXPECT_GT(us, 0.0);
+}
+
+TEST(PartitionAggregate, QueryTimeIsTheLastResponse) {
+  // One aggregator, one query: the completion must not be faster than a
+  // single request+response round trip.
+  auto h = make_harness(topo::NetworkType::kSerialLow, 1);
+  PartitionAggregateApp::Config config;
+  config.fan_out = 8;
+  config.queries_per_aggregator = 1;
+  PartitionAggregateApp app(h.starter(), {HostId{0}}, h.all_hosts(),
+                            config);
+  app.start(0);
+  h.run();
+  ASSERT_EQ(app.queries_completed(), 1);
+
+  auto h2 = make_harness(topo::NetworkType::kSerialLow, 1);
+  PartitionAggregateApp::Config single;
+  single.fan_out = 1;
+  single.queries_per_aggregator = 1;
+  PartitionAggregateApp one(h2.starter(), {HostId{0}}, h2.all_hosts(),
+                            single);
+  one.start(0);
+  h2.run();
+  EXPECT_GE(app.query_times_us().front(), one.query_times_us().front());
+}
+
+TEST(PartitionAggregate, LargerFanOutRaisesTail) {
+  auto run = [&](int fan_out) {
+    auto h = make_harness(topo::NetworkType::kSerialLow, 1);
+    PartitionAggregateApp::Config config;
+    config.fan_out = fan_out;
+    config.response_bytes = 100'000;
+    config.queries_per_aggregator = 10;
+    PartitionAggregateApp app(h.starter(), {HostId{0}}, h.all_hosts(),
+                              config);
+    app.start(0);
+    h.run();
+    auto v = app.query_times_us();
+    return percentile(v, 90);
+  };
+  EXPECT_GT(run(12), run(2));
+}
+
+TEST(PartitionAggregate, PNetSpreadsTheIncast) {
+  // Fan-in responses spread over 4 planes: the P-Net's separate downlink
+  // queues keep the query tail below the serial network's.
+  auto run = [&](topo::NetworkType type, int planes) {
+    auto h = make_harness(type, planes);
+    PartitionAggregateApp::Config config;
+    config.fan_out = 12;
+    config.response_bytes = 150'000;
+    config.queries_per_aggregator = 12;
+    config.seed = 5;
+    PartitionAggregateApp app(h.starter(), {HostId{0}, HostId{4}},
+                              h.all_hosts(), config);
+    app.start(0);
+    h.run_until(10 * units::kSecond);
+    auto v = app.query_times_us();
+    return v.empty() ? 1e18 : percentile(v, 90);
+  };
+  const double serial = run(topo::NetworkType::kSerialLow, 1);
+  const double pnet = run(topo::NetworkType::kParallelHomogeneous, 4);
+  EXPECT_LT(pnet, serial);
+}
+
+TEST(PartitionAggregate, DctcpTamesTheTail) {
+  auto run = [&](bool dctcp) {
+    auto h = make_harness(topo::NetworkType::kSerialLow, 1, dctcp);
+    PartitionAggregateApp::Config config;
+    config.fan_out = 12;
+    config.response_bytes = 150'000;
+    config.queries_per_aggregator = 12;
+    PartitionAggregateApp app(h.starter(), {HostId{0}}, h.all_hosts(),
+                              config);
+    app.start(0);
+    h.run_until(10 * units::kSecond);
+    auto v = app.query_times_us();
+    return v.empty() ? 1e18 : percentile(v, 90);
+  };
+  EXPECT_LE(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace pnet::workload

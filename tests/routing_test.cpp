@@ -1,0 +1,331 @@
+// Tests for routing: BFS/Dijkstra correctness, Yen KSP properties (loopless,
+// sorted, distinct, complete vs brute force), ECMP enumeration/hashing, and
+// cross-plane path merging.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "routing/ecmp.hpp"
+#include "routing/path.hpp"
+#include "routing/plane_paths.hpp"
+#include "routing/shortest.hpp"
+#include "routing/yen.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/jellyfish.hpp"
+#include "topo/parallel.hpp"
+
+namespace pnet::routing {
+namespace {
+
+using topo::Graph;
+using topo::NodeKind;
+
+/// A diamond with a long detour:
+///   s - a - t,  s - b - t,  s - c - d - t
+Graph diamond(std::vector<NodeId>& nodes) {
+  Graph g;
+  for (int i = 0; i < 6; ++i) nodes.push_back(g.add_node(NodeKind::kSwitch));
+  auto [s, a, b, t, c, d] = std::tuple{nodes[0], nodes[1], nodes[2],
+                                       nodes[3], nodes[4], nodes[5]};
+  g.add_duplex_link(s, a, 1, 1);
+  g.add_duplex_link(a, t, 1, 1);
+  g.add_duplex_link(s, b, 1, 1);
+  g.add_duplex_link(b, t, 1, 1);
+  g.add_duplex_link(s, c, 1, 1);
+  g.add_duplex_link(c, d, 1, 1);
+  g.add_duplex_link(d, t, 1, 1);
+  return g;
+}
+
+TEST(Bfs, DistancesOnDiamond) {
+  std::vector<NodeId> n;
+  const Graph g = diamond(n);
+  const auto dist = bfs_hops(g, n[0]);
+  EXPECT_EQ(dist[static_cast<std::size_t>(n[0].v)], 0);
+  EXPECT_EQ(dist[static_cast<std::size_t>(n[1].v)], 1);
+  EXPECT_EQ(dist[static_cast<std::size_t>(n[3].v)], 2);
+  EXPECT_EQ(dist[static_cast<std::size_t>(n[5].v)], 2);
+}
+
+TEST(Bfs, HostsDoNotTransit) {
+  // h1 - sw1 - h2: h2 reachable. h1 - h2 - h3 chain: h3 unreachable via h2.
+  Graph g;
+  const NodeId h1 = g.add_node(NodeKind::kHost, HostId{0});
+  const NodeId h2 = g.add_node(NodeKind::kHost, HostId{1});
+  const NodeId h3 = g.add_node(NodeKind::kHost, HostId{2});
+  g.add_duplex_link(h1, h2, 1, 1);
+  g.add_duplex_link(h2, h3, 1, 1);
+  const auto dist = bfs_hops(g, h1);
+  EXPECT_EQ(dist[static_cast<std::size_t>(h2.v)], 1);
+  EXPECT_EQ(dist[static_cast<std::size_t>(h3.v)], kUnreachable);
+}
+
+TEST(ShortestPath, FindsTwoHopPath) {
+  std::vector<NodeId> n;
+  const Graph g = diamond(n);
+  const auto path = shortest_path(g, n[0], n[3]);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 2);
+  EXPECT_TRUE(is_valid_path(g, *path, n[0], n[3]));
+}
+
+TEST(ShortestPath, ReturnsNulloptWhenDisconnected) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kSwitch);
+  const NodeId b = g.add_node(NodeKind::kSwitch);
+  EXPECT_FALSE(shortest_path(g, a, b).has_value());
+}
+
+TEST(Dijkstra, RespectsWeights) {
+  std::vector<NodeId> n;
+  const Graph g = diamond(n);
+  // Penalize the two short branches; the 3-hop detour becomes cheapest.
+  LinkWeights w(static_cast<std::size_t>(g.num_links()), 1.0);
+  for (int l = 0; l < g.num_links(); ++l) {
+    const auto& link = g.link(LinkId{l});
+    const bool via_detour = link.src == n[4] || link.dst == n[4] ||
+                            link.src == n[5] || link.dst == n[5];
+    if (!via_detour) w[static_cast<std::size_t>(l)] = 10.0;
+  }
+  const auto path = dijkstra(g, n[0], n[3], w);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 3);
+}
+
+TEST(Dijkstra, BannedLinksAndNodes) {
+  std::vector<NodeId> n;
+  const Graph g = diamond(n);
+  const LinkWeights unit(static_cast<std::size_t>(g.num_links()), 1.0);
+  std::vector<bool> banned_nodes(static_cast<std::size_t>(g.num_nodes()));
+  banned_nodes[static_cast<std::size_t>(n[1].v)] = true;  // ban a
+  banned_nodes[static_cast<std::size_t>(n[2].v)] = true;  // ban b
+  const auto path = dijkstra(g, n[0], n[3], unit, {}, banned_nodes);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 3);  // forced onto the detour
+
+  std::vector<bool> all_banned(static_cast<std::size_t>(g.num_links()), true);
+  EXPECT_FALSE(dijkstra(g, n[0], n[3], unit, all_banned).has_value());
+}
+
+TEST(Yen, DiamondEnumeratesAllPathsInOrder) {
+  std::vector<NodeId> n;
+  const Graph g = diamond(n);
+  const auto paths = k_shortest_paths(g, n[0], n[3], 10);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].hops(), 2);
+  EXPECT_EQ(paths[1].hops(), 2);
+  EXPECT_EQ(paths[2].hops(), 3);
+  std::set<std::vector<LinkId>> distinct;
+  for (const auto& p : paths) {
+    EXPECT_TRUE(is_valid_path(g, p, n[0], n[3]));
+    EXPECT_TRUE(distinct.insert(p.links).second);
+  }
+}
+
+TEST(Yen, KBoundsResultCount) {
+  std::vector<NodeId> n;
+  const Graph g = diamond(n);
+  EXPECT_EQ(k_shortest_paths(g, n[0], n[3], 2).size(), 2u);
+  EXPECT_EQ(k_shortest_paths(g, n[0], n[3], 0).size(), 0u);
+}
+
+/// Brute-force loopless path enumeration for cross-checking Yen.
+void enumerate_all(const Graph& g, NodeId at, NodeId dst,
+                   std::vector<bool>& visited, Path& current,
+                   std::vector<Path>& out) {
+  if (at == dst) {
+    out.push_back(current);
+    return;
+  }
+  if (g.is_host(at) && !current.links.empty()) return;
+  for (LinkId id : g.out_links(at)) {
+    const NodeId v = g.link(id).dst;
+    if (visited[static_cast<std::size_t>(v.v)]) continue;
+    visited[static_cast<std::size_t>(v.v)] = true;
+    current.links.push_back(id);
+    enumerate_all(g, v, dst, visited, current, out);
+    current.links.pop_back();
+    visited[static_cast<std::size_t>(v.v)] = false;
+  }
+}
+
+class YenVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(YenVsBruteForce, MatchesOnRandomJellyfish) {
+  topo::JellyfishConfig config;
+  config.num_switches = 10;
+  config.network_degree = 3;
+  config.hosts_per_switch = 1;
+  config.seed = GetParam();
+  const auto jf = build_jellyfish(config);
+  const Graph& g = jf.graph;
+  const NodeId src = jf.host_nodes.front();
+  const NodeId dst = jf.host_nodes.back();
+
+  std::vector<Path> all;
+  std::vector<bool> visited(static_cast<std::size_t>(g.num_nodes()), false);
+  visited[static_cast<std::size_t>(src.v)] = true;
+  Path current;
+  enumerate_all(g, src, dst, visited, current, all);
+  std::sort(all.begin(), all.end(), [](const Path& a, const Path& b) {
+    return a.hops() < b.hops();
+  });
+
+  constexpr int kK = 12;
+  const auto yen = k_shortest_paths(g, src, dst, kK);
+  const std::size_t expect = std::min<std::size_t>(all.size(), kK);
+  ASSERT_EQ(yen.size(), expect);
+  // Hop-count multiset of the K shortest must match the brute force one.
+  for (std::size_t i = 0; i < yen.size(); ++i) {
+    EXPECT_EQ(yen[i].hops(), all[i].hops()) << "position " << i;
+    EXPECT_TRUE(is_valid_path(g, yen[i], src, dst));
+  }
+  // All returned paths are distinct.
+  std::set<std::vector<LinkId>> distinct;
+  for (const auto& p : yen) EXPECT_TRUE(distinct.insert(p.links).second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YenVsBruteForce,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Ecmp, FatTreeInterPodPathCount) {
+  topo::FatTreeConfig config;
+  config.k = 4;
+  const auto ft = build_fat_tree(config);
+  // Hosts in different pods have (k/2)^2 = 4 equal-cost 6-link paths.
+  const NodeId src = ft.host_nodes.front();
+  const NodeId dst = ft.host_nodes.back();
+  const auto paths = enumerate_shortest_paths(ft.graph, src, dst);
+  EXPECT_EQ(paths.size(), 4u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.hops(), 6);  // host-edge-agg-core-agg-edge-host
+    EXPECT_TRUE(is_valid_path(ft.graph, p, src, dst));
+  }
+}
+
+TEST(Ecmp, SameRackSinglePath) {
+  topo::FatTreeConfig config;
+  config.k = 4;
+  const auto ft = build_fat_tree(config);
+  const auto paths =
+      enumerate_shortest_paths(ft.graph, ft.host_nodes[0], ft.host_nodes[1]);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops(), 2);
+}
+
+TEST(Ecmp, SamePodPathCount) {
+  topo::FatTreeConfig config;
+  config.k = 4;
+  const auto ft = build_fat_tree(config);
+  // Same pod, different rack: k/2 = 2 paths of 4 links.
+  const auto paths =
+      enumerate_shortest_paths(ft.graph, ft.host_nodes[0], ft.host_nodes[2]);
+  EXPECT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) EXPECT_EQ(p.hops(), 4);
+}
+
+TEST(Ecmp, CapLimitsEnumeration) {
+  topo::FatTreeConfig config;
+  config.k = 8;
+  const auto ft = build_fat_tree(config);
+  const auto paths = enumerate_shortest_paths(
+      ft.graph, ft.host_nodes.front(), ft.host_nodes.back(), 5);
+  EXPECT_EQ(paths.size(), 5u);
+}
+
+TEST(Ecmp, PickIsStableAndBalanced) {
+  EXPECT_EQ(ecmp_pick(123, 8), ecmp_pick(123, 8));
+  std::vector<int> counts(8, 0);
+  for (std::uint64_t f = 0; f < 8000; ++f) {
+    ++counts[static_cast<std::size_t>(ecmp_pick(f, 8))];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(PlanePaths, KspAcrossPlanesInterleavesHomogeneousPlanes) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  spec.parallelism = 2;
+  spec.type = topo::NetworkType::kParallelHomogeneous;
+  const auto net = build_network(spec);
+
+  const auto paths = ksp_across_planes(net, HostId{0}, HostId{15}, 8);
+  ASSERT_EQ(paths.size(), 8u);
+  int in_plane0 = 0;
+  int in_plane1 = 0;
+  for (const auto& p : paths) {
+    (p.plane == 0 ? in_plane0 : in_plane1)++;
+    EXPECT_TRUE(is_valid_path(net.plane(p.plane).graph,
+                              p, net.host_node(p.plane, HostId{0}),
+                              net.host_node(p.plane, HostId{15})));
+  }
+  // Identical planes, equal hop counts -> perfectly even split.
+  EXPECT_EQ(in_plane0, 4);
+  EXPECT_EQ(in_plane1, 4);
+}
+
+TEST(PlanePaths, KspSortedByHops) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kJellyfish;
+  spec.hosts = 42;
+  spec.parallelism = 4;
+  spec.type = topo::NetworkType::kParallelHeterogeneous;
+  const auto net = build_network(spec);
+  const auto paths = ksp_across_planes(net, HostId{0}, HostId{41}, 16);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].hops(), paths[i].hops());
+  }
+}
+
+TEST(PlanePaths, ShortestPerPlaneSortedAndOnePerPlane) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kJellyfish;
+  spec.hosts = 42;
+  spec.parallelism = 4;
+  spec.type = topo::NetworkType::kParallelHeterogeneous;
+  const auto net = build_network(spec);
+  const auto paths = shortest_per_plane(net, HostId{0}, HostId{41});
+  ASSERT_EQ(paths.size(), 4u);
+  std::set<int> planes;
+  for (const auto& p : paths) planes.insert(p.plane);
+  EXPECT_EQ(planes.size(), 4u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].hops(), paths[i].hops());
+  }
+}
+
+TEST(PlanePaths, HeterogeneousMinHopsNeverWorseThanPlaneZero) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kJellyfish;
+  spec.hosts = 98;
+  spec.parallelism = 4;
+  spec.type = topo::NetworkType::kParallelHeterogeneous;
+  const auto net = build_network(spec);
+  for (int h = 1; h < 20; ++h) {
+    const auto paths = shortest_per_plane(net, HostId{0}, HostId{h * 4});
+    ASSERT_FALSE(paths.empty());
+    int plane0_hops = -1;
+    for (const auto& p : paths) {
+      if (p.plane == 0) plane0_hops = p.hops();
+    }
+    ASSERT_GE(plane0_hops, 0);
+    EXPECT_LE(paths.front().hops(), plane0_hops);
+  }
+}
+
+TEST(PlanePaths, EcmpPathsCarryPlaneIndex) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  spec.parallelism = 2;
+  spec.type = topo::NetworkType::kParallelHomogeneous;
+  const auto net = build_network(spec);
+  const auto paths = ecmp_paths_in_plane(net, 1, HostId{0}, HostId{15});
+  ASSERT_FALSE(paths.empty());
+  for (const auto& p : paths) EXPECT_EQ(p.plane, 1);
+}
+
+}  // namespace
+}  // namespace pnet::routing

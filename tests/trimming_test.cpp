@@ -1,0 +1,152 @@
+// Tests for NDP-style packet trimming + NACK recovery (§6.5's incast-aware
+// fabric direction; the paper's simulator substrate, htsim, is the NDP
+// simulator).
+#include <gtest/gtest.h>
+
+#include "core/harness.hpp"
+#include "sim/queue.hpp"
+#include "util/stats.hpp"
+
+namespace pnet::sim {
+namespace {
+
+using namespace pnet::units;
+
+TEST(Trimming, QueueTrimsInsteadOfDropping) {
+  EventQueue events;
+  PacketPool pool;
+  struct Collect : PacketSink {
+    explicit Collect(PacketPool& pool) : pool_(pool) {}
+    void receive(Packet& p) override {
+      trimmed += p.trimmed;
+      total += 1;
+      pool_.free(&p);
+    }
+    int trimmed = 0;
+    int total = 0;
+    PacketPool& pool_;
+  } sink(pool);
+  // Room for exactly 2 full packets; trimming enabled.
+  Queue queue(events, pool, 100e9, 3000, 0, false, /*trim=*/true);
+  Route route;
+  route.sinks = {&queue, &sink};
+  for (int i = 0; i < 6; ++i) {
+    Packet* p = pool.allocate();
+    p->seq = static_cast<std::uint64_t>(i) * 1500;
+    p->size_bytes = 1500;
+    p->route = &route;
+    p->next_hop = 0;
+    p->forward();
+  }
+  events.run();
+  EXPECT_EQ(sink.total, 6);           // nothing fully lost
+  EXPECT_EQ(sink.trimmed, 4);         // 2 fit, 4 were cut to headers
+  EXPECT_EQ(queue.drops(), 0u);
+  EXPECT_EQ(queue.trims(), 4u);
+}
+
+TEST(Trimming, HeadersBypassDataBacklog) {
+  EventQueue events;
+  PacketPool pool;
+  struct Collect : PacketSink {
+    explicit Collect(PacketPool& pool) : pool_(pool) {}
+    void receive(Packet& p) override {
+      order.push_back(p.trimmed);
+      pool_.free(&p);
+    }
+    std::vector<bool> order;
+    PacketPool& pool_;
+  } sink(pool);
+  Queue queue(events, pool, 100e9, 3000, 0, false, true);
+  Route route;
+  route.sinks = {&queue, &sink};
+  for (int i = 0; i < 3; ++i) {
+    Packet* p = pool.allocate();
+    p->size_bytes = 1500;
+    p->route = &route;
+    p->next_hop = 0;
+    p->forward();
+  }
+  events.run();
+  ASSERT_EQ(sink.order.size(), 3u);
+  // The trimmed header of packet 3 overtakes the queued full packet 2.
+  EXPECT_FALSE(sink.order[0]);
+  EXPECT_TRUE(sink.order[1]);
+  EXPECT_FALSE(sink.order[2]);
+}
+
+core::SimHarness make_harness(bool trim, std::uint64_t buffer_pkts = 16) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;
+  SimConfig config;
+  config.queue_buffer_bytes = buffer_pkts * 1500;
+  config.trim_to_header = trim;
+  return core::SimHarness(spec, policy, config);
+}
+
+TEST(Trimming, FlowCompletesThroughBrutalBuffers) {
+  // 16-packet buffers, 5 MB flow: NewReno suffers retransmission chaos;
+  // with trimming every loss is NACKed and repaired in one RTT.
+  auto trim = make_harness(true);
+  trim.starter()(HostId{0}, HostId{15}, 5'000'000, 0, {});
+  trim.run();
+  ASSERT_EQ(trim.logger().records().size(), 1u);
+  EXPECT_EQ(trim.logger().records().front().timeouts, 0);
+}
+
+TEST(Trimming, IncastWithoutTimeouts) {
+  // 8-to-1 incast into 16-packet buffers: trimming must finish every flow
+  // with zero RTOs; plain NewReno times out.
+  auto run = [&](bool trim) {
+    auto h = make_harness(trim);
+    for (int i = 0; i < 8; ++i) {
+      h.starter()(HostId{i}, HostId{15}, 300'000, 0, {});
+    }
+    h.run_until(2 * units::kSecond);
+    return std::pair{h.logger().records().size(),
+                     h.logger().total_timeouts()};
+  };
+  const auto [trim_done, trim_rto] = run(true);
+  const auto [reno_done, reno_rto] = run(false);
+  EXPECT_EQ(trim_done, 8u);
+  EXPECT_EQ(trim_rto, 0);
+  EXPECT_GT(reno_rto, 0);
+  (void)reno_done;
+}
+
+TEST(Trimming, IncastTailFarBelowRtoFloor) {
+  auto h = make_harness(true);
+  std::vector<double> fct;
+  for (int i = 0; i < 12; ++i) {
+    h.starter()(HostId{i}, HostId{15}, 200'000, 0,
+                [&](const sim::FlowRecord& r) {
+                  fct.push_back(units::to_microseconds(r.end - r.start));
+                });
+  }
+  h.run_until(2 * units::kSecond);
+  ASSERT_EQ(fct.size(), 12u);
+  EXPECT_LT(percentile(fct, 99), 2'000.0);  // 10 ms RTO floor never hit
+}
+
+TEST(Trimming, AtLeastAsFastWhenUncontended) {
+  // Even a solo flow benefits slightly: its slow-start overshoot losses
+  // become one-RTT NACK repairs instead of fast-recovery episodes. It must
+  // never be slower, and stays above the physical floor.
+  auto run = [&](bool trim) {
+    auto h = make_harness(trim, 100);
+    h.starter()(HostId{0}, HostId{15}, 10'000'000, 0, {});
+    h.run();
+    return h.logger().fct_us().front();
+  };
+  const double with_trim = run(true);
+  const double without = run(false);
+  const double ideal_us = 10e6 * 8.0 / 100e9 * 1e6;
+  EXPECT_LE(with_trim, without * 1.05);
+  EXPECT_GT(with_trim, ideal_us);
+}
+
+}  // namespace
+}  // namespace pnet::sim

@@ -1,0 +1,252 @@
+// Tests for traffic patterns, trace distributions, and the application
+// drivers (closed loop / RPC / Hadoop), run over a real simulated network.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/harness.hpp"
+#include "util/stats.hpp"
+#include "workload/apps.hpp"
+#include "workload/patterns.hpp"
+#include "workload/traces.hpp"
+
+namespace pnet::workload {
+namespace {
+
+TEST(Patterns, PermutationCoversAllHostsOnce) {
+  Rng rng(1);
+  const auto pairs = permutation_pairs(64, rng);
+  ASSERT_EQ(pairs.size(), 64u);
+  std::set<int> sources;
+  std::set<int> destinations;
+  for (const auto& [src, dst] : pairs) {
+    EXPECT_NE(src, dst);
+    sources.insert(src.v);
+    destinations.insert(dst.v);
+  }
+  EXPECT_EQ(sources.size(), 64u);
+  EXPECT_EQ(destinations.size(), 64u);
+}
+
+TEST(Patterns, AllToAllCount) {
+  const auto pairs = all_to_all_pairs(10);
+  EXPECT_EQ(pairs.size(), 90u);
+  for (const auto& [src, dst] : pairs) EXPECT_NE(src, dst);
+}
+
+TEST(Patterns, RackAllToAllUsesOneHostPerRack) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;  // k=4: 8 racks of 2
+  const auto net = topo::build_network(spec);
+  const auto pairs = rack_all_to_all_pairs(net);
+  EXPECT_EQ(pairs.size(), 56u);  // 8 * 7
+  for (const auto& [src, dst] : pairs) {
+    EXPECT_NE(net.rack_of_host(src), net.rack_of_host(dst));
+    EXPECT_EQ(src.v % net.hosts_per_rack(), 0);
+  }
+}
+
+TEST(Patterns, RandomDestinationIsUniformAndNeverSelf) {
+  Rng rng(3);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const HostId dst = random_destination(8, HostId{3}, rng);
+    ASSERT_NE(dst.v, 3);
+    ASSERT_GE(dst.v, 0);
+    ASSERT_LT(dst.v, 8);
+    ++counts[static_cast<std::size_t>(dst.v)];
+  }
+  for (int h = 0; h < 8; ++h) {
+    if (h == 3) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(h)], 0);
+    } else {
+      EXPECT_NEAR(counts[static_cast<std::size_t>(h)], 1000, 150);
+    }
+  }
+}
+
+class TraceDistribution : public ::testing::TestWithParam<Trace> {};
+
+TEST_P(TraceDistribution, CdfIsMonotoneAndNormalized) {
+  const auto& dist = FlowSizeDistribution::of(GetParam());
+  double prev = -1.0;
+  for (double x : {1.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}) {
+    const double c = dist.cdf(x);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(dist.cdf(1e10), 1.0);
+}
+
+TEST_P(TraceDistribution, SamplesMatchCdf) {
+  const auto& dist = FlowSizeDistribution::of(GetParam());
+  Rng rng(42);
+  constexpr int kN = 20000;
+  const double probe = dist.points()[dist.points().size() / 2].first;
+  const double expected = dist.cdf(probe);
+  int below = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (static_cast<double>(dist.sample(rng)) <= probe) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / kN, expected, 0.02);
+}
+
+TEST_P(TraceDistribution, CapTruncatesTail) {
+  const auto& dist = FlowSizeDistribution::of(GetParam());
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(dist.sample(rng, 1'000'000), 1'000'000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTraces, TraceDistribution,
+                         ::testing::ValuesIn(kAllTraces),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Traces, HeavyTailOrdering) {
+  // Datamining is the heaviest-tailed trace, webserver the lightest: their
+  // means must order accordingly (Fig 13a's visual).
+  const double dm = FlowSizeDistribution::of(Trace::kDataMining).mean_bytes();
+  const double ws = FlowSizeDistribution::of(Trace::kWebServer).mean_bytes();
+  const double search =
+      FlowSizeDistribution::of(Trace::kWebSearch).mean_bytes();
+  EXPECT_GT(dm, ws * 10);
+  EXPECT_GT(search, ws);
+}
+
+core::SimHarness make_harness(int planes = 1,
+                              topo::NetworkType type =
+                                  topo::NetworkType::kSerialLow) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  spec.parallelism = planes;
+  spec.type = type;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;
+  return core::SimHarness(spec, policy);
+}
+
+TEST(ClosedLoop, CompletesConfiguredRounds) {
+  auto h = make_harness();
+  ClosedLoopApp::Config config;
+  config.concurrent_per_host = 2;
+  config.rounds_per_worker = 5;
+  ClosedLoopApp app(
+      h.starter(), h.all_hosts(), config,
+      [&](HostId src, Rng& rng) {
+        return random_destination(h.net().num_hosts(), src, rng);
+      },
+      [](Rng&) { return std::uint64_t{10'000}; });
+  app.start(0);
+  h.run();
+  EXPECT_EQ(app.requests_completed(), 16 * 2 * 5);
+  for (double us : app.completion_times_us()) EXPECT_GT(us, 0.0);
+}
+
+TEST(ClosedLoop, RpcRoundTripSlowerThanOneWay) {
+  auto run = [&](std::uint64_t response_bytes) {
+    auto h = make_harness();
+    ClosedLoopApp::Config config;
+    config.rounds_per_worker = 20;
+    config.response_bytes = response_bytes;
+    ClosedLoopApp app(
+        h.starter(), {HostId{0}}, config,
+        [](HostId, Rng&) { return HostId{15}; },
+        [](Rng&) { return std::uint64_t{1500}; });
+    app.start(0);
+    h.run();
+    EXPECT_EQ(app.requests_completed(), 20);
+    double total = 0;
+    for (double us : app.completion_times_us()) total += us;
+    return total / 20.0;
+  };
+  const double one_way = run(0);
+  const double rpc = run(1500);
+  // The response leg roughly doubles the completion time.
+  EXPECT_GT(rpc, 1.7 * one_way);
+  EXPECT_LT(rpc, 2.6 * one_way);
+}
+
+TEST(ClosedLoop, ConcurrencyIncreasesCompletionTime) {
+  auto run = [&](int concurrent) {
+    auto h = make_harness();
+    ClosedLoopApp::Config config;
+    config.concurrent_per_host = concurrent;
+    config.rounds_per_worker = 10;
+    config.seed = 5;
+    ClosedLoopApp app(
+        h.starter(), h.all_hosts(), config,
+        [&](HostId src, Rng& rng) {
+          return random_destination(h.net().num_hosts(), src, rng);
+        },
+        [](Rng&) { return std::uint64_t{100'000}; });
+    app.start(0);
+    h.run();
+    auto v = app.completion_times_us();
+    return pnet::percentile(v, 50);
+  };
+  // More outstanding RPCs per host => more queueing => higher medians
+  // (the Fig 11 effect).
+  EXPECT_GT(run(8), 1.5 * run(1));
+}
+
+TEST(Hadoop, RunsAllStagesAndRecordsWorkers) {
+  auto h = make_harness();
+  HadoopJob::Config config;
+  config.num_mappers = 4;
+  config.num_reducers = 4;
+  config.total_bytes = 64'000'000;
+  config.block_bytes = 4'000'000;
+  config.concurrent_blocks = 2;
+  HadoopJob job(h.starter(), h.all_hosts(), config);
+  job.start(0);
+  h.run();
+  ASSERT_TRUE(job.finished());
+  EXPECT_EQ(job.stage_worker_times_s(0).size(), 4u);  // mappers
+  EXPECT_EQ(job.stage_worker_times_s(1).size(), 4u);  // mappers shuffle
+  EXPECT_EQ(job.stage_worker_times_s(2).size(), 4u);  // reducers
+  for (int stage = 0; stage < 3; ++stage) {
+    for (double s : job.stage_worker_times_s(stage)) {
+      EXPECT_GT(s, 0.0);
+      EXPECT_LT(s, 10.0);
+    }
+  }
+}
+
+TEST(Hadoop, MoreBandwidthFinishesFaster) {
+  auto run = [&](topo::NetworkType type, int planes) {
+    topo::NetworkSpec spec;
+    spec.topo = topo::TopoKind::kFatTree;
+    spec.hosts = 16;
+    spec.parallelism = planes;
+    spec.type = type;
+    core::PolicyConfig policy;
+    policy.policy = core::RoutingPolicy::kRoundRobin;
+    core::SimHarness h(spec, policy);
+    HadoopJob::Config config;
+    config.num_mappers = 4;
+    config.num_reducers = 4;
+    config.total_bytes = 64'000'000;
+    config.block_bytes = 4'000'000;
+    HadoopJob job(h.starter(), h.all_hosts(), config);
+    job.start(0);
+    h.run();
+    EXPECT_TRUE(job.finished());
+    double total = 0.0;
+    for (double s : job.stage_worker_times_s(1)) total += s;
+    return total;
+  };
+  const double serial = run(topo::NetworkType::kSerialLow, 1);
+  const double parallel =
+      run(topo::NetworkType::kParallelHomogeneous, 4);
+  EXPECT_LT(parallel, serial);
+}
+
+}  // namespace
+}  // namespace pnet::workload
