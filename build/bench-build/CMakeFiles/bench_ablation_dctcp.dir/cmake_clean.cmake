@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dctcp"
+  "../bench/bench_ablation_dctcp.pdb"
+  "CMakeFiles/bench_ablation_dctcp.dir/bench_ablation_dctcp.cpp.o"
+  "CMakeFiles/bench_ablation_dctcp.dir/bench_ablation_dctcp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dctcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_appendix"
+  "../bench/bench_appendix.pdb"
+  "CMakeFiles/bench_appendix.dir/bench_appendix.cpp.o"
+  "CMakeFiles/bench_appendix.dir/bench_appendix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

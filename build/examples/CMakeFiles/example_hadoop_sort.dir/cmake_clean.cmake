@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hadoop_sort.dir/hadoop_sort.cpp.o"
+  "CMakeFiles/example_hadoop_sort.dir/hadoop_sort.cpp.o.d"
+  "example_hadoop_sort"
+  "example_hadoop_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hadoop_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_performance_isolation.dir/performance_isolation.cpp.o"
+  "CMakeFiles/example_performance_isolation.dir/performance_isolation.cpp.o.d"
+  "example_performance_isolation"
+  "example_performance_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_performance_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

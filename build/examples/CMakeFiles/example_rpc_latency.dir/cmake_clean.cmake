@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rpc_latency.dir/rpc_latency.cpp.o"
+  "CMakeFiles/example_rpc_latency.dir/rpc_latency.cpp.o.d"
+  "example_rpc_latency"
+  "example_rpc_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rpc_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

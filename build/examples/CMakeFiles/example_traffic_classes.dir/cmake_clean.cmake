@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_classes.dir/traffic_classes.cpp.o"
+  "CMakeFiles/example_traffic_classes.dir/traffic_classes.cpp.o.d"
+  "example_traffic_classes"
+  "example_traffic_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

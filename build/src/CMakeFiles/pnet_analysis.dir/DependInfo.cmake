@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/failures.cpp" "src/CMakeFiles/pnet_analysis.dir/analysis/failures.cpp.o" "gcc" "src/CMakeFiles/pnet_analysis.dir/analysis/failures.cpp.o.d"
+  "/root/repo/src/analysis/plane_stats.cpp" "src/CMakeFiles/pnet_analysis.dir/analysis/plane_stats.cpp.o" "gcc" "src/CMakeFiles/pnet_analysis.dir/analysis/plane_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pnet_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

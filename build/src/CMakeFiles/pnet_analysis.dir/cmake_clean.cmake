@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnet_analysis.dir/analysis/failures.cpp.o"
+  "CMakeFiles/pnet_analysis.dir/analysis/failures.cpp.o.d"
+  "CMakeFiles/pnet_analysis.dir/analysis/plane_stats.cpp.o"
+  "CMakeFiles/pnet_analysis.dir/analysis/plane_stats.cpp.o.d"
+  "libpnet_analysis.a"
+  "libpnet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnet_core.dir/core/cost_model.cpp.o"
+  "CMakeFiles/pnet_core.dir/core/cost_model.cpp.o.d"
+  "CMakeFiles/pnet_core.dir/core/interfaces.cpp.o"
+  "CMakeFiles/pnet_core.dir/core/interfaces.cpp.o.d"
+  "CMakeFiles/pnet_core.dir/core/path_selector.cpp.o"
+  "CMakeFiles/pnet_core.dir/core/path_selector.cpp.o.d"
+  "libpnet_core.a"
+  "libpnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/link_index.cpp" "src/CMakeFiles/pnet_lp.dir/lp/link_index.cpp.o" "gcc" "src/CMakeFiles/pnet_lp.dir/lp/link_index.cpp.o.d"
+  "/root/repo/src/lp/mcf.cpp" "src/CMakeFiles/pnet_lp.dir/lp/mcf.cpp.o" "gcc" "src/CMakeFiles/pnet_lp.dir/lp/mcf.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/CMakeFiles/pnet_lp.dir/lp/simplex.cpp.o" "gcc" "src/CMakeFiles/pnet_lp.dir/lp/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pnet_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

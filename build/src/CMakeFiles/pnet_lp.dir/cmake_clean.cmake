@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnet_lp.dir/lp/link_index.cpp.o"
+  "CMakeFiles/pnet_lp.dir/lp/link_index.cpp.o.d"
+  "CMakeFiles/pnet_lp.dir/lp/mcf.cpp.o"
+  "CMakeFiles/pnet_lp.dir/lp/mcf.cpp.o.d"
+  "CMakeFiles/pnet_lp.dir/lp/simplex.cpp.o"
+  "CMakeFiles/pnet_lp.dir/lp/simplex.cpp.o.d"
+  "libpnet_lp.a"
+  "libpnet_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnet_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/ecmp.cpp" "src/CMakeFiles/pnet_routing.dir/routing/ecmp.cpp.o" "gcc" "src/CMakeFiles/pnet_routing.dir/routing/ecmp.cpp.o.d"
+  "/root/repo/src/routing/forwarding.cpp" "src/CMakeFiles/pnet_routing.dir/routing/forwarding.cpp.o" "gcc" "src/CMakeFiles/pnet_routing.dir/routing/forwarding.cpp.o.d"
+  "/root/repo/src/routing/path.cpp" "src/CMakeFiles/pnet_routing.dir/routing/path.cpp.o" "gcc" "src/CMakeFiles/pnet_routing.dir/routing/path.cpp.o.d"
+  "/root/repo/src/routing/plane_paths.cpp" "src/CMakeFiles/pnet_routing.dir/routing/plane_paths.cpp.o" "gcc" "src/CMakeFiles/pnet_routing.dir/routing/plane_paths.cpp.o.d"
+  "/root/repo/src/routing/shortest.cpp" "src/CMakeFiles/pnet_routing.dir/routing/shortest.cpp.o" "gcc" "src/CMakeFiles/pnet_routing.dir/routing/shortest.cpp.o.d"
+  "/root/repo/src/routing/yen.cpp" "src/CMakeFiles/pnet_routing.dir/routing/yen.cpp.o" "gcc" "src/CMakeFiles/pnet_routing.dir/routing/yen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pnet_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnet_routing.dir/routing/ecmp.cpp.o"
+  "CMakeFiles/pnet_routing.dir/routing/ecmp.cpp.o.d"
+  "CMakeFiles/pnet_routing.dir/routing/forwarding.cpp.o"
+  "CMakeFiles/pnet_routing.dir/routing/forwarding.cpp.o.d"
+  "CMakeFiles/pnet_routing.dir/routing/path.cpp.o"
+  "CMakeFiles/pnet_routing.dir/routing/path.cpp.o.d"
+  "CMakeFiles/pnet_routing.dir/routing/plane_paths.cpp.o"
+  "CMakeFiles/pnet_routing.dir/routing/plane_paths.cpp.o.d"
+  "CMakeFiles/pnet_routing.dir/routing/shortest.cpp.o"
+  "CMakeFiles/pnet_routing.dir/routing/shortest.cpp.o.d"
+  "CMakeFiles/pnet_routing.dir/routing/yen.cpp.o"
+  "CMakeFiles/pnet_routing.dir/routing/yen.cpp.o.d"
+  "libpnet_routing.a"
+  "libpnet_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnet_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

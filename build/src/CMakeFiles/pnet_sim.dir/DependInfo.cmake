@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/mptcp.cpp" "src/CMakeFiles/pnet_sim.dir/sim/mptcp.cpp.o" "gcc" "src/CMakeFiles/pnet_sim.dir/sim/mptcp.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/pnet_sim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/pnet_sim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/queue.cpp" "src/CMakeFiles/pnet_sim.dir/sim/queue.cpp.o" "gcc" "src/CMakeFiles/pnet_sim.dir/sim/queue.cpp.o.d"
+  "/root/repo/src/sim/tcp.cpp" "src/CMakeFiles/pnet_sim.dir/sim/tcp.cpp.o" "gcc" "src/CMakeFiles/pnet_sim.dir/sim/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pnet_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

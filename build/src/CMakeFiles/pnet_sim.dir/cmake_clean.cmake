@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnet_sim.dir/sim/mptcp.cpp.o"
+  "CMakeFiles/pnet_sim.dir/sim/mptcp.cpp.o.d"
+  "CMakeFiles/pnet_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/pnet_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/pnet_sim.dir/sim/queue.cpp.o"
+  "CMakeFiles/pnet_sim.dir/sim/queue.cpp.o.d"
+  "CMakeFiles/pnet_sim.dir/sim/tcp.cpp.o"
+  "CMakeFiles/pnet_sim.dir/sim/tcp.cpp.o.d"
+  "libpnet_sim.a"
+  "libpnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/export.cpp" "src/CMakeFiles/pnet_topo.dir/topo/export.cpp.o" "gcc" "src/CMakeFiles/pnet_topo.dir/topo/export.cpp.o.d"
+  "/root/repo/src/topo/fat_tree.cpp" "src/CMakeFiles/pnet_topo.dir/topo/fat_tree.cpp.o" "gcc" "src/CMakeFiles/pnet_topo.dir/topo/fat_tree.cpp.o.d"
+  "/root/repo/src/topo/jellyfish.cpp" "src/CMakeFiles/pnet_topo.dir/topo/jellyfish.cpp.o" "gcc" "src/CMakeFiles/pnet_topo.dir/topo/jellyfish.cpp.o.d"
+  "/root/repo/src/topo/multitier.cpp" "src/CMakeFiles/pnet_topo.dir/topo/multitier.cpp.o" "gcc" "src/CMakeFiles/pnet_topo.dir/topo/multitier.cpp.o.d"
+  "/root/repo/src/topo/parallel.cpp" "src/CMakeFiles/pnet_topo.dir/topo/parallel.cpp.o" "gcc" "src/CMakeFiles/pnet_topo.dir/topo/parallel.cpp.o.d"
+  "/root/repo/src/topo/xpander.cpp" "src/CMakeFiles/pnet_topo.dir/topo/xpander.cpp.o" "gcc" "src/CMakeFiles/pnet_topo.dir/topo/xpander.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnet_topo.dir/topo/export.cpp.o"
+  "CMakeFiles/pnet_topo.dir/topo/export.cpp.o.d"
+  "CMakeFiles/pnet_topo.dir/topo/fat_tree.cpp.o"
+  "CMakeFiles/pnet_topo.dir/topo/fat_tree.cpp.o.d"
+  "CMakeFiles/pnet_topo.dir/topo/jellyfish.cpp.o"
+  "CMakeFiles/pnet_topo.dir/topo/jellyfish.cpp.o.d"
+  "CMakeFiles/pnet_topo.dir/topo/multitier.cpp.o"
+  "CMakeFiles/pnet_topo.dir/topo/multitier.cpp.o.d"
+  "CMakeFiles/pnet_topo.dir/topo/parallel.cpp.o"
+  "CMakeFiles/pnet_topo.dir/topo/parallel.cpp.o.d"
+  "CMakeFiles/pnet_topo.dir/topo/xpander.cpp.o"
+  "CMakeFiles/pnet_topo.dir/topo/xpander.cpp.o.d"
+  "libpnet_topo.a"
+  "libpnet_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnet_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

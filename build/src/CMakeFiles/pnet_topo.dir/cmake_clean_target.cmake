@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpnet_topo.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnet_util.dir/util/flags.cpp.o"
+  "CMakeFiles/pnet_util.dir/util/flags.cpp.o.d"
+  "CMakeFiles/pnet_util.dir/util/stats.cpp.o"
+  "CMakeFiles/pnet_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/pnet_util.dir/util/table.cpp.o"
+  "CMakeFiles/pnet_util.dir/util/table.cpp.o.d"
+  "libpnet_util.a"
+  "libpnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

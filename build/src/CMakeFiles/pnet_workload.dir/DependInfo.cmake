@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apps.cpp" "src/CMakeFiles/pnet_workload.dir/workload/apps.cpp.o" "gcc" "src/CMakeFiles/pnet_workload.dir/workload/apps.cpp.o.d"
+  "/root/repo/src/workload/open_loop.cpp" "src/CMakeFiles/pnet_workload.dir/workload/open_loop.cpp.o" "gcc" "src/CMakeFiles/pnet_workload.dir/workload/open_loop.cpp.o.d"
+  "/root/repo/src/workload/partition_aggregate.cpp" "src/CMakeFiles/pnet_workload.dir/workload/partition_aggregate.cpp.o" "gcc" "src/CMakeFiles/pnet_workload.dir/workload/partition_aggregate.cpp.o.d"
+  "/root/repo/src/workload/patterns.cpp" "src/CMakeFiles/pnet_workload.dir/workload/patterns.cpp.o" "gcc" "src/CMakeFiles/pnet_workload.dir/workload/patterns.cpp.o.d"
+  "/root/repo/src/workload/traces.cpp" "src/CMakeFiles/pnet_workload.dir/workload/traces.cpp.o" "gcc" "src/CMakeFiles/pnet_workload.dir/workload/traces.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pnet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pnet_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnet_workload.dir/workload/apps.cpp.o"
+  "CMakeFiles/pnet_workload.dir/workload/apps.cpp.o.d"
+  "CMakeFiles/pnet_workload.dir/workload/open_loop.cpp.o"
+  "CMakeFiles/pnet_workload.dir/workload/open_loop.cpp.o.d"
+  "CMakeFiles/pnet_workload.dir/workload/partition_aggregate.cpp.o"
+  "CMakeFiles/pnet_workload.dir/workload/partition_aggregate.cpp.o.d"
+  "CMakeFiles/pnet_workload.dir/workload/patterns.cpp.o"
+  "CMakeFiles/pnet_workload.dir/workload/patterns.cpp.o.d"
+  "CMakeFiles/pnet_workload.dir/workload/traces.cpp.o"
+  "CMakeFiles/pnet_workload.dir/workload/traces.cpp.o.d"
+  "libpnet_workload.a"
+  "libpnet_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnet_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

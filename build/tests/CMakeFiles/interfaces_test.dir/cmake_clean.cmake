@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interfaces_test.dir/interfaces_test.cpp.o"
+  "CMakeFiles/interfaces_test.dir/interfaces_test.cpp.o.d"
+  "interfaces_test"
+  "interfaces_test.pdb"
+  "interfaces_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interfaces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

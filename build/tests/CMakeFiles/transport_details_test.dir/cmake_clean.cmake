@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_details_test.dir/transport_details_test.cpp.o"
+  "CMakeFiles/transport_details_test.dir/transport_details_test.cpp.o.d"
+  "transport_details_test"
+  "transport_details_test.pdb"
+  "transport_details_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_details_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

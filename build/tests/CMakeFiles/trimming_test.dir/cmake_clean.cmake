@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trimming_test.dir/trimming_test.cpp.o"
+  "CMakeFiles/trimming_test.dir/trimming_test.cpp.o.d"
+  "trimming_test"
+  "trimming_test.pdb"
+  "trimming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trimming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
