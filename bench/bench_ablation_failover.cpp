@@ -8,12 +8,26 @@
 // senders give up (we count unfinished flows and timeouts).
 //
 // Usage: bench_ablation_failover [--hosts=64] [--rounds=20] [--seed=1]
+// Run with --help for flag semantics.
 #include "common.hpp"
 #include "workload/apps.hpp"
 
 using namespace pnet;
 
 namespace {
+
+void print_usage() {
+  std::printf(
+      "bench_ablation_failover: plane outage with/without failure-aware "
+      "selection\n"
+      "\n"
+      "  --hosts=N       hosts in the 4-plane P-Net (default 64)\n"
+      "  --rounds=N      closed-loop RPC rounds per worker, 2 workers per\n"
+      "                  host (default 20)\n"
+      "  --seed=N        seed for the Jellyfish wiring and the RPC\n"
+      "                  destination draws (default 1)\n"
+      "  --scale=paper   paper-scale run (more hosts)\n");
+}
 
 struct Outcome {
   int completed = 0;
@@ -62,6 +76,10 @@ Outcome run(bool aware, int hosts, int rounds, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  if (flags.has("help")) {
+    print_usage();
+    return 0;
+  }
   bench::print_header("Ablation: plane failure with/without failure-aware "
                       "path selection",
                       flags);

@@ -1,0 +1,221 @@
+// Dynamic fault recovery: goodput timelines through a mid-run plane flap
+// and a lossy-cable episode, serial vs parallel P-Nets (§3.4).
+//
+// A Jellyfish permutation workload of long bulk flows runs on the serial
+// low-bandwidth network (N=1) and on 4-plane homogeneous/heterogeneous
+// P-Nets. Mid-run, plane 0 (the only plane, for serial) dies and comes
+// back; later a handful of cables run at a packet loss rate for a while.
+// End hosts detect the plane outage after a link-status propagation delay
+// and repath live flows onto surviving planes — so the P-Nets dip by
+// roughly 1/N and close the gap within the detection delay, while the
+// serial network collapses to zero for the whole outage. A detection-delay
+// sweep at the end shows time-to-recover tracking the delay.
+//
+// Usage: bench_fault_recovery [--hosts=16] [--seed=1] [--fail-rate=0.05]
+//                             [--flap-period=20] [--detect-delay=1]
+// Run with --help for flag semantics.
+#include "analysis/recovery.hpp"
+#include "common.hpp"
+#include "core/health_monitor.hpp"
+#include "sim/faults.hpp"
+
+using namespace pnet;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "bench_fault_recovery: goodput dip-and-recover under dynamic faults\n"
+      "\n"
+      "  --hosts=N         hosts in every network (default 16; 64 with\n"
+      "                    --scale=paper)\n"
+      "  --seed=N          seed for the Jellyfish wiring, the permutation\n"
+      "                    workload, and the lossy-cable draw (default 1)\n"
+      "  --fail-rate=F     packet loss probability per degraded cable\n"
+      "                    during the lossy episode, 0..1 (default 0.05)\n"
+      "  --flap-period=MS  how long plane 0 stays down in the mid-run flap,\n"
+      "                    milliseconds (default 20)\n"
+      "  --detect-delay=MS link-status propagation delay before hosts react\n"
+      "                    to a plane transition; 0 = instantaneous oracle\n"
+      "                    (default 1). The sweep at the end varies this.\n"
+      "  --scale=paper     paper-scale run (more hosts)\n");
+}
+
+struct Scenario {
+  int hosts = 16;
+  bool paper_scale = false;
+  std::uint64_t seed = 1;
+  double fail_rate = 0.05;
+  SimTime flap_down = 20 * units::kMillisecond;
+  SimTime detect_delay = units::kMillisecond;
+
+  SimTime horizon = 100 * units::kMillisecond;
+  SimTime bucket = 2 * units::kMillisecond;
+  SimTime flap_at = 40 * units::kMillisecond;
+  SimTime lossy_at = 70 * units::kMillisecond;
+  SimTime lossy_duration = 15 * units::kMillisecond;
+  int lossy_cables = 3;
+};
+
+struct RunResult {
+  std::vector<analysis::GoodputProbe::Sample> samples;
+  analysis::RecoveryReport flap;
+  int repaths = 0;
+  int timeouts = 0;
+};
+
+RunResult run_network(topo::NetworkType type, const Scenario& sc,
+                      SimTime detect_delay) {
+  auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type, sc.hosts, 4,
+                               sc.seed);
+  if (!sc.paper_scale) {
+    // Pin a small non-complete Jellyfish (5-regular on 8 switches). The
+    // default shape derivation clamps small runs to an 11-switch 10-regular
+    // graph — the complete graph, where every seed wires identically and
+    // heterogeneous planes degenerate to homogeneous ones.
+    spec.jf_switches = 8;
+    spec.jf_degree = 5;
+    spec.jf_hosts_per_switch = 2;
+  }
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kRoundRobin;
+  core::SimHarness h(spec, policy);
+
+  core::HealthMonitor monitor(h.events(), {.detect_delay = detect_delay});
+  monitor.add_selector(h.selector());
+  monitor.set_factory(h.factory());
+  h.selector().enable_repath(h.factory());
+  sim::FaultInjector injector(h.events(), h.network());
+  monitor.observe(injector);
+
+  sim::FaultPlan plan;
+  plan.flap_plane(sc.flap_at, sc.flap_down, 0);
+  plan.merge(sim::FaultPlan::random_degraded_links(
+      h.net(), sc.lossy_cables, sc.lossy_at, sc.lossy_duration, sc.fail_rate,
+      1.0, sc.seed * 17 + 3));
+  injector.arm(plan);
+
+  analysis::GoodputProbe probe(
+      h.events(), [&h] { return h.factory().total_delivered_bytes(); },
+      sc.bucket, sc.horizon);
+  probe.start(0);
+
+  // Long bulk flows (one per permutation pair) that outlive the horizon,
+  // so the timeline measures the fabric, not flow arrivals/departures.
+  Rng rng(sc.seed * 7 + 5);
+  for (const auto& [src, dst] :
+       workload::permutation_pairs(h.net().num_hosts(), rng)) {
+    h.starter()(src, dst, 100 * units::kGB, 0, {});
+  }
+  h.run_until(sc.horizon);
+
+  RunResult result;
+  result.samples = probe.samples();
+  const auto episodes =
+      analysis::plane_episodes(injector.applied(), monitor.detections());
+  // Judge the episode against steady-state buckets only: the slow-start
+  // ramp right after t=0 would otherwise drag the baseline down and make
+  // any dip look "recovered" immediately.
+  std::vector<analysis::GoodputProbe::Sample> steady;
+  for (const auto& s : result.samples) {
+    if (s.t_end > sc.flap_at / 2) steady.push_back(s);
+  }
+  result.flap = analysis::analyze_episode(steady, episodes.front(),
+                                          /*recovered_fraction=*/0.8);
+  for (const auto* src : h.factory().incomplete_tcp_flows()) {
+    result.repaths += src->repaths();
+    result.timeouts += src->timeouts();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("help")) {
+    print_usage();
+    return 0;
+  }
+  bench::print_header(
+      "Fault recovery: plane flap + lossy-cable episode, serial vs P-Net",
+      flags);
+
+  Scenario sc;
+  sc.paper_scale = flags.paper_scale();
+  sc.hosts = flags.get_int("hosts", sc.paper_scale ? 64 : 16);
+  sc.seed = static_cast<std::uint64_t>(flags.get_i64("seed", 1));
+  sc.fail_rate = flags.get_double("fail-rate", 0.05);
+  sc.flap_down = static_cast<SimTime>(
+      flags.get_double("flap-period", 20.0) * units::kMillisecond);
+  sc.detect_delay = static_cast<SimTime>(
+      flags.get_double("detect-delay", 1.0) * units::kMillisecond);
+
+  const topo::NetworkType types[] = {
+      topo::NetworkType::kSerialLow,
+      topo::NetworkType::kParallelHomogeneous,
+      topo::NetworkType::kParallelHeterogeneous,
+  };
+  std::vector<RunResult> results;
+  for (const auto type : types) {
+    results.push_back(run_network(type, sc, sc.detect_delay));
+  }
+
+  std::printf("plane 0 down %.0f-%.0f ms; %d cables at %.0f%% loss "
+              "%.0f-%.0f ms; detect delay %.1f ms\n\n",
+              units::to_milliseconds(sc.flap_at),
+              units::to_milliseconds(sc.flap_at + sc.flap_down),
+              sc.lossy_cables, sc.fail_rate * 100.0,
+              units::to_milliseconds(sc.lossy_at),
+              units::to_milliseconds(sc.lossy_at + sc.lossy_duration),
+              units::to_milliseconds(sc.detect_delay));
+
+  TextTable timeline("Goodput timeline (Gb/s per bucket)",
+                     {"t (ms)", "serial-low", "par-hom", "par-het"});
+  for (std::size_t b = 1; b < results.front().samples.size(); b += 2) {
+    std::vector<double> row;
+    for (const auto& r : results) {
+      row.push_back(r.samples[b].goodput_bps / units::kGbps);
+    }
+    timeline.add_row(
+        format_double(units::to_milliseconds(results[0].samples[b].t_end), 0),
+        row, 1);
+  }
+  timeline.print();
+
+  TextTable report("Plane-flap episode recovery",
+                   {"network", "baseline Gb/s", "dip Gb/s", "detect (ms)",
+                    "recover (ms)", "pkts lost", "repaths"});
+  const char* names[] = {"serial-low", "par-hom", "par-het"};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& flap = results[i].flap;
+    report.add_row(names[i],
+                   {flap.baseline_goodput_bps / units::kGbps,
+                    flap.dip_goodput_bps / units::kGbps,
+                    units::to_milliseconds(flap.time_to_detect),
+                    units::to_milliseconds(flap.time_to_recover),
+                    static_cast<double>(flap.packets_lost),
+                    static_cast<double>(results[i].repaths)},
+                   1);
+  }
+  report.print();
+
+  TextTable sweep("Detection-delay sweep (par-hom, same flap)",
+                  {"detect delay (ms)", "recover (ms)"});
+  for (const double delay_ms : {0.0, 1.0, 5.0, 20.0}) {
+    const auto r = run_network(
+        topo::NetworkType::kParallelHomogeneous, sc,
+        static_cast<SimTime>(delay_ms * units::kMillisecond));
+    sweep.add_row(format_double(delay_ms, 1),
+                  {units::to_milliseconds(r.flap.time_to_recover)}, 1);
+  }
+  sweep.print();
+
+  std::printf(
+      "The P-Nets lose ~1/4 of their goodput for about the detection delay\n"
+      "and recover by repathing live flows onto the surviving planes; the\n"
+      "serial network has nowhere to go and delivers ~0 for the entire\n"
+      "outage (plus RTO-backoff tail after recovery). The lossy episode\n"
+      "only dents goodput: retransmissions ride the same or other planes.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "core/health_monitor.hpp"
+
+namespace pnet::core {
+
+void HealthMonitor::observe(sim::FaultInjector& injector) {
+  injector.add_listener(
+      [this](const sim::FaultEvent& event) { on_fault(event); });
+}
+
+void HealthMonitor::on_fault(const sim::FaultEvent& event) {
+  pending_.emplace_back(event, events_.now() + config_.detect_delay);
+  events_.schedule_in(config_.detect_delay, this);
+}
+
+void HealthMonitor::do_next_event() {
+  while (!pending_.empty() && pending_.front().second <= events_.now()) {
+    const Detection detection = pending_.front();
+    pending_.pop_front();
+    detections_.push_back(detection);
+    react(detection.first);
+  }
+}
+
+void HealthMonitor::react(const sim::FaultEvent& event) {
+  switch (event.kind) {
+    case sim::FaultKind::kPlaneFail:
+      for (PathSelector* selector : selectors_) {
+        selector->set_plane_failed(event.plane, true);
+      }
+      if (factory_ != nullptr) factory_->on_plane_failed(event.plane);
+      break;
+    case sim::FaultKind::kPlaneRecover:
+      for (PathSelector* selector : selectors_) {
+        selector->set_plane_failed(event.plane, false);
+      }
+      if (factory_ != nullptr) factory_->on_plane_recovered(event.plane);
+      break;
+    default:
+      // Cable-scoped events are not visible in host link status (the
+      // host's own uplink stays up); they are logged above but the
+      // reaction is left to the transport's path-suspect machinery.
+      break;
+  }
+}
+
+}  // namespace pnet::core

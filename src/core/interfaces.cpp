@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/health_monitor.hpp"
+
 namespace pnet::core {
 
 std::string to_string(TrafficClass traffic_class) {
@@ -54,6 +56,12 @@ void HostInterfaces::set_plane_failed(int plane, bool failed) {
   low_latency_->set_plane_failed(plane, failed);
   high_throughput_->set_plane_failed(plane, failed);
   default_->set_plane_failed(plane, failed);
+}
+
+void HostInterfaces::register_with(HealthMonitor& monitor) {
+  monitor.add_selector(*low_latency_);
+  monitor.add_selector(*high_throughput_);
+  monitor.add_selector(*default_);
 }
 
 PathSelector& HostInterfaces::selector(TrafficClass traffic_class) {

@@ -16,6 +16,8 @@
 
 namespace pnet::core {
 
+class HealthMonitor;
+
 /// The traffic classes applications tag flows with.
 enum class TrafficClass : std::uint8_t {
   /// Single path on the plane with the fewest hops: small RPCs.
@@ -47,6 +49,10 @@ class HostInterfaces {
 
   /// Failure propagation (§3.4 link-status detection) to every interface.
   void set_plane_failed(int plane, bool failed);
+
+  /// Registers all three interfaces' selectors with a HealthMonitor, so
+  /// detected plane events reach every traffic class.
+  void register_with(HealthMonitor& monitor);
 
   [[nodiscard]] PathSelector& selector(TrafficClass traffic_class);
 

@@ -159,6 +159,28 @@ std::vector<routing::Path> PathSelector::select(HostId src, HostId dst,
   return {};
 }
 
+void PathSelector::enable_repath(sim::FlowFactory& factory) {
+  factory.set_repath_provider(
+      [this](HostId src, HostId dst, int suspect_plane,
+             std::uint64_t bytes) -> std::vector<routing::Path> {
+        const auto p = static_cast<std::size_t>(suspect_plane);
+        // The suspect plane is off-limits for this pick only: a transport-
+        // level suspicion (RTOs) is not a confirmed plane failure, so it
+        // must not stick for unrelated future flows.
+        const bool was_failed = plane_failed_[p];
+        plane_failed_[p] = true;
+        auto paths =
+            select(src, dst, bytes,
+                   mix64((static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(src.v))
+                          << 32) ^
+                         static_cast<std::uint32_t>(dst.v) ^
+                         (0xFA17 + (repath_counter_++ << 17))));
+        plane_failed_[p] = was_failed;
+        return paths;
+      });
+}
+
 workload::FlowStarter PathSelector::make_starter(sim::FlowFactory& factory) {
   return [this, &factory](HostId src, HostId dst, std::uint64_t bytes,
                           SimTime start,

@@ -75,6 +75,15 @@ class PathSelector {
   /// flows avoid the plane immediately (graceful degradation); flows in
   /// flight are the transport's problem.
   void set_plane_failed(int plane, bool failed);
+
+  /// Installs this selector as the factory's repath provider, so flows in
+  /// flight stop being "the transport's problem": when a TcpSrc declares
+  /// its path suspect (consecutive RTOs) or a detected plane failure forces
+  /// a repath, the factory asks here for a fresh path that avoids the
+  /// suspect plane on top of everything already marked failed. Returns
+  /// nothing when no other plane is usable (a serial network has nowhere
+  /// to go — the flow must ride out the fault on its current path).
+  void enable_repath(sim::FlowFactory& factory);
   [[nodiscard]] bool plane_usable(int plane) const;
 
   [[nodiscard]] const PolicyConfig& config() const { return config_; }
@@ -101,6 +110,9 @@ class PathSelector {
   /// concentrates fan-in traffic of a receiver onto one plane — exactly the
   /// pathology host-local round-robin (§3.4) avoids.
   std::unordered_map<std::int32_t, std::uint64_t> round_robin_;
+  /// Sequence number feeding repath flow keys, so successive repaths of the
+  /// same pair hash onto different equal-cost paths.
+  std::uint64_t repath_counter_ = 0;
 };
 
 }  // namespace pnet::core

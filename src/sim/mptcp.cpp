@@ -26,12 +26,18 @@ void MptcpSubflow::on_window_increase(std::uint64_t bytes_acked) {
 
 void MptcpSubflow::on_delivered(std::uint64_t bytes) {
   // Bytes of an abandoned subflow were reinjected elsewhere; do not count a
-  // straggling late ACK twice.
-  if (!abandoned()) connection_.report_delivered(bytes);
+  // straggling late ACK twice. After a revive, the first duplicate_debt_
+  // bytes were likewise already delivered by siblings.
+  if (abandoned()) return;
+  const std::uint64_t dup = std::min(bytes, duplicate_debt_);
+  duplicate_debt_ -= dup;
+  if (bytes > dup) connection_.report_delivered(bytes - dup);
 }
 
 void MptcpSubflow::on_timeout(int consecutive_timeouts) {
-  if (consecutive_timeouts >= 3) connection_.handle_stuck_subflow(*this);
+  if (consecutive_timeouts >= params().path_suspect_threshold) {
+    connection_.handle_stuck_subflow(*this);
+  }
 }
 
 // -------------------------------------------------------- MptcpConnection
@@ -64,6 +70,18 @@ void MptcpConnection::handle_stuck_subflow(MptcpSubflow& subflow) {
   subflow.abandon();
   reinject_pool_ += stuck;
   for (const auto& sf : subflows_) sf->kick();
+}
+
+void MptcpConnection::revive_subflow(MptcpSubflow& subflow) {
+  if (!subflow.abandoned() || complete()) return;
+  const std::uint64_t stuck = subflow.unacked_assigned_bytes();
+  // Reclaim what is still sitting in the reinject pool; the rest was (or
+  // will be) delivered by siblings and must not be counted again when this
+  // subflow's go-back-N re-delivers it.
+  const std::uint64_t reclaimed = std::min(reinject_pool_, stuck);
+  reinject_pool_ -= reclaimed;
+  subflow.duplicate_debt_ += stuck - reclaimed;
+  subflow.revive();
 }
 
 void MptcpConnection::report_delivered(std::uint64_t bytes) {

@@ -36,8 +36,14 @@ class MptcpSubflow final : public TcpSrc {
   void on_timeout(int consecutive_timeouts) override;
 
  private:
+  friend class MptcpConnection;
+
   MptcpConnection& connection_;
   int index_;
+  /// Bytes this subflow will re-deliver after a revive that were already
+  /// delivered by siblings (reinjected while it was abandoned); deducted
+  /// from report_delivered so the connection never counts a byte twice.
+  std::uint64_t duplicate_debt_ = 0;
 };
 
 /// Congestion-coupling policy across subflows.
@@ -72,6 +78,7 @@ class MptcpConnection {
 
   [[nodiscard]] FlowId flow() const { return flow_; }
   [[nodiscard]] std::uint64_t flow_size() const { return flow_size_; }
+  [[nodiscard]] std::uint64_t delivered_bytes() const { return delivered_; }
   [[nodiscard]] bool complete() const { return completion_time_ >= 0; }
   [[nodiscard]] SimTime completion_time() const { return completion_time_; }
   [[nodiscard]] int num_subflows() const {
@@ -94,6 +101,12 @@ class MptcpConnection {
   /// connection-level retransmission real MPTCP performs). No-op when it is
   /// the last live subflow — then retrying in place is all there is.
   void handle_stuck_subflow(MptcpSubflow& subflow);
+  /// The reverse, on plane recovery (§3.4): re-establish an abandoned
+  /// subflow instead of leaving it dead forever. Bytes still waiting in the
+  /// reinject pool are reclaimed by the revived subflow; bytes siblings
+  /// already took over become duplicate debt so they are not double
+  /// counted when the revived subflow re-delivers them.
+  void revive_subflow(MptcpSubflow& subflow);
 
  private:
   EventQueue& events_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/rng.hpp"
+
 namespace pnet::sim {
 
 SimNetwork::SimNetwork(EventQueue& events, PacketPool& pool,
@@ -23,9 +25,17 @@ SimNetwork::SimNetwork(EventQueue& events, PacketPool& pool,
                                            config.ecn_threshold_bytes,
                                            config.priority_acks,
                                            config.trim_to_header));
+      // Per-queue loss streams are seeded from the (plane, link) identity
+      // so degraded-link drops are independent across ports yet replay
+      // bit-identically from the same fault plan.
+      qs.back()->reseed_loss_rng(
+          mix64((static_cast<std::uint64_t>(p) << 32) ^
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(l))));
       ps.push_back(std::make_unique<Pipe>(events, link.latency));
     }
+    cable_failed_.emplace_back(static_cast<std::size_t>(g.num_links()), 0);
   }
+  plane_failed_.assign(static_cast<std::size_t>(net.num_planes()), 0);
 }
 
 const Route* SimNetwork::make_route(const routing::Path& path,
@@ -69,14 +79,44 @@ std::uint64_t SimNetwork::total_ecn_marks() const {
   return total;
 }
 
+void SimNetwork::apply_link_state(int plane, LinkId link) {
+  const auto p = static_cast<std::size_t>(plane);
+  const bool down = cable_failed_[p][static_cast<std::size_t>(link.v)] != 0 ||
+                    plane_failed_[p] != 0;
+  queue(plane, link).set_failed(down);
+}
+
 void SimNetwork::set_cable_failed(int plane, LinkId link, bool failed) {
-  queue(plane, link).set_failed(failed);
-  queue(plane, net_.plane(plane).graph.reverse(link)).set_failed(failed);
+  const LinkId rev = net_.plane(plane).graph.reverse(link);
+  auto& flags = cable_failed_[static_cast<std::size_t>(plane)];
+  if ((flags[static_cast<std::size_t>(link.v)] != 0) == failed) return;
+  flags[static_cast<std::size_t>(link.v)] = failed ? 1 : 0;
+  flags[static_cast<std::size_t>(rev.v)] = failed ? 1 : 0;
+  if (failed) ++cable_fail_transitions_;
+  apply_link_state(plane, link);
+  apply_link_state(plane, rev);
+}
+
+bool SimNetwork::cable_failed(int plane, LinkId link) const {
+  return cable_failed_[static_cast<std::size_t>(plane)]
+                      [static_cast<std::size_t>(link.v)] != 0;
 }
 
 void SimNetwork::set_plane_failed(int plane, bool failed) {
-  for (const auto& q : queues_[static_cast<std::size_t>(plane)]) {
-    q->set_failed(failed);
+  const auto p = static_cast<std::size_t>(plane);
+  if ((plane_failed_[p] != 0) == failed) return;
+  plane_failed_[p] = failed ? 1 : 0;
+  if (failed) ++plane_fail_transitions_;
+  const int links = net_.plane(plane).graph.num_links();
+  for (int l = 0; l < links; ++l) apply_link_state(plane, LinkId{l});
+}
+
+void SimNetwork::set_cable_degraded(int plane, LinkId link, double loss_rate,
+                                    double rate_scale) {
+  const LinkId rev = net_.plane(plane).graph.reverse(link);
+  for (const LinkId id : {link, rev}) {
+    queue(plane, id).set_loss_rate(loss_rate);
+    queue(plane, id).set_rate_scale(rate_scale);
   }
 }
 
@@ -103,12 +143,13 @@ int FlowLogger::total_timeouts() const {
 
 void FlowLogger::write_csv(std::ostream& out) const {
   out << "flow,src,dst,bytes,start_ps,end_ps,fct_us,hops,subflows,"
-         "retransmits,timeouts\n";
+         "retransmits,timeouts,repaths\n";
   for (const auto& r : records_) {
     out << r.id.v << ',' << r.src.v << ',' << r.dst.v << ',' << r.bytes
         << ',' << r.start << ',' << r.end << ','
         << units::to_microseconds(r.end - r.start) << ',' << r.hops << ','
-        << r.subflows << ',' << r.retransmits << ',' << r.timeouts << '\n';
+        << r.subflows << ',' << r.retransmits << ',' << r.timeouts << ','
+        << r.repaths << '\n';
   }
 }
 
@@ -129,6 +170,15 @@ TcpSrc& FlowFactory::tcp_flow(HostId src, HostId dst,
   sink.set_ack_route(rev);
   source.set_flow_size(bytes);
 
+  if (repath_provider_) {
+    tcp_metas_.push_back(std::make_unique<TcpFlowMeta>(
+        TcpFlowMeta{&source, &sink, src, dst, bytes, path.plane}));
+    source.set_repath_callback(
+        [this, meta = tcp_metas_.back().get()](TcpSrc&) {
+          return repath(*meta);
+        });
+  }
+
   const int hops = path.hops();
   source.set_completion_callback(
       [this, id, src, dst, bytes, start, hops,
@@ -137,12 +187,63 @@ TcpSrc& FlowFactory::tcp_flow(HostId src, HostId dst,
                           dst,   bytes,
                           start, s.completion_time(),
                           hops,  1,
-                          s.retransmits(), s.timeouts()};
+                          s.retransmits(), s.timeouts(), s.repaths()};
         logger_.record(record);
         if (cb) cb(record);
       });
   source.connect(fwd, start);
   return source;
+}
+
+const Route* FlowFactory::repath(TcpFlowMeta& meta) {
+  auto paths =
+      repath_provider_(meta.src, meta.dst, meta.plane, meta.bytes);
+  if (paths.empty()) return nullptr;
+  const routing::Path& path = paths.front();
+  const Route* fwd = network_.make_route(path, *meta.sink);
+  const Route* rev =
+      network_.make_route(network_.reverse_path(path), *meta.source);
+  meta.sink->set_ack_route(rev);
+  meta.plane = path.plane;
+  return fwd;
+}
+
+void FlowFactory::on_plane_failed(int plane) {
+  for (const auto& meta : tcp_metas_) {
+    if (meta->plane == plane && !meta->source->complete()) {
+      meta->source->force_repath();
+    }
+  }
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    MptcpConnection& conn = *connections_[i];
+    if (conn.complete()) continue;
+    const auto& planes = connection_planes_[i];
+    for (std::size_t s = 0; s < planes.size(); ++s) {
+      if (planes[s] != plane) continue;
+      MptcpSubflow& sf = conn.subflow(static_cast<int>(s));
+      if (!sf.abandoned()) conn.handle_stuck_subflow(sf);
+    }
+  }
+}
+
+void FlowFactory::on_plane_recovered(int plane) {
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    MptcpConnection& conn = *connections_[i];
+    if (conn.complete()) continue;
+    const auto& planes = connection_planes_[i];
+    for (std::size_t s = 0; s < planes.size(); ++s) {
+      if (planes[s] != plane) continue;
+      MptcpSubflow& sf = conn.subflow(static_cast<int>(s));
+      if (sf.abandoned()) conn.revive_subflow(sf);
+    }
+  }
+}
+
+std::uint64_t FlowFactory::total_delivered_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& src : sources_) total += src->acked_bytes();
+  for (const auto& conn : connections_) total += conn->delivered_bytes();
+  return total;
 }
 
 MptcpConnection& FlowFactory::mptcp_flow(HostId src, HostId dst,
@@ -177,6 +278,13 @@ MptcpConnection& FlowFactory::mptcp_flow(HostId src, HostId dst,
     first = false;
   }
 
+  // Record each subflow's plane so the §3.4 link-status hooks
+  // (on_plane_failed / on_plane_recovered) can find affected subflows.
+  std::vector<int> planes;
+  planes.reserve(paths.size());
+  for (const auto& path : paths) planes.push_back(path.plane);
+  connection_planes_.push_back(std::move(planes));
+
   const int hops = paths.empty() ? 0 : paths.front().hops();
   const int num_subflows = static_cast<int>(paths.size());
   connection.set_completion_callback(
@@ -186,7 +294,7 @@ MptcpConnection& FlowFactory::mptcp_flow(HostId src, HostId dst,
                           dst,   bytes,
                           start, c.completion_time(),
                           hops,  num_subflows,
-                          c.total_retransmits(), c.total_timeouts()};
+                          c.total_retransmits(), c.total_timeouts(), 0};
         logger_.record(record);
         if (cb) cb(record);
       });

@@ -65,17 +65,48 @@ class SimNetwork {
 
   /// Fails (or repairs) a full-duplex cable: both directed links drop all
   /// arriving packets. `link` may be either direction of the pair.
+  /// Idempotent — repeating the same state is a no-op — and independent of
+  /// the plane overlay: recovering a plane does not resurrect a cable that
+  /// was failed individually, and vice versa, so a FaultInjector can flap
+  /// cables and planes concurrently without state corruption.
   void set_cable_failed(int plane, LinkId link, bool failed);
+  [[nodiscard]] bool cable_failed(int plane, LinkId link) const;
   /// Fails (or repairs) every link of one dataplane — the whole-plane
-  /// outage the paper's §3.4 link-status detection reacts to.
+  /// outage the paper's §3.4 link-status detection reacts to. Idempotent,
+  /// layered over per-cable state like set_cable_failed.
   void set_plane_failed(int plane, bool failed);
+  [[nodiscard]] bool plane_failed(int plane) const {
+    return plane_failed_[static_cast<std::size_t>(plane)] != 0;
+  }
+  /// Fail->up transitions actually applied (flap-safety diagnostics; a
+  /// redundant set_*_failed(true) does not bump these).
+  [[nodiscard]] int cable_fail_transitions() const {
+    return cable_fail_transitions_;
+  }
+  [[nodiscard]] int plane_fail_transitions() const {
+    return plane_fail_transitions_;
+  }
+
+  /// Degrades both directions of a cable: random drop probability and/or a
+  /// reduced service rate. `loss_rate=0, rate_scale=1` restores it.
+  void set_cable_degraded(int plane, LinkId link, double loss_rate,
+                          double rate_scale = 1.0);
 
  private:
+  void apply_link_state(int plane, LinkId link);
+
   const topo::ParallelNetwork& net_;
   SimConfig config_;
   std::vector<std::vector<std::unique_ptr<Queue>>> queues_;  // [plane][link]
   std::vector<std::vector<std::unique_ptr<Pipe>>> pipes_;
   std::vector<std::unique_ptr<Route>> routes_;
+  /// Failure overlays: a queue is failed iff its cable flag or its plane
+  /// flag is set. Cable flags are kept per directed link (both directions
+  /// of a duplex pair always move together).
+  std::vector<std::vector<char>> cable_failed_;  // [plane][link]
+  std::vector<char> plane_failed_;
+  int cable_fail_transitions_ = 0;
+  int plane_fail_transitions_ = 0;
 };
 
 /// One completed transport flow, as logged for analysis.
@@ -91,6 +122,8 @@ struct FlowRecord {
   int subflows = 1;
   int retransmits = 0;
   int timeouts = 0;
+  /// Times the flow was moved to a fresh path by the failover machinery.
+  int repaths = 0;
 };
 
 class FlowLogger {
@@ -116,10 +149,35 @@ class FlowLogger {
 class FlowFactory {
  public:
   using FlowCallback = std::function<void(const FlowRecord&)>;
+  /// Picks replacement paths for a live flow whose current path (on
+  /// `suspect_plane`) looks dead. Returning empty keeps the old path.
+  using RepathProvider = std::function<std::vector<routing::Path>(
+      HostId src, HostId dst, int suspect_plane, std::uint64_t bytes)>;
 
   FlowFactory(EventQueue& events, PacketPool& pool, SimNetwork& network,
               FlowLogger& logger)
       : events_(events), pool_(pool), network_(network), logger_(logger) {}
+
+  /// Enables transport-driven failover: every subsequent single-path TCP
+  /// flow gets a repath callback that asks `provider` for fresh paths when
+  /// its path turns suspect (consecutive RTOs) or its plane is reported
+  /// down. Typically wired by core::PathSelector::enable_repath.
+  void set_repath_provider(RepathProvider provider) {
+    repath_provider_ = std::move(provider);
+  }
+
+  /// Host-side link-status reaction (§3.4), called by core::HealthMonitor
+  /// once the fault has propagated: live single-path flows routed over
+  /// `plane` repath immediately; MPTCP subflows on it are abandoned and
+  /// their bytes reinjected through surviving subflows.
+  void on_plane_failed(int plane);
+  /// The recovery half: revives abandoned MPTCP subflows whose path rides
+  /// `plane` instead of leaving them dead forever.
+  void on_plane_recovered(int plane);
+
+  /// Cumulative bytes delivered (acked) across all flows, complete and in
+  /// flight — the goodput numerator sampled by analysis::GoodputProbe.
+  [[nodiscard]] std::uint64_t total_delivered_bytes() const;
 
   /// Single-path TCP flow; returns the source endpoint.
   TcpSrc& tcp_flow(HostId src, HostId dst, const routing::Path& path,
@@ -156,15 +214,33 @@ class FlowFactory {
  private:
   FlowId next_id() { return FlowId{next_flow_id_++}; }
 
+  /// Repath bookkeeping for one single-path TCP flow: which plane it rides
+  /// now, plus the endpoints to rewire when it moves.
+  struct TcpFlowMeta {
+    TcpSrc* source = nullptr;
+    TcpSink* sink = nullptr;
+    HostId src;
+    HostId dst;
+    std::uint64_t bytes = 0;
+    int plane = -1;
+  };
+  /// Builds the replacement route pair (or nullptr when the provider has
+  /// nowhere better) and updates `meta` + the sink's ACK route.
+  const Route* repath(TcpFlowMeta& meta);
+
   EventQueue& events_;
   PacketPool& pool_;
   SimNetwork& network_;
   FlowLogger& logger_;
   int next_flow_id_ = 0;
+  RepathProvider repath_provider_;
 
   std::vector<std::unique_ptr<TcpSrc>> sources_;
   std::vector<std::unique_ptr<TcpSink>> sinks_;
   std::vector<std::unique_ptr<MptcpConnection>> connections_;
+  std::vector<std::unique_ptr<TcpFlowMeta>> tcp_metas_;
+  /// Per-connection subflow planes, aligned with connections_.
+  std::vector<std::vector<int>> connection_planes_;
 };
 
 }  // namespace pnet::sim

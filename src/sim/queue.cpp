@@ -4,10 +4,19 @@
 
 namespace pnet::sim {
 
+void Queue::drop(Packet& packet, std::uint64_t& cause_counter) {
+  ++cause_counter;
+  ++drops_;
+  pool_.free(&packet);
+}
+
 void Queue::receive(Packet& packet) {
   if (failed_) {
-    ++drops_;
-    pool_.free(&packet);
+    drop(packet, drops_failed_);
+    return;
+  }
+  if (loss_rate_ > 0.0 && loss_rng_.next_double() < loss_rate_) {
+    drop(packet, drops_random_);
     return;
   }
 
@@ -17,8 +26,7 @@ void Queue::receive(Packet& packet) {
     // ACKs / already-trimmed headers ride the priority queue with its own
     // budget (mirrors NDP's separate header queue).
     if (ack_queued_bytes_ + packet.size_bytes > buffer_bytes_) {
-      ++drops_;
-      pool_.free(&packet);
+      drop(packet, drops_overflow_);
       return;
     }
     ack_fifo_.push_back(&packet);
@@ -33,8 +41,7 @@ void Queue::receive(Packet& packet) {
       ack_fifo_.push_back(&packet);
       ack_queued_bytes_ += packet.size_bytes;
     } else {
-      ++drops_;
-      pool_.free(&packet);
+      drop(packet, drops_overflow_);
       return;
     }
   } else {
@@ -66,8 +73,9 @@ void Queue::start_service() {
     fifo_.pop_front();
     in_service_priority_ = false;
   }
-  events_.schedule_in(
-      units::serialization_delay(in_service_->size_bytes, rate_bps_), this);
+  events_.schedule_in(units::serialization_delay(in_service_->size_bytes,
+                                                 rate_bps_ * rate_scale_),
+                      this);
 }
 
 void Queue::do_next_event() {

@@ -3,11 +3,13 @@
 // host->ToR links, a switch port otherwise).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 
 #include "sim/event_queue.hpp"
 #include "sim/packet.hpp"
+#include "util/rng.hpp"
 
 namespace pnet::sim {
 
@@ -36,10 +38,37 @@ class Queue : public EventSource, public PacketSink {
   void set_failed(bool failed) { failed_ = failed; }
   [[nodiscard]] bool failed() const { return failed_; }
 
+  /// Degraded link: arriving packets (data and ACKs alike — a flaky cable
+  /// corrupts everything) are dropped with probability `rate`. 1.0 is
+  /// behaviourally identical to set_failed(true); 0 restores the link.
+  void set_loss_rate(double rate) {
+    assert(rate >= 0.0 && rate <= 1.0);
+    loss_rate_ = rate;
+  }
+  [[nodiscard]] double loss_rate() const { return loss_rate_; }
+  /// Seeds the loss draw so degraded-link episodes replay bit-identically.
+  void reseed_loss_rng(std::uint64_t seed) { loss_rng_.reseed(seed); }
+
+  /// Degraded link, service-rate mode: serialize at `scale` x the nominal
+  /// rate (a transceiver renegotiated down). The packet already on the wire
+  /// keeps its old departure time; `scale` must be positive.
+  void set_rate_scale(double scale) {
+    assert(scale > 0.0);
+    rate_scale_ = scale;
+  }
+  [[nodiscard]] double rate_scale() const { return rate_scale_; }
+
   [[nodiscard]] std::uint64_t queued_bytes() const {
     return queued_bytes_ + ack_queued_bytes_;
   }
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  // Per-cause drop counters (drops() is their sum): dead cable, random
+  // degraded-link loss, and buffer overflow.
+  [[nodiscard]] std::uint64_t drops_failed() const { return drops_failed_; }
+  [[nodiscard]] std::uint64_t drops_random() const { return drops_random_; }
+  [[nodiscard]] std::uint64_t drops_overflow() const {
+    return drops_overflow_;
+  }
   [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
   [[nodiscard]] std::uint64_t ecn_marks() const { return ecn_marks_; }
   [[nodiscard]] std::uint64_t trims() const { return trims_; }
@@ -60,9 +89,13 @@ class Queue : public EventSource, public PacketSink {
   /// flagship mechanism).
   bool trim_to_header_;
   bool failed_ = false;
+  double loss_rate_ = 0.0;
+  double rate_scale_ = 1.0;
+  Rng loss_rng_{0xDE6BADEDULL};
   std::uint64_t ecn_marks_ = 0;
   std::uint64_t trims_ = 0;
 
+  void drop(Packet& packet, std::uint64_t& cause_counter);
   void start_service();
 
   std::deque<Packet*> fifo_;
@@ -76,6 +109,9 @@ class Queue : public EventSource, public PacketSink {
   std::uint64_t ack_queued_bytes_ = 0; // priority fifo, incl. in-service
   bool busy_ = false;
   std::uint64_t drops_ = 0;
+  std::uint64_t drops_failed_ = 0;
+  std::uint64_t drops_random_ = 0;
+  std::uint64_t drops_overflow_ = 0;
   std::uint64_t forwarded_ = 0;
 };
 

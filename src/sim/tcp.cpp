@@ -113,6 +113,55 @@ void TcpSrc::abandon() {
   rto_deadline_ = -1;
 }
 
+void TcpSrc::revive() {
+  if (!abandoned_ || complete()) return;
+  abandoned_ = false;
+  // Connection-fresh state: the recovered path's congestion and RTT are
+  // unknown, so slow-start from the initial window and resume go-back-N
+  // from the first unacked byte.
+  cwnd_ = static_cast<std::uint64_t>(params_.initial_window_packets) *
+          params_.mss;
+  ssthresh_ = 0x7FFFFFFFFFFF;
+  in_fast_recovery_ = false;
+  dupacks_ = 0;
+  backoff_ = 1;
+  consecutive_timeouts_ = 0;
+  highest_sent_ = snd_una_;
+  srtt_ = -1;
+  rttvar_ = 0;
+  rto_ = params_.initial_rto;
+  rto_deadline_ = -1;
+  if (started_) send_available();
+}
+
+void TcpSrc::switch_route(const Route* route) {
+  data_route_ = route;
+  ++repaths_;
+  // The new path starts cold: respond to the implied loss (ssthresh cut),
+  // restart from the initial window, and go-back-N onto the fresh route.
+  ssthresh_ = std::max<std::uint64_t>(
+      cwnd_ / 2, 2 * static_cast<std::uint64_t>(params_.mss));
+  cwnd_ = static_cast<std::uint64_t>(params_.initial_window_packets) *
+          params_.mss;
+  highest_sent_ = snd_una_;
+  in_fast_recovery_ = false;
+  dupacks_ = 0;
+  backoff_ = 1;
+  consecutive_timeouts_ = 0;
+  srtt_ = -1;
+  rttvar_ = 0;
+  rto_ = params_.initial_rto;
+  rto_deadline_ = -1;
+}
+
+void TcpSrc::force_repath() {
+  if (complete() || abandoned_ || !repath_cb_) return;
+  const Route* fresh = repath_cb_(*this);
+  if (fresh == nullptr) return;
+  switch_route(fresh);
+  if (started_) send_available();
+}
+
 void TcpSrc::receive(Packet& packet) {
   assert(packet.is_ack);
   const std::uint64_t cum = packet.ack_seq;
@@ -246,6 +295,12 @@ void TcpSrc::handle_rto() {
   backoff_ = std::min(backoff_ * 2, 64);
   rto_deadline_ = -1;
   on_timeout(consecutive_timeouts_);
+  if (!abandoned_ && repath_cb_ &&
+      consecutive_timeouts_ >= params_.path_suspect_threshold) {
+    // Path suspect: repeated RTOs with zero progress. Ask for a fresh path
+    // (the callback consults the selector's current plane-health view).
+    if (const Route* fresh = repath_cb_(*this)) switch_route(fresh);
+  }
   if (!abandoned_) send_available();
 }
 

@@ -34,6 +34,11 @@ struct TcpParams {
   int recovery_burst_segments = 4;
   SimTime min_rto = 10 * units::kMillisecond;   // tuned per the paper
   SimTime initial_rto = 10 * units::kMillisecond;
+  /// Consecutive RTOs with no forward progress before the source declares
+  /// its path suspect (§3.4 graceful degradation): a plain TcpSrc with a
+  /// repath callback installed re-routes onto a fresh path; an MPTCP
+  /// subflow is abandoned and its bytes reinjected via its siblings.
+  int path_suspect_threshold = 3;
   /// DCTCP mode (Alizadeh et al. [6], the paper's §6.5 incast direction):
   /// the sender keeps an EWMA of the fraction of CE-marked bytes and cuts
   /// cwnd by alpha/2 once per window instead of halving on loss signals.
@@ -79,6 +84,12 @@ class TcpSink : public PacketSink {
 class TcpSrc : public EventSource, public PacketSink {
  public:
   using CompletionCallback = std::function<void(TcpSrc&)>;
+  /// Asked for a replacement data route when the current path is suspect
+  /// (path_suspect_threshold consecutive RTOs) or the health monitor
+  /// reports the path's plane down. Returns nullptr to stay put. The
+  /// callback owns the heavy lifting — building the new route pair and
+  /// re-pointing the sink's ACK route — so the source only swaps pointers.
+  using RepathCallback = std::function<const Route*(TcpSrc&)>;
 
   TcpSrc(EventQueue& events, PacketPool& pool, FlowId flow,
          const TcpParams& params)
@@ -96,6 +107,7 @@ class TcpSrc : public EventSource, public PacketSink {
   void set_completion_callback(CompletionCallback cb) {
     on_complete_ = std::move(cb);
   }
+  void set_repath_callback(RepathCallback cb) { repath_cb_ = std::move(cb); }
 
   // PacketSink: ACK arrivals.
   void receive(Packet& packet) override;
@@ -110,13 +122,23 @@ class TcpSrc : public EventSource, public PacketSink {
   [[nodiscard]] std::uint64_t acked_bytes() const { return snd_una_; }
   [[nodiscard]] int retransmits() const { return retransmits_; }
   [[nodiscard]] int timeouts() const { return timeouts_; }
+  [[nodiscard]] int repaths() const { return repaths_; }
   [[nodiscard]] SimTime smoothed_rtt() const { return srtt_; }
   [[nodiscard]] const Route* data_route() const { return data_route_; }
   [[nodiscard]] const TcpParams& params() const { return params_; }
 
-  /// Stops all transmission permanently (used when an MPTCP connection
-  /// gives up on a dead subflow and reinjects its bytes elsewhere).
+  /// Stops all transmission (used when an MPTCP connection gives up on a
+  /// dead subflow and reinjects its bytes elsewhere). Reversible: revive()
+  /// restarts the sender once its path recovers.
   void abandon();
+  /// Reverses abandon() after the path recovered (§3.4 re-establishment):
+  /// resets the congestion/RTT state to connection-fresh values and resumes
+  /// go-back-N from the first unacked byte.
+  void revive();
+  /// Link-status-driven repath: the health monitor detected this flow's
+  /// plane down, so move now instead of waiting out path_suspect_threshold
+  /// RTOs. No-op without a repath callback (or if it declines).
+  void force_repath();
   [[nodiscard]] bool abandoned() const { return abandoned_; }
   /// Bytes granted to this sender but not yet acked.
   [[nodiscard]] std::uint64_t unacked_assigned_bytes() const {
@@ -150,6 +172,8 @@ class TcpSrc : public EventSource, public PacketSink {
   [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
 
  private:
+  /// Installs `route` as the data route and restarts cleanly on it.
+  void switch_route(const Route* route);
   void send_available();
   void send_segment(std::uint64_t seq, std::uint32_t size, bool retransmit);
   void dctcp_on_ack(std::uint64_t bytes_acked, bool ecn_echo);
@@ -205,8 +229,10 @@ class TcpSrc : public EventSource, public PacketSink {
   // Stats.
   int retransmits_ = 0;
   int timeouts_ = 0;
+  int repaths_ = 0;
   SimTime completion_time_ = -1;
   CompletionCallback on_complete_;
+  RepathCallback repath_cb_;
 };
 
 }  // namespace pnet::sim
