@@ -67,7 +67,12 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::print_header("Ablation: incast fan-in, NewReno vs DCTCP, serial vs "
                       "P-Net",
-                      flags);
+                      flags,
+                      "bench_ablation_dctcp: incast fan-in, NewReno vs DCTCP\n"
+                      "\n"
+                      "  --hosts=N    hosts per network (default 64)\n"
+                      "  --trials=N   incast trials per config (default 5)\n"
+                      "  --seed=N     topology/workload seed (default 1)\n");
   const int hosts = flags.get_int("hosts", 64);
   const int trials = flags.get_int("trials", 5);
   const std::uint64_t seed =

@@ -16,19 +16,6 @@ using namespace pnet;
 
 namespace {
 
-void print_usage() {
-  std::printf(
-      "bench_ablation_failover: plane outage with/without failure-aware "
-      "selection\n"
-      "\n"
-      "  --hosts=N       hosts in the 4-plane P-Net (default 64)\n"
-      "  --rounds=N      closed-loop RPC rounds per worker, 2 workers per\n"
-      "                  host (default 20)\n"
-      "  --seed=N        seed for the Jellyfish wiring and the RPC\n"
-      "                  destination draws (default 1)\n"
-      "  --scale=paper   paper-scale run (more hosts)\n");
-}
-
 struct Outcome {
   int completed = 0;
   int expected = 0;
@@ -76,13 +63,17 @@ Outcome run(bool aware, int hosts, int rounds, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  if (flags.has("help")) {
-    print_usage();
-    return 0;
-  }
-  bench::print_header("Ablation: plane failure with/without failure-aware "
-                      "path selection",
-                      flags);
+  bench::print_header(
+      "Ablation: plane failure with/without failure-aware path selection",
+      flags,
+      "bench_ablation_failover: plane outage with/without failure-aware "
+      "selection\n"
+      "\n"
+      "  --hosts=N       hosts in the 4-plane P-Net (default 64)\n"
+      "  --rounds=N      closed-loop RPC rounds per worker, 2 workers per\n"
+      "                  host (default 20)\n"
+      "  --seed=N        seed for the Jellyfish wiring and the RPC\n"
+      "                  destination draws (default 1)\n");
   const int hosts = flags.get_int("hosts", 64);
   const int rounds = flags.get_int("rounds", 20);
   const std::uint64_t seed =

@@ -50,7 +50,14 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::print_header("Ablation: open-loop latency vs offered load "
                       "(100 kB Poisson flows)",
-                      flags);
+                      flags,
+                      "bench_ablation_load: open-loop latency vs offered "
+                      "load\n"
+                      "\n"
+                      "  --hosts=N    hosts per network (default 48)\n"
+                      "  --flows=N    Poisson flows per load point "
+                      "(default 400)\n"
+                      "  --seed=N     topology/arrival seed (default 1)\n");
   const int hosts = flags.get_int("hosts", 48);
   const int flows = flags.get_int("flows", 400);
   const std::uint64_t seed =

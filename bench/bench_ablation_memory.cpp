@@ -15,7 +15,12 @@ using namespace pnet;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  bench::print_header("Ablation: forwarding-table state per switch", flags);
+  bench::print_header("Ablation: forwarding-table state per switch", flags,
+                      "bench_ablation_memory: forwarding-table state per "
+                      "switch\n"
+                      "\n"
+                      "  --hosts=N    hosts per network (default 256)\n"
+                      "  --seed=N     topology seed (default 1)\n");
   const int hosts = flags.get_int("hosts", 256);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));

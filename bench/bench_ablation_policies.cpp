@@ -51,7 +51,14 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::print_header("Ablation: path-selection policies "
                       "(4-plane heterogeneous Jellyfish)",
-                      flags);
+                      flags,
+                      "bench_ablation_policies: path-selection policy "
+                      "shoot-out\n"
+                      "\n"
+                      "  --hosts=N    hosts per network (default 64)\n"
+                      "  --planes=N   dataplanes (default 4)\n"
+                      "  --rounds=N   RPC rounds per worker (default 10)\n"
+                      "  --seed=N     topology/workload seed (default 1)\n");
   const int hosts = flags.get_int("hosts", 64);
   const int planes = flags.get_int("planes", 4);
   const int rounds = flags.get_int("rounds", 10);

@@ -104,7 +104,12 @@ CouplingResult run_coupling(sim::Coupling coupling) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::print_header("Ablation: KSP tie-breaking and MPTCP coupling",
-                      flags);
+                      flags,
+                      "bench_ablation_routing: KSP tie-breaking and MPTCP "
+                      "coupling\n"
+                      "\n"
+                      "  --hosts=N    hosts per network (default 128)\n"
+                      "  --seed=N     topology/workload seed (default 1)\n");
   const int hosts = flags.get_int("hosts", 128);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));

@@ -53,7 +53,13 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Appendix A (Figs 16-20): trace FCTs x {10/40G, 100/400G} x "
       "{fat tree, Jellyfish}",
-      flags);
+      flags,
+      "bench_appendix: appendix A trace FCT grid\n"
+      "\n"
+      "  --hosts=N    hosts per network (default 48; paper 250)\n"
+      "  --rounds=N   trace rounds (default 4; paper 20)\n"
+      "  --cap_mb=N   cap trace flow sizes at N MB, 0 = uncapped\n"
+      "  --seed=N     topology/trace seed (default 1)\n");
   const bool paper = flags.paper_scale();
   const int hosts = flags.get_int("hosts", paper ? 250 : 48);
   const int rounds = flags.get_int("rounds", paper ? 20 : 4);

@@ -23,24 +23,6 @@ using namespace pnet;
 
 namespace {
 
-void print_usage() {
-  std::printf(
-      "bench_fault_recovery: goodput dip-and-recover under dynamic faults\n"
-      "\n"
-      "  --hosts=N         hosts in every network (default 16; 64 with\n"
-      "                    --scale=paper)\n"
-      "  --seed=N          seed for the Jellyfish wiring, the permutation\n"
-      "                    workload, and the lossy-cable draw (default 1)\n"
-      "  --fail-rate=F     packet loss probability per degraded cable\n"
-      "                    during the lossy episode, 0..1 (default 0.05)\n"
-      "  --flap-period=MS  how long plane 0 stays down in the mid-run flap,\n"
-      "                    milliseconds (default 20)\n"
-      "  --detect-delay=MS link-status propagation delay before hosts react\n"
-      "                    to a plane transition; 0 = instantaneous oracle\n"
-      "                    (default 1). The sweep at the end varies this.\n"
-      "  --scale=paper     paper-scale run (more hosts)\n");
-}
-
 struct Scenario {
   int hosts = 16;
   bool paper_scale = false;
@@ -133,13 +115,22 @@ RunResult run_network(topo::NetworkType type, const Scenario& sc,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  if (flags.has("help")) {
-    print_usage();
-    return 0;
-  }
   bench::print_header(
       "Fault recovery: plane flap + lossy-cable episode, serial vs P-Net",
-      flags);
+      flags,
+      "bench_fault_recovery: goodput dip-and-recover under dynamic faults\n"
+      "\n"
+      "  --hosts=N         hosts in every network (default 16; 64 with\n"
+      "                    --scale=paper)\n"
+      "  --seed=N          seed for the Jellyfish wiring, the permutation\n"
+      "                    workload, and the lossy-cable draw (default 1)\n"
+      "  --fail-rate=F     packet loss probability per degraded cable\n"
+      "                    during the lossy episode, 0..1 (default 0.05)\n"
+      "  --flap-period=MS  how long plane 0 stays down in the mid-run flap,\n"
+      "                    milliseconds (default 20)\n"
+      "  --detect-delay=MS link-status propagation delay before hosts react\n"
+      "                    to a plane transition; 0 = instantaneous oracle\n"
+      "                    (default 1). The sweep at the end varies this.\n");
 
   Scenario sc;
   sc.paper_scale = flags.paper_scale();

@@ -49,7 +49,13 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::print_header(
       "Figure 10 + Table 2: 1500B RPC completion time, single-path routing",
-      flags);
+      flags,
+      "bench_fig10_table2: 1500B RPC completion times\n"
+      "\n"
+      "  --hosts=N    hosts (default 96; paper 686)\n"
+      "  --planes=N   dataplanes (default 4)\n"
+      "  --rounds=N   RPCs per host (default 100; paper 1000)\n"
+      "  --seed=N     base seed (default 1)\n");
   const bool paper = flags.paper_scale();
   const int hosts = flags.get_int("hosts", paper ? 686 : 96);
   const int planes = flags.get_int("planes", 4);

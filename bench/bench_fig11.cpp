@@ -57,7 +57,13 @@ RpcResult run_rpcs(topo::NetworkType type, int hosts, int planes,
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::print_header(
-      "Figure 11: concurrent 100kB RPC completion time percentiles", flags);
+      "Figure 11: concurrent 100kB RPC completion time percentiles", flags,
+      "bench_fig11: concurrent 100kB RPC percentiles\n"
+      "\n"
+      "  --hosts=N    hosts (default 64; paper 686)\n"
+      "  --planes=N   dataplanes (default 4)\n"
+      "  --rounds=N   RPC rounds per worker (default 30; paper 100)\n"
+      "  --seed=N     base seed (default 1)\n");
   const bool paper = flags.paper_scale();
   const int hosts = flags.get_int("hosts", paper ? 686 : 64);
   const int planes = flags.get_int("planes", 4);

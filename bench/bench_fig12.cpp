@@ -52,7 +52,14 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::print_header("Figure 12: Hadoop-like sort, per-worker stage "
                       "completion times",
-                      flags);
+                      flags,
+                      "bench_fig12: Hadoop-like sort stage times\n"
+                      "\n"
+                      "  --hosts=N     cluster hosts (default 100)\n"
+                      "  --mappers=N   map workers (default 16)\n"
+                      "  --reducers=N  reduce workers (default 16)\n"
+                      "  --gb=N        total sort gigabytes (default 2)\n"
+                      "  --seed=N      placement seed (default 1)\n");
   const bool paper = flags.paper_scale();
   const int hosts = flags.get_int("hosts", paper ? 250 : 100);
 

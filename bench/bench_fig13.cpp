@@ -53,7 +53,15 @@ std::vector<double> run_trace(topo::NetworkType type, workload::Trace trace,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  bench::print_header("Figure 13: published DC flow traces", flags);
+  bench::print_header("Figure 13: published DC flow traces", flags,
+                      "bench_fig13: trace-driven closed-loop FCTs\n"
+                      "\n"
+                      "  --hosts=N    hosts (default 64; paper 686)\n"
+                      "  --planes=N   dataplanes (default 4)\n"
+                      "  --rounds=N   trace rounds (default 8; paper 40)\n"
+                      "  --cap_mb=N   cap trace flow sizes at N MB, "
+                      "0 = uncapped\n"
+                      "  --seed=N     base seed (default 1)\n");
   const bool paper = flags.paper_scale();
   const int hosts = flags.get_int("hosts", paper ? 686 : 64);
   const int planes = flags.get_int("planes", 4);

@@ -16,7 +16,13 @@ using namespace pnet;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::print_header("Figure 14: average hop count under link failures",
-                      flags);
+                      flags,
+                      "bench_fig14: hop count vs link failure rate\n"
+                      "\n"
+                      "  --hosts=N    hosts (default 686)\n"
+                      "  --planes=N   dataplanes (default 4)\n"
+                      "  --trials=N   failure draws per rate (default 5)\n"
+                      "  --seed=N     base seed (default 1)\n");
   const int hosts = flags.get_int("hosts", 686);
   const int planes = flags.get_int("planes", 4);
   const int trials = flags.get_int("trials", 5);

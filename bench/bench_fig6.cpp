@@ -48,7 +48,14 @@ Series run_trials(topo::NetworkType type, int hosts, int planes,
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::print_header("Figure 6: fat tree ideal throughput (ECMP + KSP)",
-                      flags);
+                      flags,
+                      "bench_fig6: fat tree ideal throughput (LP)\n"
+                      "\n"
+                      "  --hosts=N    hosts (default 128; paper 1024)\n"
+                      "  --eps=X      LP approximation epsilon "
+                      "(default 0.05)\n"
+                      "  --trials=N   seeds per point (default 3)\n"
+                      "  --seed=N     base seed (default 1)\n");
   const int hosts = flags.get_int("hosts", flags.paper_scale() ? 1024 : 128);
   const double eps = flags.get_double("eps", 0.05);
   const int trials = flags.get_int("trials", flags.paper_scale() ? 5 : 3);

@@ -47,7 +47,14 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Figure 7: Jellyfish ideal throughput, rack-level all-to-all, no "
       "path constraint",
-      flags);
+      flags,
+      "bench_fig7: Jellyfish ideal throughput, no path constraint (LP)\n"
+      "\n"
+      "  --racks=N    racks (default 24; paper 128)\n"
+      "  --degree=N   switch network degree (default 8)\n"
+      "  --eps=X      LP approximation epsilon (default 0.06)\n"
+      "  --trials=N   seeds per point (default 3)\n"
+      "  --seed=N     base seed (default 1)\n");
   const int racks = flags.get_int("racks", flags.paper_scale() ? 128 : 24);
   const int degree = flags.get_int("degree", 8);
   const double eps = flags.get_double("eps", 0.06);

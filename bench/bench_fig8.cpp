@@ -48,7 +48,14 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::print_header("Figure 8: Jellyfish ideal throughput (8-way KSP + "
                       "multipath sweep)",
-                      flags);
+                      flags,
+                      "bench_fig8: Jellyfish ideal throughput, KSP (LP)\n"
+                      "\n"
+                      "  --hosts=N    hosts (default 98; paper 1024)\n"
+                      "  --eps=X      LP approximation epsilon "
+                      "(default 0.05)\n"
+                      "  --trials=N   seeds per point (default 3)\n"
+                      "  --seed=N     base seed (default 1)\n");
   const int hosts = flags.get_int("hosts", flags.paper_scale() ? 1024 : 98);
   const double eps = flags.get_double("eps", 0.05);
   const int trials = flags.get_int("trials", flags.paper_scale() ? 5 : 3);

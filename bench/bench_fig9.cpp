@@ -15,11 +15,7 @@ using namespace pnet;
 
 namespace {
 
-bench::Summary run_one(topo::NetworkType type, int hosts, int planes,
-                       std::uint64_t flow_bytes, int rounds,
-                       std::uint64_t seed) {
-  auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type, hosts,
-                               planes, seed);
+core::PolicyConfig policy_for(topo::NetworkType type, int planes) {
   core::PolicyConfig policy;
   const bool parallel = type == topo::NetworkType::kParallelHomogeneous ||
                         type == topo::NetworkType::kParallelHeterogeneous;
@@ -29,12 +25,20 @@ bench::Summary run_one(topo::NetworkType type, int hosts, int planes,
   } else {
     policy.policy = core::RoutingPolicy::kShortestPlane;  // single path
   }
+  return policy;
+}
+
+bench::Summary run_packet(topo::NetworkType type, int hosts, int planes,
+                          std::uint64_t flow_bytes, int rounds,
+                          std::uint64_t seed) {
+  auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type, hosts,
+                               planes, seed);
   // Bulk-transfer experiments use deeper per-port buffers (400 MTUs), as
   // htsim TCP studies do; the shallow 100-packet default is kept for the
   // RPC experiments where drop behaviour is the point (Fig 11).
   sim::SimConfig sim_config;
   sim_config.queue_buffer_bytes = 400 * 1500;
-  core::SimHarness harness(spec, policy, sim_config);
+  core::SimHarness harness(spec, policy_for(type, planes), sim_config);
 
   Rng rng(seed * 33 + 1);
   std::vector<double> fcts;
@@ -62,13 +66,57 @@ bench::Summary run_one(topo::NetworkType type, int hosts, int planes,
   return bench::summarize(fcts);
 }
 
+/// Fluid-engine twin of run_packet: same topology, permutations, jitter and
+/// policy intent, two orders of magnitude faster (no slow start or queueing
+/// delay; see DESIGN.md for the fidelity envelope).
+bench::Summary run_fsim(topo::NetworkType type, int hosts, int planes,
+                        std::uint64_t flow_bytes, int rounds,
+                        std::uint64_t seed) {
+  auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type, hosts,
+                               planes, seed);
+  const auto net = topo::build_network(spec);
+  const auto config = bench::to_fsim_config(policy_for(type, planes));
+
+  Rng rng(seed * 33 + 1);
+  std::vector<double> fcts;
+  for (int round = 0; round < rounds; ++round) {
+    fsim::FluidSimulator fluid(net, config);
+    for (const auto& [src, dst] :
+         workload::permutation_pairs(net.num_hosts(), rng)) {
+      const SimTime jittered =
+          static_cast<SimTime>(rng.next_below(10 * units::kMicrosecond));
+      fluid.add_flow({src, dst, flow_bytes, jittered});
+    }
+    fluid.run();
+    for (double fct : fluid.fct_us()) fcts.push_back(fct);
+  }
+  return bench::summarize(fcts);
+}
+
+bench::Summary run_one(bench::Engine engine, topo::NetworkType type,
+                       int hosts, int planes, std::uint64_t flow_bytes,
+                       int rounds, std::uint64_t seed) {
+  return engine == bench::Engine::kPacket
+             ? run_packet(type, hosts, planes, flow_bytes, rounds, seed)
+             : run_fsim(type, hosts, planes, flow_bytes, rounds, seed);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  bench::print_header("Figure 9: small flow FCT vs flow size (permutation, "
-                      "packet sim)",
-                      flags);
+  bench::print_header("Figure 9: small flow FCT vs flow size (permutation)",
+                      flags,
+                      "bench_fig9: FCT vs flow size on Jellyfish P-Nets\n"
+                      "\n"
+                      "  --hosts=N        hosts (default 96; paper 686)\n"
+                      "  --planes=N       dataplanes (default 4)\n"
+                      "  --rounds=N       permutation rounds (default 3)\n"
+                      "  --maxsize=N      largest flow size in bytes\n"
+                      "  --engine=E       packet (default) or fsim "
+                      "(flow-level fluid model)\n"
+                      "  --seed=N         base seed (default 1)\n");
+  const auto engine = bench::parse_engine(flags);
   const bool paper = flags.paper_scale();
   const int hosts = flags.get_int("hosts", paper ? 686 : 96);
   const int planes = flags.get_int("planes", 4);
@@ -82,13 +130,15 @@ int main(int argc, char** argv) {
                                       100'000'000, 1'000'000'000};
   std::erase_if(sizes, [&](std::uint64_t s) { return s > max_size; });
 
-  TextTable table("Fig 9: mean FCT (us) with stddev, by flow size",
+  TextTable table(std::string("Fig 9: mean FCT (us) with stddev, by flow "
+                              "size [engine=") +
+                      bench::to_string(engine) + "]",
                   {"flow size", "serial low-bw", "sd", "par hom", "sd",
                    "par het", "sd", "serial high-bw", "sd"});
   for (std::uint64_t size : sizes) {
     std::vector<double> row;
     for (auto type : bench::kAllTypes) {
-      const auto s = run_one(type, hosts, planes, size, rounds, seed);
+      const auto s = run_one(engine, type, hosts, planes, size, rounds, seed);
       row.push_back(s.mean);
       row.push_back(s.stddev);
     }

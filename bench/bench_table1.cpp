@@ -10,7 +10,12 @@ using namespace pnet;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  bench::print_header("Table 1: component counts", flags);
+  bench::print_header("Table 1: component counts", flags,
+                      "bench_table1: component counts per architecture\n"
+                      "\n"
+                      "  --hosts=N    target host count (default 8192)\n"
+                      "  --radix=N    switch chip radix (default 16)\n"
+                      "  --planes=N   dataplanes (default 8)\n");
 
   const std::int64_t hosts = flags.get_i64("hosts", 8192);
   const int radix = flags.get_int("radix", 16);

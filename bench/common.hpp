@@ -5,11 +5,14 @@
 // figure's series as a TextTable.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/harness.hpp"
+#include "fsim/fluid.hpp"
 #include "lp/mcf.hpp"
 #include "routing/ecmp.hpp"
 #include "routing/plane_paths.hpp"
@@ -136,10 +139,80 @@ inline void print_cdf(const std::string& title, const Cdf& cdf,
   table.print();
 }
 
-inline void print_header(const std::string& what, const Flags& flags) {
+/// Standard bench prologue, shared by every bench binary: --help prints
+/// `usage` (plus the common-flag epilogue) and exits; a flag not named in
+/// `usage` aborts instead of silently falling back to its default; then
+/// the figure header line is printed.
+inline void print_header(const std::string& what, const Flags& flags,
+                         const char* usage) {
+  flags.handle_usage(usage == nullptr ? std::string_view{} : usage);
   std::printf("# %s\n# scale=%s (use --scale=paper or PNET_SCALE=paper for "
               "paper-size runs)\n\n",
               what.c_str(), flags.paper_scale() ? "paper" : "default");
 }
+
+// --------------------------------------------------------------- engines
+
+/// Which simulation engine a bench drives: the packet-level simulator
+/// (src/sim, exact but small-scale) or the flow-level fluid simulator
+/// (src/fsim, max-min rates, 100x+ faster). Selected with --engine.
+enum class Engine { kPacket, kFsim };
+
+inline const char* to_string(Engine engine) {
+  return engine == Engine::kPacket ? "packet" : "fsim";
+}
+
+inline Engine parse_engine(const Flags& flags) {
+  const auto value = flags.get("engine", "packet");
+  if (value == "packet") return Engine::kPacket;
+  if (value == "fsim") return Engine::kFsim;
+  std::fprintf(stderr, "%s: --engine must be 'packet' or 'fsim', got '%s'\n",
+               flags.program().c_str(), value.c_str());
+  std::exit(2);
+}
+
+/// The fluid-engine scheme matching a packet-sim routing policy, so a
+/// bench's --engine=fsim run models the same path choices its packet run
+/// simulates. (kEcmp and kRoundRobin both pin one plane per flow; the
+/// fluid model approximates round-robin by the ECMP plane hash, which has
+/// the same per-plane load in expectation. kSizeThreshold maps per flow.)
+inline fsim::FsimConfig to_fsim_config(const core::PolicyConfig& policy,
+                                       std::uint64_t flow_bytes = 0) {
+  fsim::FsimConfig config;
+  config.k = policy.k;
+  config.ecmp_path_cap = policy.ecmp_path_cap;
+  switch (policy.policy) {
+    case core::RoutingPolicy::kEcmp:
+    case core::RoutingPolicy::kRoundRobin:
+      config.scheme = fsim::RouteScheme::kEcmpPlaneHash;
+      break;
+    case core::RoutingPolicy::kShortestPlane:
+      config.scheme = fsim::RouteScheme::kShortestPlane;
+      break;
+    case core::RoutingPolicy::kKspMultipath:
+      config.scheme = fsim::RouteScheme::kKspMultipath;
+      break;
+    case core::RoutingPolicy::kSizeThreshold:
+      config.scheme = flow_bytes > policy.multipath_cutoff_bytes
+                          ? fsim::RouteScheme::kKspMultipath
+                          : fsim::RouteScheme::kShortestPlane;
+      break;
+  }
+  return config;
+}
+
+/// Wall-clock stopwatch for engine speedup comparisons.
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace pnet::bench

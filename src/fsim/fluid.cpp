@@ -1,0 +1,248 @@
+#include "fsim/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "routing/ecmp.hpp"
+#include "routing/plane_paths.hpp"
+
+namespace pnet::fsim {
+
+namespace {
+
+/// A flow is done once less than half a byte of fluid remains (event times
+/// are rounded up to whole picoseconds, so the residual is rounding noise).
+constexpr double kEpsBytes = 0.5;
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+struct PendingLater {
+  bool operator()(const auto& a, const auto& b) const {
+    return a.spec.start > b.spec.start;
+  }
+};
+
+}  // namespace
+
+const char* to_string(RouteScheme scheme) {
+  switch (scheme) {
+    case RouteScheme::kEcmpPlaneHash: return "ecmp";
+    case RouteScheme::kShortestPlane: return "shortest-plane";
+    case RouteScheme::kKspMultipath: return "ksp-multipath";
+  }
+  return "?";
+}
+
+std::vector<routing::Path> choose_paths(const topo::ParallelNetwork& net,
+                                        const FsimConfig& config, HostId src,
+                                        HostId dst, std::uint64_t flow_key) {
+  switch (config.scheme) {
+    case RouteScheme::kEcmpPlaneHash: {
+      // Same plane-hash convention as the LP runners in bench/common.hpp,
+      // so fluid, packet and LP engines agree on which plane a flow rides.
+      const int plane = routing::ecmp_pick(
+          mix64(flow_key * 0x9E3779B9ULL + 1), net.num_planes());
+      auto paths = routing::ecmp_paths_in_plane(net, plane, src, dst,
+                                                config.ecmp_path_cap);
+      if (paths.empty()) return {};
+      const int pick =
+          routing::ecmp_pick(mix64(flow_key ^ 0x5BF03635C4ULL),
+                             static_cast<int>(paths.size()));
+      return {std::move(paths[static_cast<std::size_t>(pick)])};
+    }
+    case RouteScheme::kShortestPlane: {
+      auto per_plane = routing::shortest_per_plane(net, src, dst);
+      if (per_plane.empty()) return {};
+      // Hash among the planes tied for fewest hops, like the packet-sim
+      // selector, so homogeneous P-Nets spread instead of piling on plane 0.
+      int ties = 1;
+      while (ties < static_cast<int>(per_plane.size()) &&
+             per_plane[static_cast<std::size_t>(ties)].hops() ==
+                 per_plane.front().hops()) {
+        ++ties;
+      }
+      const int pick =
+          routing::ecmp_pick(mix64(flow_key + 0x51ED2705ULL), ties);
+      return {std::move(per_plane[static_cast<std::size_t>(pick)])};
+    }
+    case RouteScheme::kKspMultipath:
+      return routing::ksp_across_planes(net, src, dst, config.k,
+                                        mix64(flow_key + 0xABCD));
+  }
+  return {};
+}
+
+FluidSimulator::FluidSimulator(const topo::ParallelNetwork& net,
+                               FsimConfig config)
+    : net_(net), config_(config), index_(net), alloc_(index_.capacity()) {}
+
+void FluidSimulator::add_flow(const FlowSpec& spec) {
+  add_flow(spec, choose_paths(net_, config_, spec.src, spec.dst,
+                              next_key_++));
+}
+
+void FluidSimulator::add_flow(const FlowSpec& spec,
+                              std::vector<routing::Path> paths) {
+  Pending pending;
+  pending.spec = spec;
+  pending.spec.start = std::max(spec.start, now_);
+  pending.paths = std::move(paths);
+  pending_.push_back(std::move(pending));
+  std::push_heap(pending_.begin(), pending_.end(), PendingLater{});
+}
+
+void FluidSimulator::admit(Pending&& pending) {
+  if (pending.paths.empty()) {
+    // Disconnected pair: nothing can flow; log a zero-duration record so
+    // the caller sees the flow was not silently dropped.
+    FlowResult result;
+    result.src = pending.spec.src;
+    result.dst = pending.spec.dst;
+    result.bytes = pending.spec.bytes;
+    result.start = pending.spec.start;
+    result.end = now_;
+    result.subflows = 0;
+    results_.push_back(result);
+    return;
+  }
+  if (static_cast<double>(pending.spec.bytes) <= kEpsBytes) {
+    // Zero-byte flow: nothing to drain, done the instant it starts.
+    FlowResult result;
+    result.src = pending.spec.src;
+    result.dst = pending.spec.dst;
+    result.bytes = pending.spec.bytes;
+    result.start = pending.spec.start;
+    result.end = now_;
+    result.hops = pending.paths.front().hops();
+    results_.push_back(result);
+    return;
+  }
+  Active active;
+  active.spec = pending.spec;
+  active.remaining_bytes = static_cast<double>(pending.spec.bytes);
+  active.hops = pending.paths.front().hops();
+  active.sub_ids.reserve(pending.paths.size());
+  for (const auto& path : pending.paths) {
+    active.sub_ids.push_back(alloc_.add(index_.to_global(path)));
+  }
+  active_.push_back(std::move(active));
+  rates_stale_ = true;
+}
+
+void FluidSimulator::complete(std::size_t slot) {
+  Active& active = active_[slot];
+  FlowResult result;
+  result.src = active.spec.src;
+  result.dst = active.spec.dst;
+  result.bytes = active.spec.bytes;
+  result.start = active.spec.start;
+  result.end = now_;
+  result.subflows = static_cast<int>(active.sub_ids.size());
+  result.hops = active.hops;
+  results_.push_back(result);
+  for (int id : active.sub_ids) alloc_.remove(id);
+  active_[slot] = std::move(active_.back());
+  active_.pop_back();
+  rates_stale_ = true;
+}
+
+void FluidSimulator::drain(SimTime dt) {
+  if (dt <= 0) return;
+  const double seconds = units::to_seconds(dt);
+  for (auto& active : active_) {
+    const double bytes = active.rate_bps * seconds / 8.0;
+    const double drained = std::min(bytes, active.remaining_bytes);
+    delivered_bytes_ += drained;
+    active.remaining_bytes -= drained;
+  }
+}
+
+void FluidSimulator::settle() {
+  if (alloc_.dirty()) {
+    alloc_.solve();
+    rates_stale_ = true;
+  }
+  if (!rates_stale_) return;
+  for (auto& active : active_) {
+    double rate = 0.0;
+    for (int id : active.sub_ids) rate += alloc_.rate_bps(id);
+    active.rate_bps = rate;
+  }
+  rates_stale_ = false;
+}
+
+void FluidSimulator::run_until(SimTime deadline) {
+  while (true) {
+    // Completions first (anything drained to zero by the last advance),
+    // then arrivals due now, then a rate re-solve over the new flow set.
+    for (std::size_t slot = 0; slot < active_.size();) {
+      if (active_[slot].remaining_bytes <= kEpsBytes) {
+        complete(slot);
+      } else {
+        ++slot;
+      }
+    }
+    while (!pending_.empty() && pending_.front().spec.start <= now_) {
+      std::pop_heap(pending_.begin(), pending_.end(), PendingLater{});
+      Pending pending = std::move(pending_.back());
+      pending_.pop_back();
+      admit(std::move(pending));
+    }
+    settle();
+
+    SimTime t_next = kNever;
+    for (const auto& active : active_) {
+      if (active.rate_bps <= 0.0) continue;  // starved; cannot predict
+      const double dt_ps = active.remaining_bytes * 8.0 / active.rate_bps *
+                           static_cast<double>(units::kSecond);
+      if (dt_ps >= static_cast<double>(kNever - now_)) continue;
+      const SimTime t =
+          now_ + std::max<SimTime>(1, static_cast<SimTime>(std::ceil(dt_ps)));
+      t_next = std::min(t_next, t);
+    }
+    if (!pending_.empty()) {
+      t_next = std::min(t_next, std::max(pending_.front().spec.start, now_));
+    }
+    if (t_next == kNever) break;  // drained, or only starved flows remain
+    if (t_next > deadline) {
+      drain(deadline - now_);
+      now_ = std::max(now_, deadline);
+      break;
+    }
+    drain(t_next - now_);
+    now_ = t_next;
+  }
+}
+
+void FluidSimulator::run() { run_until(kNever); }
+
+std::vector<double> FluidSimulator::fct_us() const {
+  std::vector<double> out;
+  out.reserve(results_.size());
+  for (const auto& result : results_) out.push_back(result.fct_us());
+  return out;
+}
+
+std::vector<double> FluidSimulator::active_rates_bps() const {
+  std::vector<double> out;
+  out.reserve(active_.size());
+  for (const auto& active : active_) out.push_back(active.rate_bps);
+  return out;
+}
+
+double FluidSimulator::total_rate_bps() const {
+  double total = 0.0;
+  for (const auto& active : active_) total += active.rate_bps;
+  return total;
+}
+
+double FluidSimulator::min_rate_bps() const {
+  double min = 0.0;
+  bool first = true;
+  for (const auto& active : active_) {
+    if (first || active.rate_bps < min) min = active.rate_bps;
+    first = false;
+  }
+  return min;
+}
+
+}  // namespace pnet::fsim

@@ -1,0 +1,162 @@
+// Flow-level fluid simulator (fsim): the scale-out companion to the packet
+// simulator in src/sim.
+//
+// Flows are fluid demands, not packet streams. Link bandwidth is shared by
+// progressive-filling max-min fairness (MaxMinAllocator), re-solved
+// incrementally at every flow arrival and departure; between events every
+// rate is constant, so the event loop jumps straight to the next arrival or
+// the earliest predicted completion. This is the standard flow-level trick
+// of the multipath-routing literature (FatPaths et al.): it gives up
+// packet-level effects (slow start, queueing delay, retransmits) to gain
+// 100x+ wall-clock speedups, which buys k=24/32 fat trees and millions of
+// flows. Where the model diverges from src/sim and by how much is
+// documented in DESIGN.md and enforced by tests/fsim_test.cpp.
+//
+// The simulator reuses the existing substrate end to end: topologies come
+// from topo::ParallelNetwork, paths from routing:: (ECMP plane hashing, the
+// shortest plane, or MPTCP-style K-shortest-paths where each path becomes
+// one independent subflow demand), capacities via lp::LinkIndex, and the
+// FCT vectors it emits plug into the same bench/common.hpp summaries as
+// the packet engine.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "fsim/max_min.hpp"
+#include "lp/link_index.hpp"
+#include "routing/path.hpp"
+#include "topo/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pnet::fsim {
+
+/// Path selection schemes mirrored from core::RoutingPolicy. Kept separate
+/// so fsim does not depend on the packet-sim layers core:: pulls in.
+enum class RouteScheme : std::uint8_t {
+  /// Hash the flow onto one plane, then onto one equal-cost shortest path
+  /// inside it (what switch ECMP does to a TCP flow). One subflow.
+  kEcmpPlaneHash,
+  /// Single path on the plane with the fewest hops (the low-latency
+  /// interface of paper section 3.4).
+  kShortestPlane,
+  /// MPTCP over the K globally-shortest paths across planes: one fluid
+  /// subflow per path, each an independent max-min demand (EWTCP-like
+  /// uncoupled sharing; see DESIGN.md for the divergence from LIA).
+  kKspMultipath,
+};
+
+[[nodiscard]] const char* to_string(RouteScheme scheme);
+
+struct FsimConfig {
+  RouteScheme scheme = RouteScheme::kEcmpPlaneHash;
+  /// Multipath degree for kKspMultipath.
+  int k = 4;
+  /// Cap on enumerated equal-cost paths per plane for kEcmpPlaneHash.
+  int ecmp_path_cap = 64;
+};
+
+/// The paths a flow with `flow_key` uses under `config`. Exposed so tests
+/// and benches can pin the exact same paths into the packet simulator or
+/// the LP solver that the fluid simulator will use.
+std::vector<routing::Path> choose_paths(const topo::ParallelNetwork& net,
+                                        const FsimConfig& config, HostId src,
+                                        HostId dst, std::uint64_t flow_key);
+
+struct FlowSpec {
+  HostId src{0};
+  HostId dst{0};
+  std::uint64_t bytes = 0;
+  SimTime start = 0;
+};
+
+struct FlowResult {
+  HostId src{0};
+  HostId dst{0};
+  std::uint64_t bytes = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  int subflows = 1;
+  /// Links of the first path (the latency-relevant hop count), matching
+  /// sim::FlowRecord::hops.
+  int hops = 0;
+
+  [[nodiscard]] double fct_us() const {
+    return units::to_microseconds(end - start);
+  }
+};
+
+class FluidSimulator {
+ public:
+  explicit FluidSimulator(const topo::ParallelNetwork& net,
+                          FsimConfig config = {});
+
+  /// Queues a flow; paths are chosen by the configured scheme using a
+  /// per-flow key (the flow's arrival index). `start` must be >= now().
+  void add_flow(const FlowSpec& spec);
+  /// Queues a flow pinned to explicit paths (one subflow per path), for
+  /// cross-validation runs that must share exact paths with sim/ or lp/.
+  void add_flow(const FlowSpec& spec, std::vector<routing::Path> paths);
+
+  /// Runs until every queued flow has completed (or nothing can progress).
+  void run();
+  /// Runs events up to and including `deadline`, leaving rates settled.
+  void run_until(SimTime deadline);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] const std::vector<FlowResult>& results() const {
+    return results_;
+  }
+  /// Flow completion times in microseconds (same unit as
+  /// sim::FlowLogger::fct_us) for bench/common.hpp summaries.
+  [[nodiscard]] std::vector<double> fct_us() const;
+
+  // Steady-state probes, valid after run/run_until (rates are settled).
+  [[nodiscard]] int active_flows() const {
+    return static_cast<int>(active_.size());
+  }
+  /// Per-active-flow allocated rate (subflow rates summed), bits/second.
+  [[nodiscard]] std::vector<double> active_rates_bps() const;
+  [[nodiscard]] double total_rate_bps() const;
+  [[nodiscard]] double min_rate_bps() const;
+  /// Fluid bytes drained so far across all flows, complete and partial.
+  [[nodiscard]] double delivered_bytes() const { return delivered_bytes_; }
+
+  [[nodiscard]] const MaxMinAllocator& allocator() const { return alloc_; }
+  [[nodiscard]] const lp::LinkIndex& index() const { return index_; }
+
+ private:
+  struct Active {
+    FlowSpec spec;
+    double remaining_bytes = 0.0;
+    double rate_bps = 0.0;
+    std::vector<int> sub_ids;
+    int hops = 0;
+  };
+  struct Pending {
+    FlowSpec spec;
+    std::vector<routing::Path> paths;
+  };
+
+  void settle();  // re-solve + refresh per-flow rates if needed
+  void admit(Pending&& pending);
+  void complete(std::size_t slot);
+  void drain(SimTime dt);
+
+  const topo::ParallelNetwork& net_;
+  FsimConfig config_;
+  lp::LinkIndex index_;
+  MaxMinAllocator alloc_;
+
+  std::vector<Pending> pending_;  // min-heap on spec.start
+  std::vector<Active> active_;
+  std::vector<FlowResult> results_;
+  SimTime now_ = 0;
+  std::uint64_t next_key_ = 0;
+  double delivered_bytes_ = 0.0;
+  bool rates_stale_ = false;
+};
+
+}  // namespace pnet::fsim

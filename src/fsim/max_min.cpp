@@ -1,0 +1,160 @@
+#include "fsim/max_min.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pnet::fsim {
+
+MaxMinAllocator::MaxMinAllocator(std::vector<double> capacity_bps)
+    : capacity_(std::move(capacity_bps)),
+      active_on_link_(capacity_.size(), 0),
+      slot_of_link_(capacity_.size(), -1) {}
+
+int MaxMinAllocator::add(std::vector<int> links) {
+  int id;
+  if (free_ids_.empty()) {
+    id = static_cast<int>(subflows_.size());
+    subflows_.emplace_back();
+  } else {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  }
+  auto& sub = subflows_[static_cast<std::size_t>(id)];
+  sub.links = std::move(links);
+  sub.live_pos = static_cast<int>(live_ids_.size());
+  live_ids_.push_back(id);
+
+  bool alone = true;
+  double cap = std::numeric_limits<double>::infinity();
+  for (int link : sub.links) {
+    if (active_on_link_[static_cast<std::size_t>(link)]++ > 0) alone = false;
+    cap = std::min(cap, capacity_[static_cast<std::size_t>(link)]);
+  }
+  if (alone && !dirty_) {
+    // No shared link: nobody else's bottleneck moved, so the new subflow
+    // simply gets its path's narrowest link.
+    sub.rate_bps = sub.links.empty() ? 0.0 : cap;
+    ++fast_paths_;
+  } else {
+    dirty_ = true;
+  }
+  return id;
+}
+
+void MaxMinAllocator::remove(int id) {
+  auto& sub = subflows_[static_cast<std::size_t>(id)];
+  assert(sub.live_pos >= 0);
+  bool alone = true;
+  for (int link : sub.links) {
+    if (--active_on_link_[static_cast<std::size_t>(link)] > 0) alone = false;
+  }
+  // Swap-remove from the live list, fixing the moved subflow's position.
+  const int last = live_ids_.back();
+  live_ids_[static_cast<std::size_t>(sub.live_pos)] = last;
+  subflows_[static_cast<std::size_t>(last)].live_pos = sub.live_pos;
+  live_ids_.pop_back();
+  sub.live_pos = -1;
+  sub.links.clear();
+  sub.rate_bps = 0.0;
+  free_ids_.push_back(id);
+  if (alone) {
+    ++fast_paths_;  // departure frees capacity nobody was contending for
+  } else {
+    dirty_ = true;
+  }
+}
+
+void MaxMinAllocator::solve() {
+  if (!dirty_) return;
+  dirty_ = false;
+  ++full_solves_;
+
+  // Dense slots for the links active subflows actually touch, plus the
+  // link -> subflows adjacency (counting sort over path entries).
+  slot_links_.clear();
+  slot_rem_.clear();
+  slot_degree_.clear();
+  for (int id : live_ids_) {
+    for (int link : subflows_[static_cast<std::size_t>(id)].links) {
+      auto& slot = slot_of_link_[static_cast<std::size_t>(link)];
+      if (slot < 0) {
+        slot = static_cast<int>(slot_links_.size());
+        slot_links_.push_back(link);
+        slot_rem_.push_back(capacity_[static_cast<std::size_t>(link)]);
+        slot_degree_.push_back(0);
+      }
+      ++slot_degree_[static_cast<std::size_t>(slot)];
+    }
+  }
+  const std::size_t nslots = slot_links_.size();
+  slot_offset_.assign(nslots + 1, 0);
+  for (std::size_t s = 0; s < nslots; ++s) {
+    slot_offset_[s + 1] = slot_offset_[s] + slot_degree_[s];
+  }
+  slot_subs_.resize(static_cast<std::size_t>(slot_offset_[nslots]));
+  slot_unfrozen_.assign(nslots, 0);
+  for (int id : live_ids_) {
+    for (int link : subflows_[static_cast<std::size_t>(id)].links) {
+      const auto slot = static_cast<std::size_t>(
+          slot_of_link_[static_cast<std::size_t>(link)]);
+      slot_subs_[static_cast<std::size_t>(slot_offset_[slot]) +
+                 static_cast<std::size_t>(slot_unfrozen_[slot]++)] = id;
+    }
+  }
+
+  frozen_.assign(subflows_.size(), 0);
+  std::size_t remaining = live_ids_.size();
+
+  // Water-fill. Each round finds the lowest fair-share level among links
+  // that still carry unfrozen subflows and freezes exactly those subflows.
+  // The level is monotonically non-decreasing across rounds, so a single
+  // saturated-slot snapshot per round is sufficient.
+  std::vector<int>& scan = saturated_;  // reused scratch
+  while (remaining > 0) {
+    double level = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < nslots; ++s) {
+      if (slot_unfrozen_[s] <= 0) continue;
+      const double share = std::max(slot_rem_[s], 0.0) /
+                           static_cast<double>(slot_unfrozen_[s]);
+      level = std::min(level, share);
+    }
+    if (!std::isfinite(level)) break;  // no constrained subflow left
+    scan.clear();
+    const double cutoff = level + level * 1e-12 +
+                          std::numeric_limits<double>::min();
+    for (std::size_t s = 0; s < nslots; ++s) {
+      if (slot_unfrozen_[s] <= 0) continue;
+      const double share = std::max(slot_rem_[s], 0.0) /
+                           static_cast<double>(slot_unfrozen_[s]);
+      if (share <= cutoff) scan.push_back(static_cast<int>(s));
+    }
+    for (int s : scan) {
+      const auto begin = static_cast<std::size_t>(slot_offset_[
+          static_cast<std::size_t>(s)]);
+      const auto end = static_cast<std::size_t>(slot_offset_[
+          static_cast<std::size_t>(s) + 1]);
+      for (std::size_t i = begin; i < end; ++i) {
+        const int id = slot_subs_[i];
+        if (frozen_[static_cast<std::size_t>(id)]) continue;
+        frozen_[static_cast<std::size_t>(id)] = 1;
+        auto& sub = subflows_[static_cast<std::size_t>(id)];
+        sub.rate_bps = level;
+        --remaining;
+        for (int link : sub.links) {
+          const auto slot = static_cast<std::size_t>(
+              slot_of_link_[static_cast<std::size_t>(link)]);
+          slot_rem_[slot] -= level;
+          --slot_unfrozen_[slot];
+        }
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < nslots; ++s) {
+    slot_of_link_[static_cast<std::size_t>(slot_links_[s])] = -1;
+  }
+}
+
+}  // namespace pnet::fsim

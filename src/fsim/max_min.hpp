@@ -1,0 +1,83 @@
+// Progressive-filling max-min fair rate allocation over a fixed capacitated
+// link set — the rate model of the flow-level fluid simulator (fsim).
+//
+// Each registered *subflow* is a fluid demand pinned to one path (a list of
+// global link ids; see lp::LinkIndex). solve() water-fills: every active
+// subflow's rate rises uniformly until some link saturates, the subflows
+// crossing that link freeze at the bottleneck level, and the fill continues
+// among the survivors. The result is the (unweighted) max-min fair
+// allocation; its minimum rate equals the max-concurrent-flow LP optimum
+// when each commodity has a single fixed path, which is what
+// tests/fsim_test.cpp cross-validates against lp::max_concurrent_flow.
+//
+// The allocator is built for incremental use by an event loop: add/remove
+// are O(path length) and keep per-link occupancy up to date; a solve is only
+// marked necessary when the change can affect other subflows (an arriving
+// or departing subflow whose links are otherwise unused takes a fast path
+// that touches nothing else). A full solve costs
+// O(sum of active path lengths + bottleneck levels * active links).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pnet::fsim {
+
+class MaxMinAllocator {
+ public:
+  /// `capacity_bps` is indexed by global link id (lp::LinkIndex layout).
+  explicit MaxMinAllocator(std::vector<double> capacity_bps);
+
+  /// Registers a subflow pinned to `links`; returns its handle. If the
+  /// subflow shares no link with any active subflow, its rate is set
+  /// immediately (min capacity along the path) without dirtying the rest.
+  int add(std::vector<int> links);
+  /// Unregisters a subflow. Ids are recycled.
+  void remove(int id);
+
+  /// Recomputes every active rate by water-filling. No-op when no change
+  /// since the last solve could have affected more than its own subflow.
+  void solve();
+
+  /// Rate of an active subflow. Stale until solve() if dirty().
+  [[nodiscard]] double rate_bps(int id) const {
+    return subflows_[static_cast<std::size_t>(id)].rate_bps;
+  }
+  [[nodiscard]] int active() const {
+    return static_cast<int>(live_ids_.size());
+  }
+  [[nodiscard]] bool dirty() const { return dirty_; }
+
+  /// Diagnostics: full water-fills vs O(path) fast-path add/removes.
+  [[nodiscard]] std::int64_t full_solves() const { return full_solves_; }
+  [[nodiscard]] std::int64_t fast_paths() const { return fast_paths_; }
+
+ private:
+  struct Subflow {
+    std::vector<int> links;
+    double rate_bps = 0.0;
+    int live_pos = -1;  // index into live_ids_, -1 when free
+  };
+
+  std::vector<double> capacity_;
+  std::vector<int> active_on_link_;  // live subflows crossing each link
+  std::vector<Subflow> subflows_;
+  std::vector<int> free_ids_;
+  std::vector<int> live_ids_;
+  bool dirty_ = false;
+  std::int64_t full_solves_ = 0;
+  std::int64_t fast_paths_ = 0;
+
+  // Solve scratch, persistent so steady-state re-solves do not allocate.
+  std::vector<int> slot_of_link_;  // link id -> dense slot (-1 idle)
+  std::vector<int> slot_links_;    // dense slot -> link id
+  std::vector<double> slot_rem_;   // remaining capacity per slot
+  std::vector<int> slot_unfrozen_; // unfrozen subflows per slot
+  std::vector<int> slot_degree_;   // adjacency offsets scratch
+  std::vector<int> slot_subs_;     // concatenated subflow ids per slot
+  std::vector<int> slot_offset_;
+  std::vector<char> frozen_;
+  std::vector<int> saturated_;     // per-round bottleneck slots
+};
+
+}  // namespace pnet::fsim

@@ -1,10 +1,38 @@
 #include "util/flags.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <string_view>
 
 namespace pnet {
+
+namespace {
+
+/// Every "--key" token mentioned in a usage text. A key is the maximal run
+/// of [a-zA-Z0-9_-] after a "--" that follows whitespace or starts the
+/// text, so prose em-dashes and "--key=value" examples both parse.
+std::set<std::string, std::less<>> keys_in_usage(std::string_view text) {
+  std::set<std::string, std::less<>> keys;
+  for (std::size_t i = 0; i + 2 < text.size(); ++i) {
+    if (text[i] != '-' || text[i + 1] != '-') continue;
+    if (i > 0 && !std::isspace(static_cast<unsigned char>(text[i - 1]))) {
+      continue;
+    }
+    std::size_t j = i + 2;
+    while (j < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[j])) ||
+            text[j] == '-' || text[j] == '_')) {
+      ++j;
+    }
+    if (j > i + 2) keys.emplace(text.substr(i + 2, j - (i + 2)));
+    i = j - 1;
+  }
+  return keys;
+}
+
+}  // namespace
 
 Flags::Flags(int argc, char** argv) {
   if (argc > 0) program_ = argv[0];
@@ -52,6 +80,30 @@ bool Flags::get_bool(const std::string& key, bool def) const {
 }
 
 bool Flags::has(const std::string& key) const { return values_.contains(key); }
+
+void Flags::handle_usage(std::string_view usage) const {
+  if (has("help")) {
+    std::fwrite(usage.data(), 1, usage.size(), stdout);
+    if (!usage.empty() && usage.back() != '\n') std::fputc('\n', stdout);
+    std::printf(
+        "  --help          print this usage text\n"
+        "  --scale=paper   paper-scale run (or env PNET_SCALE=paper)\n");
+    std::exit(0);
+  }
+  const auto known = keys_in_usage(usage);
+  bool bad = false;
+  for (const auto& [key, value] : values_) {
+    if (key == "help" || key == "scale" || known.contains(key)) continue;
+    std::fprintf(stderr, "%s: unrecognized flag --%s\n", program_.c_str(),
+                 key.c_str());
+    bad = true;
+  }
+  if (bad) {
+    std::fprintf(stderr, "%s: run with --help for the accepted flags\n",
+                 program_.c_str());
+    std::exit(2);
+  }
+}
 
 bool Flags::paper_scale() const {
   if (get("scale", "") == "paper") return true;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace pnet {
 
@@ -29,6 +30,15 @@ class Flags {
   /// True when the run should use paper-scale parameters. Set either with
   /// --scale=paper or env PNET_SCALE=paper.
   [[nodiscard]] bool paper_scale() const;
+
+  /// Shared --help / typo handling, reached by every bench through
+  /// bench::print_header. If --help was passed: prints `usage` plus the
+  /// common-flag epilogue (--help, --scale) and exits 0. Otherwise every
+  /// parsed flag must appear as "--key" somewhere in `usage` (the common
+  /// flags are always accepted); an unrecognized flag aborts with exit
+  /// code 2 listing the offenders, so a misspelled parameter can never
+  /// silently fall back to its default.
+  void handle_usage(std::string_view usage) const;
 
   /// Name of the binary, for usage messages.
   [[nodiscard]] const std::string& program() const { return program_; }

@@ -21,12 +21,14 @@ double percentile_sorted(const std::vector<double>& sorted, double p) {
 }  // namespace
 
 double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
   return percentile_sorted(samples, p);
 }
 
 std::vector<double> percentiles(std::vector<double> samples,
                                 const std::vector<double>& ps) {
+  if (samples.empty()) return std::vector<double>(ps.size(), 0.0);
   std::sort(samples.begin(), samples.end());
   std::vector<double> out;
   out.reserve(ps.size());

@@ -41,9 +41,11 @@ class RunningStats {
 /// Percentile of a sample, p in [0, 100], linear interpolation between
 /// order statistics (the "linear" / type-7 estimator that numpy defaults to,
 /// which is also what the paper's plotting scripts would have used).
+/// An empty sample yields 0.0 (benches summarize runs that may produce no
+/// completions, e.g. under total failure).
 double percentile(std::vector<double> samples, double p);
 
-/// Several percentiles of one sample; sorts once.
+/// Several percentiles of one sample; sorts once. Empty sample: all 0.0.
 std::vector<double> percentiles(std::vector<double> samples,
                                 const std::vector<double>& ps);
 

@@ -212,6 +212,54 @@ TEST(Gk, FatTreePermutationWithFullEcmpIsNonBlocking) {
   EXPECT_GT(result.alpha, 0.93);
 }
 
+TEST(Gk, AlphaRescalingStaysFeasibleOnSaturatedPermutation) {
+  // A permutation of single-path flows whose demand equals the link rate
+  // saturates the fabric exactly: the rescaled GK alpha must never exceed
+  // 1, and the per-link load implied by the returned rates must never
+  // exceed capacity (the rescale-by-peak-utilization guarantee).
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  spec.type = topo::NetworkType::kSerialLow;
+  spec.base_rate_bps = 1.0;
+  const auto net = topo::build_network(spec);
+  const LinkIndex index(net);
+
+  Rng rng(21);
+  const auto perm = rng.derangement(net.num_hosts());
+  std::vector<Commodity> commodities;
+  std::vector<std::vector<int>> single_paths;
+  for (int src = 0; src < net.num_hosts(); ++src) {
+    const auto paths = routing::ecmp_paths_in_plane(
+        net, 0, HostId{src}, HostId{perm[static_cast<std::size_t>(src)]});
+    ASSERT_FALSE(paths.empty());
+    Commodity c;
+    c.demand = net.plane(0).link_rate_bps;  // host uplink: saturating
+    c.paths.push_back(index.to_global(paths.front()));
+    single_paths.push_back(c.paths.front());
+    commodities.push_back(std::move(c));
+  }
+  McfOptions options;
+  options.epsilon = 0.02;
+  const auto result =
+      max_concurrent_flow(index.capacity(), commodities, options);
+  ASSERT_GT(result.alpha, 0.0);
+  EXPECT_LE(result.alpha, 1.0 + 1e-9);
+
+  // Feasibility: accumulate each commodity's delivered rate onto its
+  // (single) path and compare against capacity link by link.
+  std::vector<double> load(index.capacity().size(), 0.0);
+  ASSERT_EQ(result.rates.size(), commodities.size());
+  for (std::size_t c = 0; c < commodities.size(); ++c) {
+    for (int link : single_paths[c]) {
+      load[static_cast<std::size_t>(link)] += result.rates[c];
+    }
+  }
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    EXPECT_LE(load[l], index.capacity()[l] * (1.0 + 1e-9)) << "link " << l;
+  }
+}
+
 TEST(GkOracle, TwoPlanesDoubleThroughput) {
   topo::NetworkSpec base;
   base.topo = topo::TopoKind::kJellyfish;

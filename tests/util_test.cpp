@@ -161,6 +161,40 @@ TEST(Stats, CdfResampleKeepsEndpoints) {
   EXPECT_DOUBLE_EQ(small.points.back().first, 999.0);
 }
 
+TEST(Stats, PercentileEdgeCases) {
+  // Empty sample: documented 0.0 (benches can summarize failed runs).
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 100), 0.0);
+  const auto empty = percentiles({}, {0, 50, 100});
+  ASSERT_EQ(empty.size(), 3u);
+  for (double v : empty) EXPECT_DOUBLE_EQ(v, 0.0);
+
+  // A single sample is every percentile.
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 50), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 100), 7.5);
+
+  // p = 0 / 100 are exactly min / max, no interpolation overshoot.
+  std::vector<double> v{3, 1, 2};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 3.0);
+}
+
+TEST(Stats, CdfEdgeCases) {
+  const auto empty = Cdf::from_samples({});
+  EXPECT_TRUE(empty.points.empty());
+  EXPECT_DOUBLE_EQ(empty.at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_TRUE(empty.resampled(5).points.empty());
+
+  const auto one = Cdf::from_samples({4.0});
+  EXPECT_DOUBLE_EQ(one.at(3.9), 0.0);
+  EXPECT_DOUBLE_EQ(one.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 4.0);
+}
+
 Flags make_flags(std::vector<std::string> args) {
   static std::vector<std::string> storage;
   storage = std::move(args);
@@ -184,6 +218,32 @@ TEST(Flags, ParsesKeyValueAndDefaults) {
 TEST(Flags, PaperScaleFlag) {
   EXPECT_TRUE(make_flags({"prog", "--scale=paper"}).paper_scale());
   EXPECT_FALSE(make_flags({"prog"}).paper_scale());
+}
+
+constexpr const char* kUsage =
+    "demo: a test binary\n"
+    "  --hosts=N     hosts\n"
+    "  --cap_mb=N    cap in MB\n";
+
+TEST(FlagsUsageDeathTest, UnknownFlagAborts) {
+  const auto flags = make_flags({"prog", "--hostz=4"});
+  EXPECT_EXIT(flags.handle_usage(kUsage), testing::ExitedWithCode(2),
+              "unrecognized flag --hostz");
+}
+
+TEST(FlagsUsageDeathTest, HelpPrintsUsageAndExitsZero) {
+  const auto flags = make_flags({"prog", "--help"});
+  EXPECT_EXIT(flags.handle_usage(kUsage), testing::ExitedWithCode(0),
+              "");
+}
+
+TEST(FlagsUsageDeathTest, KnownAndCommonFlagsPass) {
+  // Flags named in the usage text — including underscored ones — and the
+  // always-available common flags must not abort.
+  const auto flags =
+      make_flags({"prog", "--hosts=4", "--cap_mb=16", "--scale=paper"});
+  flags.handle_usage(kUsage);  // returns normally
+  SUCCEED();
 }
 
 TEST(Table, RendersAlignedRows) {
