@@ -7,58 +7,70 @@
 // RTOs; DCTCP's ECN marking keeps queues short and the tail flat. P-Nets
 // help both by spreading the fan-in over N separate downlink queues.
 //
+// One custom-engine cell per (fan-in, network, transport) with --trials
+// independent incast draws, all fanned out by exp::Runner.
+//
 // Usage: bench_ablation_dctcp [--hosts=64] [--trials=5] [--seed=1]
+#include <numeric>
+
 #include "common.hpp"
 
 using namespace pnet;
 
 namespace {
 
-struct Outcome {
-  double p99_ms = 0.0;
-  int timeouts = 0;
-};
-
 enum class Transport { kReno, kDctcp, kTrim };
 
-Outcome run_incast(topo::NetworkType type, Transport transport, int fan_in,
-                   int hosts, int trials, std::uint64_t seed) {
-  std::vector<double> fct_ms;
-  int timeouts = 0;
-  for (int trial = 0; trial < trials; ++trial) {
-    const auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type,
-                                       hosts, 4, seed + 100 * trial);
-    core::PolicyConfig policy;
-    policy.policy = core::RoutingPolicy::kRoundRobin;
-    sim::SimConfig sim_config;
-    sim_config.queue_buffer_bytes = 100 * 1500;
-    if (transport == Transport::kDctcp) {
-      sim_config.ecn_threshold_bytes = 20 * 1500;
-      sim_config.tcp.dctcp = true;
-    } else if (transport == Transport::kTrim) {
-      sim_config.trim_to_header = true;
-    }
-    core::SimHarness harness(spec, policy, sim_config);
-    Rng rng(seed + 7 * trial);
-    const int dst = rng.next_int(0, harness.net().num_hosts());
-    int senders = 0;
-    for (int i = 0; senders < fan_in && i < harness.net().num_hosts();
-         ++i) {
-      if (i == dst) continue;
-      ++senders;
-      harness.starter()(HostId{i}, HostId{dst}, 200'000, 0,
-                        [&](const sim::FlowRecord& r) {
-                          fct_ms.push_back(
-                              units::to_milliseconds(r.end - r.start));
-                        });
-    }
-    harness.run_until(2 * units::kSecond);
-    timeouts += harness.logger().total_timeouts();
+const char* to_string(Transport t) {
+  switch (t) {
+    case Transport::kReno: return "reno";
+    case Transport::kDctcp: return "dctcp";
+    case Transport::kTrim: return "trim";
   }
-  Outcome o;
-  if (!fct_ms.empty()) o.p99_ms = percentile(fct_ms, 99);
-  o.timeouts = timeouts;
-  return o;
+  return "?";
+}
+
+exp::TrialResult run_incast(topo::NetworkType type, Transport transport,
+                            int fan_in, int hosts,
+                            const exp::TrialContext& ctx) {
+  const auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type,
+                                     hosts, 4, ctx.seed);
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kRoundRobin;
+  sim::SimConfig sim_config;
+  sim_config.queue_buffer_bytes = 100 * 1500;
+  if (transport == Transport::kDctcp) {
+    sim_config.ecn_threshold_bytes = 20 * 1500;
+    sim_config.tcp.dctcp = true;
+  } else if (transport == Transport::kTrim) {
+    sim_config.trim_to_header = true;
+  }
+  core::SimHarness harness(spec, policy, sim_config);
+
+  exp::TrialResult r;
+  Rng rng(mix64(ctx.seed));
+  const int dst = rng.next_int(0, harness.net().num_hosts());
+  for (int i = 0; r.flows_started <
+                      static_cast<std::uint64_t>(fan_in) &&
+                  i < harness.net().num_hosts();
+       ++i) {
+    if (i == dst) continue;
+    ++r.flows_started;
+    harness.starter()(HostId{i}, HostId{dst}, 200'000, 0,
+                      [&r](const sim::FlowRecord& rec) {
+                        r.fct_us.push_back(
+                            units::to_microseconds(rec.end - rec.start));
+                        ++r.flows_finished;
+                      });
+  }
+  harness.run_until(2 * units::kSecond);
+  r.metrics["timeouts"] =
+      static_cast<double>(harness.logger().total_timeouts());
+  r.delivered_bytes =
+      static_cast<double>(harness.factory().total_delivered_bytes());
+  r.sim_seconds = units::to_seconds(harness.events().now());
+  r.events = harness.events().dispatched();
+  return r;
 }
 
 }  // namespace
@@ -71,30 +83,54 @@ int main(int argc, char** argv) {
                       "bench_ablation_dctcp: incast fan-in, NewReno vs DCTCP\n"
                       "\n"
                       "  --hosts=N    hosts per network (default 64)\n"
-                      "  --trials=N   incast trials per config (default 5)\n"
                       "  --seed=N     topology/workload seed (default 1)\n");
   const int hosts = flags.get_int("hosts", 64);
-  const int trials = flags.get_int("trials", 5);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));
+
+  const std::vector<int> fan_ins = {2, 4, 8, 16, 32};
+  const std::vector<std::pair<topo::NetworkType, Transport>> configs = {
+      {topo::NetworkType::kSerialLow, Transport::kReno},
+      {topo::NetworkType::kSerialLow, Transport::kDctcp},
+      {topo::NetworkType::kSerialLow, Transport::kTrim},
+      {topo::NetworkType::kParallelHomogeneous, Transport::kReno},
+      {topo::NetworkType::kParallelHomogeneous, Transport::kDctcp},
+      {topo::NetworkType::kParallelHomogeneous, Transport::kTrim}};
+
+  bench::Experiment experiment(flags, "ablation_dctcp");
+  const int trials = experiment.trials(5);
+  for (int fan_in : fan_ins) {
+    for (const auto& [type, transport] : configs) {
+      exp::ExperimentSpec spec;
+      spec.name = "fanin=" + std::to_string(fan_in) + "/" +
+                  topo::to_string(type) + "/" + to_string(transport);
+      spec.engine = exp::Engine::kCustom;
+      spec.seed = seed;
+      spec.trials = trials;
+      const auto ty = type;
+      const auto tr = transport;
+      experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+        return run_incast(ty, tr, fan_in, hosts, ctx);
+      });
+    }
+  }
+  const auto results = experiment.run();
 
   TextTable table("200 kB incast: p99 FCT (ms) [RTO count]",
                   {"fan-in", "serial reno", "serial dctcp", "serial trim",
                    "pnet reno", "pnet dctcp", "pnet trim"});
-  for (int fan_in : {2, 4, 8, 16, 32}) {
+  std::size_t next = 0;
+  for (int fan_in : fan_ins) {
     std::vector<std::string> cells = {std::to_string(fan_in)};
-    for (const auto& [type, transport] :
-         std::vector<std::pair<topo::NetworkType, Transport>>{
-             {topo::NetworkType::kSerialLow, Transport::kReno},
-             {topo::NetworkType::kSerialLow, Transport::kDctcp},
-             {topo::NetworkType::kSerialLow, Transport::kTrim},
-             {topo::NetworkType::kParallelHomogeneous, Transport::kReno},
-             {topo::NetworkType::kParallelHomogeneous, Transport::kDctcp},
-             {topo::NetworkType::kParallelHomogeneous, Transport::kTrim}}) {
-      const auto o =
-          run_incast(type, transport, fan_in, hosts, trials, seed);
-      cells.push_back(format_double(o.p99_ms, 2) + " [" +
-                      std::to_string(o.timeouts) + "]");
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const auto& cell = results[next++];
+      const double p99_ms = cell.fct().p99 / 1000.0;
+      const auto timeouts = cell.metric_values("timeouts");
+      const double total_timeouts =
+          std::accumulate(timeouts.begin(), timeouts.end(), 0.0);
+      cells.push_back(format_double(p99_ms, 2) + " [" +
+                      std::to_string(static_cast<int>(total_timeouts)) +
+                      "]");
     }
     table.add_row(cells);
   }
@@ -104,5 +140,5 @@ int main(int argc, char** argv) {
       "trimming removes it at any fan-in by never losing a packet\n"
       "silently; the P-Net's 4 separate downlink queues push the collapse\n"
       "point ~4x further for all transports.\n");
-  return 0;
+  return experiment.finish();
 }

@@ -6,6 +6,9 @@
 // knee sits close to the serial high-bandwidth network's, far beyond
 // serial low-bw — the throughput claim of the paper in open-loop form.
 //
+// One custom-engine cell per (load, network type); the whole grid fans out
+// through exp::Runner.
+//
 // Usage: bench_ablation_load [--hosts=48] [--flows=400] [--seed=1]
 #include "common.hpp"
 #include "workload/open_loop.hpp"
@@ -14,10 +17,10 @@ using namespace pnet;
 
 namespace {
 
-bench::Summary run_load(topo::NetworkType type, double load, int hosts,
-                        int flows, std::uint64_t seed) {
+exp::TrialResult run_load(topo::NetworkType type, double load, int hosts,
+                          int flows, const exp::TrialContext& ctx) {
   const auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type,
-                                     hosts, 4, seed);
+                                     hosts, 4, ctx.seed);
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kRoundRobin;
   sim::SimConfig sim_config;
@@ -30,7 +33,7 @@ bench::Summary run_load(topo::NetworkType type, double load, int hosts,
   // headroom at equal offered load).
   config.load = load;
   config.max_flows = flows;
-  config.seed = seed * 37 + 5;
+  config.seed = mix64(ctx.seed);
   workload::OpenLoopApp app(
       harness.events(), harness.starter(), harness.all_hosts(),
       /*host_uplink_bps=*/100e9, /*mean_flow_bytes=*/100'000.0, config,
@@ -41,7 +44,16 @@ bench::Summary run_load(topo::NetworkType type, double load, int hosts,
       [](Rng&) { return std::uint64_t{100'000}; });
   app.start(0);
   harness.run_until(5 * units::kSecond);
-  return bench::summarize(app.completion_times_us());
+
+  exp::TrialResult r;
+  r.fct_us = app.completion_times_us();
+  r.flows_started = static_cast<std::uint64_t>(flows);
+  r.flows_finished = r.fct_us.size();
+  r.delivered_bytes =
+      static_cast<double>(harness.factory().total_delivered_bytes());
+  r.sim_seconds = units::to_seconds(harness.events().now());
+  r.events = harness.events().dispatched();
+  return r;
 }
 
 }  // namespace
@@ -63,22 +75,40 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));
 
+  const std::vector<double> loads = {0.1, 0.3, 0.5, 0.7, 0.9, 1.2};
+  bench::Experiment experiment(flags, "ablation_load");
+  for (double load : loads) {
+    for (auto type : bench::kAllTypes) {
+      exp::ExperimentSpec spec;
+      spec.name = "load=" + format_double(load, 1) + "/" +
+                  topo::to_string(type);
+      spec.engine = exp::Engine::kCustom;
+      spec.seed = seed;
+      spec.trials = experiment.trials(1);
+      experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+        return run_load(type, load, hosts, flows, ctx);
+      });
+    }
+  }
+  const auto results = experiment.run();
+  const std::size_t num_types = std::size(bench::kAllTypes);
+
   for (const char* metric : {"median", "p99"}) {
     TextTable table(std::string("FCT ") + metric +
                         " (us) vs offered load (fraction of 1x100G edge)",
                     {"load", "serial low-bw", "par hom", "par het",
                      "serial high-bw"});
-    for (double load : {0.1, 0.3, 0.5, 0.7, 0.9, 1.2}) {
+    for (std::size_t i = 0; i < loads.size(); ++i) {
       std::vector<double> row;
-      for (auto type : bench::kAllTypes) {
-        const auto s = run_load(type, load, hosts, flows, seed);
+      for (std::size_t j = 0; j < num_types; ++j) {
+        const auto s = results[i * num_types + j].fct();
         row.push_back(metric[0] == 'm' ? s.median : s.p99);
       }
-      table.add_row(format_double(load, 1), row, 1);
+      table.add_row(format_double(loads[i], 1), row, 1);
     }
     table.print();
   }
   std::printf("The serial low-bw curve knees first (its capacity IS the\n"
               "x-axis unit); the P-Nets track the 4x serial high-bw curve.\n");
-  return 0;
+  return experiment.finish();
 }

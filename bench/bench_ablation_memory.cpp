@@ -5,7 +5,8 @@
 // Compares the per-switch ECMP table entries a conventional table-driven
 // deployment would install on a serial network vs an N-plane P-Net of the
 // same capacity (each plane only knows its own ToRs), and prints 0 for the
-// source-routed P-Net host stack this library simulates.
+// source-routed P-Net host stack this library simulates. One custom-engine
+// cell per network configuration.
 //
 // Usage: bench_ablation_memory [--hosts=256] [--seed=1]
 #include "common.hpp"
@@ -25,23 +26,47 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));
 
+  const std::vector<std::tuple<std::string, topo::NetworkType, int>>
+      configs = {
+          {"serial low-bw", topo::NetworkType::kSerialLow, 1},
+          {"parallel x2", topo::NetworkType::kParallelHeterogeneous, 2},
+          {"parallel x4", topo::NetworkType::kParallelHeterogeneous, 4},
+          {"parallel x8", topo::NetworkType::kParallelHeterogeneous, 8}};
+
+  bench::Experiment experiment(flags, "ablation_memory");
+  for (const auto& [label, type, planes] : configs) {
+    exp::ExperimentSpec spec;
+    spec.name = label;
+    spec.engine = exp::Engine::kCustom;
+    spec.seed = seed;
+    const auto t = type;
+    const int p = planes;
+    experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+      const auto net = topo::build_network(bench::make_spec(
+          topo::TopoKind::kJellyfish, t, hosts, p, ctx.seed));
+      const auto footprint = routing::forwarding_footprint(net);
+      exp::TrialResult r;
+      r.metrics["switches"] = static_cast<double>(footprint.switches);
+      r.metrics["total_entries"] =
+          static_cast<double>(footprint.total_entries);
+      r.metrics["max_entries_per_switch"] =
+          static_cast<double>(footprint.max_entries_per_switch);
+      r.metrics["mean_entries_per_switch"] =
+          footprint.mean_entries_per_switch;
+      return r;
+    });
+  }
+  const auto results = experiment.run();
+
   TextTable table("ECMP (destination, next-hop) entries",
                   {"network", "switches", "total entries",
                    "max per switch", "mean per switch"});
-  for (const auto& [label, type, planes] :
-       std::vector<std::tuple<std::string, topo::NetworkType, int>>{
-           {"serial low-bw", topo::NetworkType::kSerialLow, 1},
-           {"parallel x2", topo::NetworkType::kParallelHeterogeneous, 2},
-           {"parallel x4", topo::NetworkType::kParallelHeterogeneous, 4},
-           {"parallel x8", topo::NetworkType::kParallelHeterogeneous, 8}}) {
-    const auto net = topo::build_network(bench::make_spec(
-        topo::TopoKind::kJellyfish, type, hosts, planes, seed));
-    const auto footprint = routing::forwarding_footprint(net);
-    table.add_row(label,
-                  {static_cast<double>(footprint.switches),
-                   static_cast<double>(footprint.total_entries),
-                   static_cast<double>(footprint.max_entries_per_switch),
-                   footprint.mean_entries_per_switch},
+  for (const auto& cell : results) {
+    table.add_row(cell.spec.name,
+                  {cell.metric("switches").mean,
+                   cell.metric("total_entries").mean,
+                   cell.metric("max_entries_per_switch").mean,
+                   cell.metric("mean_entries_per_switch").mean},
                   1);
   }
   table.print();
@@ -50,5 +75,5 @@ int main(int argc, char** argv) {
       "switches route only that plane), and the P-Net host stack this\n"
       "library models needs ZERO in-fabric ECMP state: hosts source-route\n"
       "over paths they compute themselves (§3.4).\n");
-  return 0;
+  return experiment.finish();
 }

@@ -7,6 +7,9 @@
 // shortest-plane interface wins latency, KSP multipath wins bulk, and the
 // size-threshold policy gets both by dispatching on flow size (§5.1.2).
 //
+// One custom-engine cell per (workload, policy); exp::Runner fans the
+// 10-cell grid over --threads.
+//
 // Usage: bench_ablation_policies [--hosts=64] [--planes=4] [--rounds=10]
 #include "common.hpp"
 #include "workload/apps.hpp"
@@ -15,13 +18,13 @@ using namespace pnet;
 
 namespace {
 
-bench::Summary run_policy(core::RoutingPolicy policy_kind, int hosts,
-                          int planes, std::uint64_t flow_bytes, int rounds,
-                          std::uint64_t seed) {
+exp::TrialResult run_policy(core::RoutingPolicy policy_kind, int hosts,
+                            int planes, std::uint64_t flow_bytes, int rounds,
+                            const exp::TrialContext& ctx) {
   const auto spec =
       bench::make_spec(topo::TopoKind::kJellyfish,
                        topo::NetworkType::kParallelHeterogeneous, hosts,
-                       planes, seed);
+                       planes, ctx.seed);
   core::PolicyConfig policy;
   policy.policy = policy_kind;
   policy.k = planes;
@@ -32,7 +35,7 @@ bench::Summary run_policy(core::RoutingPolicy policy_kind, int hosts,
   workload::ClosedLoopApp::Config config;
   config.concurrent_per_host = 2;
   config.rounds_per_worker = rounds;
-  config.seed = seed * 17 + 5;
+  config.seed = mix64(ctx.seed);
   workload::ClosedLoopApp app(
       harness.starter(), harness.all_hosts(), config,
       [&](HostId src, Rng& rng) {
@@ -42,7 +45,17 @@ bench::Summary run_policy(core::RoutingPolicy policy_kind, int hosts,
       [flow_bytes](Rng&) { return flow_bytes; });
   app.start(0);
   harness.run();
-  return bench::summarize(app.completion_times_us());
+
+  exp::TrialResult r;
+  r.fct_us = app.completion_times_us();
+  r.flows_started = static_cast<std::uint64_t>(harness.net().num_hosts()) *
+                    2ULL * static_cast<std::uint64_t>(rounds);
+  r.flows_finished = r.fct_us.size();
+  r.delivered_bytes =
+      static_cast<double>(harness.factory().total_delivered_bytes());
+  r.sim_seconds = units::to_seconds(harness.events().now());
+  r.events = harness.events().dispatched();
+  return r;
 }
 
 }  // namespace
@@ -70,17 +83,35 @@ int main(int argc, char** argv) {
       core::RoutingPolicy::kShortestPlane,
       core::RoutingPolicy::kKspMultipath,
       core::RoutingPolicy::kSizeThreshold};
+  const std::vector<std::pair<std::string, std::uint64_t>> workloads = {
+      {"latency workload: 20 kB flows", 20'000},
+      {"bandwidth workload: 16 MB flows", 16'000'000}};
 
-  for (const auto& [label, bytes] :
-       std::vector<std::pair<std::string, std::uint64_t>>{
-           {"latency workload: 20 kB flows", 20'000},
-           {"bandwidth workload: 16 MB flows", 16'000'000}}) {
-    TextTable table("FCT (us) by policy — " + label,
-                    {"policy", "median", "p90", "p99", "mean"});
+  bench::Experiment experiment(flags, "ablation_policies");
+  for (const auto& [label, bytes] : workloads) {
     for (auto p : policies) {
-      const auto s = run_policy(p, hosts, planes, bytes, rounds, seed);
-      table.add_row(core::to_string(p), {s.median, s.p90, s.p99, s.mean},
-                    1);
+      exp::ExperimentSpec spec;
+      spec.name = std::string(core::to_string(p)) + "/" +
+                  std::to_string(bytes) + "B";
+      spec.engine = exp::Engine::kCustom;
+      spec.seed = seed;
+      spec.trials = experiment.trials(1);
+      const std::uint64_t b = bytes;
+      experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+        return run_policy(p, hosts, planes, b, rounds, ctx);
+      });
+    }
+  }
+  const auto results = experiment.run();
+  const std::size_t num_policies = std::size(policies);
+
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    TextTable table("FCT (us) by policy — " + workloads[w].first,
+                    {"policy", "median", "p90", "p99", "mean"});
+    for (std::size_t i = 0; i < num_policies; ++i) {
+      const auto s = results[w * num_policies + i].fct();
+      table.add_row(core::to_string(policies[i]),
+                    {s.median, s.p90, s.p99, s.mean}, 1);
     }
     table.print();
   }
@@ -91,5 +122,5 @@ int main(int argc, char** argv) {
       "simulator ksp-multipath also does well on tiny flows because\n"
       "subflows cost nothing to set up; the paper's §5.1.2 caveat about\n"
       "MPTCP hurting short flows concerns real stacks under load.)\n");
-  return 0;
+  return experiment.finish();
 }

@@ -12,6 +12,9 @@
 //     completion on 2 disjoint planes and the bottleneck share against a
 //     single TCP flow, for both modes.
 //
+// Four custom-engine cells (2 tie-break modes + 2 coupling modes), fanned
+// out by exp::Runner.
+//
 // Usage: bench_ablation_routing [--hosts=128] [--seed=1]
 #include "common.hpp"
 #include "routing/shortest.hpp"
@@ -45,13 +48,8 @@ double ksp_throughput(bool jitter, int hosts, std::uint64_t seed) {
          (static_cast<double>(net.num_hosts()) * 100e9);
 }
 
-struct CouplingResult {
-  double disjoint_fct_ms = 0.0;
-  double shared_share = 0.0;
-};
-
-CouplingResult run_coupling(sim::Coupling coupling) {
-  CouplingResult result;
+exp::TrialResult run_coupling(sim::Coupling coupling) {
+  exp::TrialResult result;
   // Disjoint planes: 50 MB over a 2-plane P-Net.
   {
     topo::NetworkSpec spec;
@@ -66,7 +64,8 @@ CouplingResult run_coupling(sim::Coupling coupling) {
     core::SimHarness h(spec, policy);
     h.starter()(HostId{0}, HostId{15}, 50'000'000, 0, {});
     h.run();
-    result.disjoint_fct_ms = h.logger().fct_us().front() / 1000.0;
+    result.metrics["disjoint_fct_ms"] = h.logger().fct_us().front() / 1000.0;
+    result.events += h.events().dispatched();
   }
   // Shared bottleneck: 2-subflow MPTCP vs 1 TCP into the same host.
   {
@@ -92,9 +91,10 @@ CouplingResult run_coupling(sim::Coupling coupling) {
     for (int i = 0; i < conn.num_subflows(); ++i) {
       mptcp_bytes += static_cast<double>(conn.subflow(i).acked_bytes());
     }
-    result.shared_share =
+    result.metrics["shared_share"] =
         mptcp_bytes /
         (mptcp_bytes + static_cast<double>(tcp.acked_bytes()));
+    result.events += h.events().dispatched();
   }
   return result;
 }
@@ -114,27 +114,50 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));
 
+  bench::Experiment experiment(flags, "ablation_routing");
+  for (bool jitter : {false, true}) {
+    exp::ExperimentSpec spec;
+    spec.name = jitter ? "ksp/jittered" : "ksp/lexicographic";
+    spec.engine = exp::Engine::kCustom;
+    spec.seed = seed;
+    experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+      exp::TrialResult r;
+      r.metrics["norm_tput"] = ksp_throughput(jitter, hosts, ctx.seed);
+      return r;
+    });
+  }
+  for (auto mode : {sim::Coupling::kLia, sim::Coupling::kUncoupled}) {
+    exp::ExperimentSpec spec;
+    spec.name = mode == sim::Coupling::kLia ? "coupling/lia"
+                                            : "coupling/uncoupled";
+    spec.engine = exp::Engine::kCustom;
+    spec.seed = seed;
+    experiment.add(std::move(spec),
+                   [=](const exp::TrialContext&) { return run_coupling(mode); });
+  }
+  const auto results = experiment.run();
+
   TextTable tiebreak("8-way KSP permutation throughput on a serial fat tree "
                      "(fraction of saturation)",
                      {"tie-break", "throughput"});
   tiebreak.add_row("lexicographic (biased)",
-                   {ksp_throughput(false, hosts, seed)});
-  tiebreak.add_row("per-flow jittered", {ksp_throughput(true, hosts, seed)});
+                   {results[0].metric("norm_tput").mean});
+  tiebreak.add_row("per-flow jittered", {results[1].metric("norm_tput").mean});
   tiebreak.print();
 
   TextTable coupling("MPTCP coupling: 50 MB over 2 disjoint planes, and "
                      "share vs 1 TCP at a shared bottleneck",
                      {"coupling", "disjoint FCT (ms)",
                       "shared-bottleneck share"});
-  for (auto mode : {sim::Coupling::kLia, sim::Coupling::kUncoupled}) {
-    const auto r = run_coupling(mode);
-    coupling.add_row(mode == sim::Coupling::kLia ? "LIA (RFC 6356)"
-                                                 : "uncoupled",
-                     {r.disjoint_fct_ms, r.shared_share}, 3);
+  for (std::size_t i = 2; i < 4; ++i) {
+    coupling.add_row(i == 2 ? "LIA (RFC 6356)" : "uncoupled",
+                     {results[i].metric("disjoint_fct_ms").mean,
+                      results[i].metric("shared_share").mean},
+                     3);
   }
   coupling.print();
   std::printf("LIA trades disjoint-path ramp speed for bottleneck fairness\n"
               "(~0.5 share); uncoupled is faster on disjoint planes but\n"
               "grabs ~2/3 at shared bottlenecks like two parallel TCPs.\n");
-  return 0;
+  return experiment.finish();
 }

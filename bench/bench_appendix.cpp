@@ -5,8 +5,11 @@
 // The paper's appendix findings: at 10/40G, P-Nets cut latency on most
 // flows (better load balancing across planes); at 100/400G the
 // heterogeneous path-length advantage lets short flows beat even the ideal
-// 400G serial network. Fat trees have no heterogeneous variant, so that
-// column prints the homogeneous P-Net twice less one row, as in the paper.
+// 400G serial network. Fat trees have no heterogeneous variant, so those
+// cells are skipped, as in the paper.
+//
+// One custom-engine cell per (trace, grade, topology, type); the whole
+// grid fans out through exp::Runner.
 //
 // Usage: bench_appendix [--hosts=48] [--rounds=4] [--seed=1] [--cap_mb=8]
 #include "common.hpp"
@@ -17,11 +20,12 @@ using namespace pnet;
 
 namespace {
 
-std::vector<double> run_config(topo::TopoKind kind, topo::NetworkType type,
-                               workload::Trace trace, int hosts,
-                               double base_rate, int rounds,
-                               std::uint64_t cap_bytes, std::uint64_t seed) {
-  auto spec = bench::make_spec(kind, type, hosts, 4, seed);
+exp::TrialResult run_config(topo::TopoKind kind, topo::NetworkType type,
+                            workload::Trace trace, int hosts,
+                            double base_rate, int rounds,
+                            std::uint64_t cap_bytes,
+                            const exp::TrialContext& ctx) {
+  auto spec = bench::make_spec(kind, type, hosts, 4, ctx.seed);
   spec.base_rate_bps = base_rate;
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;
@@ -33,7 +37,7 @@ std::vector<double> run_config(topo::TopoKind kind, topo::NetworkType type,
   workload::ClosedLoopApp::Config config;
   config.concurrent_per_host = 2;
   config.rounds_per_worker = rounds;
-  config.seed = seed * 29 + 11;
+  config.seed = mix64(ctx.seed);
   workload::ClosedLoopApp app(
       harness.starter(), harness.all_hosts(), config,
       [&](HostId src, Rng& rng) {
@@ -43,7 +47,23 @@ std::vector<double> run_config(topo::TopoKind kind, topo::NetworkType type,
       [&dist, cap_bytes](Rng& rng) { return dist.sample(rng, cap_bytes); });
   app.start(0);
   harness.run();
-  return app.completion_times_us();
+
+  exp::TrialResult r;
+  r.fct_us = app.completion_times_us();
+  r.flows_started = static_cast<std::uint64_t>(harness.net().num_hosts()) *
+                    2ULL * static_cast<std::uint64_t>(rounds);
+  r.flows_finished = r.fct_us.size();
+  r.delivered_bytes =
+      static_cast<double>(harness.factory().total_delivered_bytes());
+  r.sim_seconds = units::to_seconds(harness.events().now());
+  r.events = harness.events().dispatched();
+  return r;
+}
+
+bool skip_cell(topo::TopoKind kind, topo::NetworkType type) {
+  // Fat trees have no heterogeneous instantiation (paper note).
+  return kind == topo::TopoKind::kFatTree &&
+         type == topo::NetworkType::kParallelHeterogeneous;
 }
 
 }  // namespace
@@ -69,19 +89,45 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));
 
-  const int figure_base = 16;
-  int figure = figure_base;
   // Paper order: websearch (16), webserver (17), cache (18), hadoop (19),
   // datamining (20).
   const workload::Trace order[] = {
       workload::Trace::kWebSearch, workload::Trace::kWebServer,
       workload::Trace::kCache, workload::Trace::kHadoop,
       workload::Trace::kDataMining};
+  const double rates[] = {10e9, 100e9};
+  const topo::TopoKind kinds[] = {topo::TopoKind::kFatTree,
+                                  topo::TopoKind::kJellyfish};
 
+  bench::Experiment experiment(flags, "appendix");
   for (auto trace : order) {
-    for (double base_rate : {10e9, 100e9}) {
-      for (auto kind :
-           {topo::TopoKind::kFatTree, topo::TopoKind::kJellyfish}) {
+    for (double base_rate : rates) {
+      for (auto kind : kinds) {
+        for (auto type : bench::kAllTypes) {
+          if (skip_cell(kind, type)) continue;
+          exp::ExperimentSpec spec;
+          spec.name = std::string(workload::to_string(trace)) + "/" +
+                      (base_rate == 10e9 ? "10G" : "100G") + "/" +
+                      topo::to_string(kind) + "/" + topo::to_string(type);
+          spec.engine = exp::Engine::kCustom;
+          spec.seed = seed;
+          spec.trials = experiment.trials(1);
+          experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+            return run_config(kind, type, trace, hosts, base_rate, rounds,
+                              cap, ctx);
+          });
+        }
+      }
+    }
+  }
+  const auto results = experiment.run();
+
+  const int figure_base = 16;
+  int figure = figure_base;
+  std::size_t next = 0;
+  for (auto trace : order) {
+    for (double base_rate : rates) {
+      for (auto kind : kinds) {
         const std::string grade =
             base_rate == 10e9 ? "10/40G" : "100/400G";
         TextTable table("Fig " + std::to_string(figure) + " (" +
@@ -89,14 +135,8 @@ int main(int argc, char** argv) {
                             ", " + topo::to_string(kind) + "): FCT (us)",
                         {"network", "median", "p90", "p99"});
         for (auto type : bench::kAllTypes) {
-          // Fat trees have no heterogeneous instantiation (paper note).
-          if (kind == topo::TopoKind::kFatTree &&
-              type == topo::NetworkType::kParallelHeterogeneous) {
-            continue;
-          }
-          const auto samples = run_config(kind, type, trace, hosts,
-                                          base_rate, rounds, cap, seed);
-          const auto s = bench::summarize(samples);
+          if (skip_cell(kind, type)) continue;
+          const auto s = results[next++].fct();
           table.add_row(topo::to_string(type), {s.median, s.p90, s.p99}, 1);
         }
         table.print();
@@ -104,5 +144,5 @@ int main(int argc, char** argv) {
     }
     ++figure;
   }
-  return 0;
+  return experiment.finish();
 }

@@ -11,6 +11,13 @@
 // serial network collapses to zero for the whole outage. A detection-delay
 // sweep at the end shows time-to-recover tracking the delay.
 //
+// Seven custom-engine cells (3 timeline networks + 4 sweep delays), fanned
+// out by exp::Runner. The goodput timeline rides in the report as the
+// "goodput_bps" sample set; the recovery report becomes cell metrics. The
+// bulk flows intentionally outlive the horizon (the timeline measures the
+// fabric, not flow arrivals), so the cells report no started/finished
+// flow counts.
+//
 // Usage: bench_fault_recovery [--hosts=16] [--seed=1] [--fail-rate=0.05]
 //                             [--flap-period=20] [--detect-delay=1]
 // Run with --help for flag semantics.
@@ -26,7 +33,6 @@ namespace {
 struct Scenario {
   int hosts = 16;
   bool paper_scale = false;
-  std::uint64_t seed = 1;
   double fail_rate = 0.05;
   SimTime flap_down = 20 * units::kMillisecond;
   SimTime detect_delay = units::kMillisecond;
@@ -39,17 +45,11 @@ struct Scenario {
   int lossy_cables = 3;
 };
 
-struct RunResult {
-  std::vector<analysis::GoodputProbe::Sample> samples;
-  analysis::RecoveryReport flap;
-  int repaths = 0;
-  int timeouts = 0;
-};
-
-RunResult run_network(topo::NetworkType type, const Scenario& sc,
-                      SimTime detect_delay) {
+exp::TrialResult run_network(topo::NetworkType type, const Scenario& sc,
+                             SimTime detect_delay,
+                             const exp::TrialContext& ctx) {
   auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type, sc.hosts, 4,
-                               sc.seed);
+                               ctx.seed);
   if (!sc.paper_scale) {
     // Pin a small non-complete Jellyfish (5-regular on 8 switches). The
     // default shape derivation clamps small runs to an 11-switch 10-regular
@@ -74,7 +74,7 @@ RunResult run_network(topo::NetworkType type, const Scenario& sc,
   plan.flap_plane(sc.flap_at, sc.flap_down, 0);
   plan.merge(sim::FaultPlan::random_degraded_links(
       h.net(), sc.lossy_cables, sc.lossy_at, sc.lossy_duration, sc.fail_rate,
-      1.0, sc.seed * 17 + 3));
+      1.0, mix64(ctx.seed + 17)));
   injector.arm(plan);
 
   analysis::GoodputProbe probe(
@@ -84,31 +84,47 @@ RunResult run_network(topo::NetworkType type, const Scenario& sc,
 
   // Long bulk flows (one per permutation pair) that outlive the horizon,
   // so the timeline measures the fabric, not flow arrivals/departures.
-  Rng rng(sc.seed * 7 + 5);
+  Rng rng(mix64(ctx.seed + 7));
   for (const auto& [src, dst] :
        workload::permutation_pairs(h.net().num_hosts(), rng)) {
     h.starter()(src, dst, 100 * units::kGB, 0, {});
   }
   h.run_until(sc.horizon);
 
-  RunResult result;
-  result.samples = probe.samples();
+  exp::TrialResult r;
+  for (const auto& s : probe.samples()) {
+    r.samples["t_ms"].push_back(units::to_milliseconds(s.t_end));
+    r.samples["goodput_bps"].push_back(s.goodput_bps);
+  }
   const auto episodes =
       analysis::plane_episodes(injector.applied(), monitor.detections());
   // Judge the episode against steady-state buckets only: the slow-start
   // ramp right after t=0 would otherwise drag the baseline down and make
   // any dip look "recovered" immediately.
   std::vector<analysis::GoodputProbe::Sample> steady;
-  for (const auto& s : result.samples) {
+  for (const auto& s : probe.samples()) {
     if (s.t_end > sc.flap_at / 2) steady.push_back(s);
   }
-  result.flap = analysis::analyze_episode(steady, episodes.front(),
-                                          /*recovered_fraction=*/0.8);
+  const auto flap = analysis::analyze_episode(steady, episodes.front(),
+                                              /*recovered_fraction=*/0.8);
+  r.metrics["baseline_gbps"] = flap.baseline_goodput_bps / units::kGbps;
+  r.metrics["dip_gbps"] = flap.dip_goodput_bps / units::kGbps;
+  r.metrics["detect_ms"] = units::to_milliseconds(flap.time_to_detect);
+  r.metrics["recover_ms"] = units::to_milliseconds(flap.time_to_recover);
+  r.metrics["packets_lost"] = static_cast<double>(flap.packets_lost);
+  int repaths = 0;
+  int timeouts = 0;
   for (const auto* src : h.factory().incomplete_tcp_flows()) {
-    result.repaths += src->repaths();
-    result.timeouts += src->timeouts();
+    repaths += src->repaths();
+    timeouts += src->timeouts();
   }
-  return result;
+  r.metrics["repaths"] = static_cast<double>(repaths);
+  r.metrics["timeouts"] = static_cast<double>(timeouts);
+  r.delivered_bytes =
+      static_cast<double>(h.factory().total_delivered_bytes());
+  r.sim_seconds = units::to_seconds(h.events().now());
+  r.events = h.events().dispatched();
+  return r;
 }
 
 }  // namespace
@@ -135,22 +151,45 @@ int main(int argc, char** argv) {
   Scenario sc;
   sc.paper_scale = flags.paper_scale();
   sc.hosts = flags.get_int("hosts", sc.paper_scale ? 64 : 16);
-  sc.seed = static_cast<std::uint64_t>(flags.get_i64("seed", 1));
   sc.fail_rate = flags.get_double("fail-rate", 0.05);
   sc.flap_down = static_cast<SimTime>(
       flags.get_double("flap-period", 20.0) * units::kMillisecond);
   sc.detect_delay = static_cast<SimTime>(
       flags.get_double("detect-delay", 1.0) * units::kMillisecond);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_i64("seed", 1));
 
   const topo::NetworkType types[] = {
       topo::NetworkType::kSerialLow,
       topo::NetworkType::kParallelHomogeneous,
       topo::NetworkType::kParallelHeterogeneous,
   };
-  std::vector<RunResult> results;
-  for (const auto type : types) {
-    results.push_back(run_network(type, sc, sc.detect_delay));
+  const char* names[] = {"serial-low", "par-hom", "par-het"};
+  const double sweep_delays_ms[] = {0.0, 1.0, 5.0, 20.0};
+
+  bench::Experiment experiment(flags, "fault_recovery");
+  for (std::size_t i = 0; i < std::size(types); ++i) {
+    exp::ExperimentSpec spec;
+    spec.name = std::string("timeline/") + names[i];
+    spec.engine = exp::Engine::kCustom;
+    spec.seed = seed;
+    const auto type = types[i];
+    experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+      return run_network(type, sc, sc.detect_delay, ctx);
+    });
   }
+  for (const double delay_ms : sweep_delays_ms) {
+    exp::ExperimentSpec spec;
+    spec.name = "sweep/detect=" + format_double(delay_ms, 1) + "ms";
+    spec.engine = exp::Engine::kCustom;
+    spec.seed = seed;
+    experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+      return run_network(
+          topo::NetworkType::kParallelHomogeneous, sc,
+          static_cast<SimTime>(delay_ms * units::kMillisecond), ctx);
+    });
+  }
+  const auto results = experiment.run();
 
   std::printf("plane 0 down %.0f-%.0f ms; %d cables at %.0f%% loss "
               "%.0f-%.0f ms; detect delay %.1f ms\n\n",
@@ -163,42 +202,39 @@ int main(int argc, char** argv) {
 
   TextTable timeline("Goodput timeline (Gb/s per bucket)",
                      {"t (ms)", "serial-low", "par-hom", "par-het"});
-  for (std::size_t b = 1; b < results.front().samples.size(); b += 2) {
+  const auto t_ms = results[0].merged_samples("t_ms");
+  for (std::size_t b = 1; b < t_ms.size(); b += 2) {
     std::vector<double> row;
-    for (const auto& r : results) {
-      row.push_back(r.samples[b].goodput_bps / units::kGbps);
+    for (std::size_t i = 0; i < std::size(types); ++i) {
+      row.push_back(results[i].merged_samples("goodput_bps")[b] /
+                    units::kGbps);
     }
-    timeline.add_row(
-        format_double(units::to_milliseconds(results[0].samples[b].t_end), 0),
-        row, 1);
+    timeline.add_row(format_double(t_ms[b], 0), row, 1);
   }
   timeline.print();
 
   TextTable report("Plane-flap episode recovery",
                    {"network", "baseline Gb/s", "dip Gb/s", "detect (ms)",
                     "recover (ms)", "pkts lost", "repaths"});
-  const char* names[] = {"serial-low", "par-hom", "par-het"};
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& flap = results[i].flap;
+  for (std::size_t i = 0; i < std::size(types); ++i) {
+    const auto& cell = results[i];
     report.add_row(names[i],
-                   {flap.baseline_goodput_bps / units::kGbps,
-                    flap.dip_goodput_bps / units::kGbps,
-                    units::to_milliseconds(flap.time_to_detect),
-                    units::to_milliseconds(flap.time_to_recover),
-                    static_cast<double>(flap.packets_lost),
-                    static_cast<double>(results[i].repaths)},
+                   {cell.metric("baseline_gbps").mean,
+                    cell.metric("dip_gbps").mean,
+                    cell.metric("detect_ms").mean,
+                    cell.metric("recover_ms").mean,
+                    cell.metric("packets_lost").mean,
+                    cell.metric("repaths").mean},
                    1);
   }
   report.print();
 
   TextTable sweep("Detection-delay sweep (par-hom, same flap)",
                   {"detect delay (ms)", "recover (ms)"});
-  for (const double delay_ms : {0.0, 1.0, 5.0, 20.0}) {
-    const auto r = run_network(
-        topo::NetworkType::kParallelHomogeneous, sc,
-        static_cast<SimTime>(delay_ms * units::kMillisecond));
-    sweep.add_row(format_double(delay_ms, 1),
-                  {units::to_milliseconds(r.flap.time_to_recover)}, 1);
+  for (std::size_t i = 0; i < std::size(sweep_delays_ms); ++i) {
+    sweep.add_row(format_double(sweep_delays_ms[i], 1),
+                  {results[std::size(types) + i].metric("recover_ms").mean},
+                  1);
   }
   sweep.print();
 
@@ -208,5 +244,5 @@ int main(int argc, char** argv) {
       "serial network has nowhere to go and delivers ~0 for the entire\n"
       "outage (plus RTO-backoff tail after recovery). The lossy episode\n"
       "only dents goodput: retransmissions ride the same or other planes.\n");
-  return 0;
+  return experiment.finish();
 }

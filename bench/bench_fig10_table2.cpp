@@ -8,6 +8,9 @@
 // in the paper. Serial high-bw only shaves serialization delay (90 ns/hop
 // at 400G), which is small next to the ~1 us/hop propagation.
 //
+// One custom-engine cell per network type; the RPC completion times are
+// the cell's FCT sample set in the JSON report.
+//
 // Usage: bench_fig10_table2 [--hosts=96] [--planes=4] [--rounds=100]
 //        [--seed=1]  (--scale=paper: 686 hosts, 1000 rounds)
 #include "common.hpp"
@@ -17,11 +20,11 @@ using namespace pnet;
 
 namespace {
 
-std::vector<double> run_rpcs(topo::NetworkType type, int hosts, int planes,
-                             std::uint64_t rpc_bytes, int rounds,
-                             std::uint64_t seed) {
+exp::TrialResult run_rpcs(topo::NetworkType type, int hosts, int planes,
+                          std::uint64_t rpc_bytes, int rounds,
+                          const exp::TrialContext& ctx) {
   const auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type,
-                                     hosts, planes, seed);
+                                     hosts, planes, ctx.seed);
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;  // single path
   core::SimHarness harness(spec, policy);
@@ -30,7 +33,7 @@ std::vector<double> run_rpcs(topo::NetworkType type, int hosts, int planes,
   config.concurrent_per_host = 1;
   config.response_bytes = rpc_bytes;
   config.rounds_per_worker = rounds;
-  config.seed = seed * 71 + 3;
+  config.seed = mix64(ctx.seed);
   workload::ClosedLoopApp app(
       harness.starter(), harness.all_hosts(), config,
       [&](HostId src, Rng& rng) {
@@ -40,7 +43,17 @@ std::vector<double> run_rpcs(topo::NetworkType type, int hosts, int planes,
       [rpc_bytes](Rng&) { return rpc_bytes; });
   app.start(0);
   harness.run();
-  return app.completion_times_us();
+
+  exp::TrialResult r;
+  r.fct_us = app.completion_times_us();
+  r.flows_started = static_cast<std::uint64_t>(harness.net().num_hosts()) *
+                    static_cast<std::uint64_t>(rounds);
+  r.flows_finished = r.fct_us.size();
+  r.delivered_bytes =
+      static_cast<double>(harness.factory().total_delivered_bytes());
+  r.sim_seconds = units::to_seconds(harness.events().now());
+  r.events = harness.events().dispatched();
+  return r;
 }
 
 }  // namespace
@@ -63,30 +76,38 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));
 
-  std::vector<std::pair<std::string, std::vector<double>>> results;
+  bench::Experiment experiment(flags, "fig10_table2");
   for (auto type : bench::kAllTypes) {
-    results.emplace_back(topo::to_string(type),
-                         run_rpcs(type, hosts, planes, 1500, rounds, seed));
+    exp::ExperimentSpec spec;
+    spec.name = topo::to_string(type);
+    spec.engine = exp::Engine::kCustom;
+    spec.seed = seed;
+    spec.trials = experiment.trials(1);
+    experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+      return run_rpcs(type, hosts, planes, 1500, rounds, ctx);
+    });
   }
+  const auto results = experiment.run();
 
   // Fig 10: CDFs (stepping with the hop-count distribution).
-  for (const auto& [name, samples] : results) {
-    bench::print_cdf("Fig 10 CDF: " + name, Cdf::from_samples(samples),
+  for (const auto& cell : results) {
+    bench::print_cdf("Fig 10 CDF: " + cell.spec.name,
+                     Cdf::from_samples(cell.merged_fct_us()),
                      "completion time (us)");
   }
 
   // Table 2: statistics relative to serial low-bw.
-  const auto base = bench::summarize(results.front().second);
+  const auto base = results.front().fct();
   TextTable table("Table 2: 1500B RPC completion time, % of serial low-bw "
                   "(paper: het 80.1/86.6/90.4, high-bw ~98)",
                   {"network", "median %", "average %", "99%-tile %"});
-  for (const auto& [name, samples] : results) {
-    const auto s = bench::summarize(samples);
-    table.add_row(name, {100.0 * s.median / base.median,
-                         100.0 * s.mean / base.mean,
-                         100.0 * s.p99 / base.p99},
+  for (const auto& cell : results) {
+    const auto s = cell.fct();
+    table.add_row(cell.spec.name, {100.0 * s.median / base.median,
+                                   100.0 * s.mean / base.mean,
+                                   100.0 * s.p99 / base.p99},
                   1);
   }
   table.print();
-  return 0;
+  return experiment.finish();
 }

@@ -8,6 +8,10 @@
 // high-bw only drains faster; parallel networks spread the requests over
 // 4x the paths and queues, keeping all percentiles mild.
 //
+// One custom-engine cell per (concurrency, network type) grid point, all
+// fanned out together by exp::Runner; drops and timeouts ride in the
+// cell's extra metrics.
+//
 // Usage: bench_fig11 [--hosts=64] [--planes=4] [--rounds=30] [--seed=1]
 #include "common.hpp"
 #include "workload/apps.hpp"
@@ -16,16 +20,11 @@ using namespace pnet;
 
 namespace {
 
-struct RpcResult {
-  bench::Summary summary;
-  std::uint64_t drops = 0;
-  int timeouts = 0;
-};
-
-RpcResult run_rpcs(topo::NetworkType type, int hosts, int planes,
-                   int concurrent, int rounds, std::uint64_t seed) {
+exp::TrialResult run_rpcs(topo::NetworkType type, int hosts, int planes,
+                          int concurrent, int rounds,
+                          const exp::TrialContext& ctx) {
   const auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type,
-                                     hosts, planes, seed);
+                                     hosts, planes, ctx.seed);
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;
   core::SimHarness harness(spec, policy);
@@ -34,7 +33,7 @@ RpcResult run_rpcs(topo::NetworkType type, int hosts, int planes,
   config.concurrent_per_host = concurrent;
   config.response_bytes = 1500;  // small ack-sized reply
   config.rounds_per_worker = rounds;
-  config.seed = seed * 131 + 7;
+  config.seed = mix64(ctx.seed);
   workload::ClosedLoopApp app(
       harness.starter(), harness.all_hosts(), config,
       [&](HostId src, Rng& rng) {
@@ -45,11 +44,20 @@ RpcResult run_rpcs(topo::NetworkType type, int hosts, int planes,
   app.start(0);
   harness.run();
 
-  RpcResult result;
-  result.summary = bench::summarize(app.completion_times_us());
-  result.drops = harness.network().total_drops();
-  result.timeouts = harness.logger().total_timeouts();
-  return result;
+  exp::TrialResult r;
+  r.fct_us = app.completion_times_us();
+  r.flows_started = static_cast<std::uint64_t>(harness.net().num_hosts()) *
+                    static_cast<std::uint64_t>(concurrent) *
+                    static_cast<std::uint64_t>(rounds);
+  r.flows_finished = r.fct_us.size();
+  r.delivered_bytes =
+      static_cast<double>(harness.factory().total_delivered_bytes());
+  r.sim_seconds = units::to_seconds(harness.events().now());
+  r.events = harness.events().dispatched();
+  r.metrics["drops"] = static_cast<double>(harness.network().total_drops());
+  r.metrics["timeouts"] =
+      static_cast<double>(harness.logger().total_timeouts());
+  return r;
 }
 
 }  // namespace
@@ -76,20 +84,21 @@ int main(int argc, char** argv) {
                           "Fig 11c: 99%-tile (us) [serial-low explodes via "
                           "drops + 10ms RTOs: the paper's broken axis]"};
 
-  // Run the grid once, then print the three percentile tables.
-  std::vector<std::vector<bench::Summary>> grid;      // [conc][type]
-  std::vector<std::vector<std::uint64_t>> drop_grid;  // [conc][type]
+  bench::Experiment experiment(flags, "fig11");
   for (int c : concurrency) {
-    std::vector<bench::Summary> row;
-    std::vector<std::uint64_t> drops;
     for (auto type : bench::kAllTypes) {
-      const auto r = run_rpcs(type, hosts, planes, c, rounds, seed);
-      row.push_back(r.summary);
-      drops.push_back(r.drops);
+      exp::ExperimentSpec spec;
+      spec.name = "conc=" + std::to_string(c) + "/" + topo::to_string(type);
+      spec.engine = exp::Engine::kCustom;
+      spec.seed = seed;
+      spec.trials = experiment.trials(1);
+      experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+        return run_rpcs(type, hosts, planes, c, rounds, ctx);
+      });
     }
-    grid.push_back(std::move(row));
-    drop_grid.push_back(std::move(drops));
   }
+  const auto results = experiment.run();
+  const std::size_t num_types = std::size(bench::kAllTypes);
 
   for (int which = 0; which < 3; ++which) {
     TextTable table(titles[which],
@@ -97,7 +106,8 @@ int main(int argc, char** argv) {
                      "serial high-bw"});
     for (std::size_t i = 0; i < concurrency.size(); ++i) {
       std::vector<double> row;
-      for (const auto& s : grid[i]) {
+      for (std::size_t j = 0; j < num_types; ++j) {
+        const auto s = results[i * num_types + j].fct();
         row.push_back(which == 0 ? s.median : which == 1 ? s.p90 : s.p99);
       }
       table.add_row(std::to_string(concurrency[i]), row, 1);
@@ -110,9 +120,11 @@ int main(int argc, char** argv) {
                    "serial high-bw"});
   for (std::size_t i = 0; i < concurrency.size(); ++i) {
     std::vector<double> row;
-    for (auto d : drop_grid[i]) row.push_back(static_cast<double>(d));
+    for (std::size_t j = 0; j < num_types; ++j) {
+      row.push_back(results[i * num_types + j].metric("drops").mean);
+    }
     drops.add_row(std::to_string(concurrency[i]), row, 0);
   }
   drops.print();
-  return 0;
+  return experiment.finish();
 }

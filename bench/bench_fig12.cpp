@@ -12,10 +12,11 @@
 // close to serial high-bw, with no extra heterogeneous win (flows collide
 // on the popular short paths, §5.2.2).
 //
+// One custom-engine cell per network type; the three stage timelines ride
+// in the cell's named sample sets (stage1/stage2/stage3, seconds).
+//
 // Usage: bench_fig12 [--hosts=100] [--mappers=16] [--reducers=16]
 //        [--gb=2] [--block_mb=32] [--seed=1]
-#include <array>
-
 #include "common.hpp"
 #include "workload/apps.hpp"
 
@@ -23,27 +24,35 @@ using namespace pnet;
 
 namespace {
 
-std::array<std::vector<double>, 3> run_job(topo::NetworkType type, int hosts,
-                                           const workload::HadoopJob::Config&
-                                               job_config,
-                                           std::uint64_t seed) {
+exp::TrialResult run_job(topo::NetworkType type, int hosts,
+                         workload::HadoopJob::Config job_config,
+                         const exp::TrialContext& ctx) {
   const auto spec =
-      bench::make_spec(topo::TopoKind::kJellyfish, type, hosts, 4, seed);
+      bench::make_spec(topo::TopoKind::kJellyfish, type, hosts, 4, ctx.seed);
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;  // single path
   sim::SimConfig sim_config;
   sim_config.queue_buffer_bytes = 400 * 1500;  // bulk-transfer buffers
   core::SimHarness harness(spec, policy, sim_config);
 
+  job_config.seed = mix64(ctx.seed);
   workload::HadoopJob job(harness.starter(), harness.all_hosts(),
                           job_config);
   job.start(0);
   harness.run();
-  if (!job.finished()) {
-    std::fprintf(stderr, "warning: hadoop job did not finish\n");
-  }
-  return {job.stage_worker_times_s(0), job.stage_worker_times_s(1),
-          job.stage_worker_times_s(2)};
+
+  exp::TrialResult r;
+  r.samples["stage1_s"] = job.stage_worker_times_s(0);
+  r.samples["stage2_s"] = job.stage_worker_times_s(1);
+  r.samples["stage3_s"] = job.stage_worker_times_s(2);
+  // Surface an unfinished job through the flow counters.
+  r.flows_started = 1;
+  r.flows_finished = job.finished() ? 1 : 0;
+  r.delivered_bytes =
+      static_cast<double>(harness.factory().total_delivered_bytes());
+  r.sim_seconds = units::to_seconds(harness.events().now());
+  r.events = harness.events().dispatched();
+  return r;
 }
 
 }  // namespace
@@ -59,6 +68,7 @@ int main(int argc, char** argv) {
                       "  --mappers=N   map workers (default 16)\n"
                       "  --reducers=N  reduce workers (default 16)\n"
                       "  --gb=N        total sort gigabytes (default 2)\n"
+                      "  --block_mb=N  block size in MB (default 32)\n"
                       "  --seed=N      placement seed (default 1)\n");
   const bool paper = flags.paper_scale();
   const int hosts = flags.get_int("hosts", paper ? 250 : 100);
@@ -72,30 +82,34 @@ int main(int argc, char** argv) {
   job_config.block_bytes = static_cast<std::uint64_t>(
       flags.get_i64("block_mb", paper ? 128 : 32)) * 1'000'000ULL;
   job_config.concurrent_blocks = 4;
-  job_config.seed =
-      static_cast<std::uint64_t>(flags.get_i64("seed", 1)) * 13 + 5;
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_i64("seed", 1));
+
+  bench::Experiment experiment(flags, "fig12");
+  for (auto type : bench::kAllTypes) {
+    exp::ExperimentSpec spec;
+    spec.name = topo::to_string(type);
+    spec.engine = exp::Engine::kCustom;
+    spec.seed = seed;
+    spec.trials = experiment.trials(1);
+    experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+      return run_job(type, hosts, job_config, ctx);
+    });
+  }
+  const auto results = experiment.run();
 
   const char* stage_names[] = {"read input", "shuffle", "write output"};
-  std::vector<std::array<std::vector<double>, 3>> per_type;
-  for (auto type : bench::kAllTypes) {
-    per_type.push_back(
-        run_job(type, hosts, job_config, job_config.seed));
-  }
-
   for (int stage = 0; stage < 3; ++stage) {
+    const std::string key = "stage" + std::to_string(stage + 1) + "_s";
     TextTable table(std::string("Fig 12, stage ") + std::to_string(stage + 1) +
                         " (" + stage_names[stage] +
                         "): per-worker completion time (s)",
                     {"network", "median", "mean", "p90", "max"});
-    for (std::size_t t = 0; t < per_type.size(); ++t) {
-      const auto& samples = per_type[t][static_cast<std::size_t>(stage)];
-      const auto s = bench::summarize(samples);
-      double max_v = 0;
-      for (double v : samples) max_v = std::max(max_v, v);
-      table.add_row(topo::to_string(bench::kAllTypes[t]),
-                    {s.median, s.mean, s.p90, max_v}, 4);
+    for (const auto& cell : results) {
+      const auto s = exp::summarize(cell.merged_samples(key));
+      table.add_row(cell.spec.name, {s.median, s.mean, s.p90, s.max}, 4);
     }
     table.print();
   }
-  return 0;
+  return experiment.finish();
 }

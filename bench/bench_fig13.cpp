@@ -11,6 +11,10 @@
 // concurrent flows; throughput-bound traces (websearch) see P-Nets close
 // most of the gap to serial high-bw.
 //
+// Part (a) is pure distribution sampling and stays inline; parts (b)/(c)
+// are one custom-engine cell per (trace, network type), fanned over
+// --threads by exp::Runner.
+//
 // Usage: bench_fig13 [--hosts=64] [--planes=4] [--rounds=8] [--seed=1]
 //        [--cap_mb=16]  (--scale=paper: 686 hosts, more rounds, no cap)
 #include "common.hpp"
@@ -21,11 +25,12 @@ using namespace pnet;
 
 namespace {
 
-std::vector<double> run_trace(topo::NetworkType type, workload::Trace trace,
-                              int hosts, int planes, int rounds,
-                              std::uint64_t cap_bytes, std::uint64_t seed) {
+exp::TrialResult run_trace(topo::NetworkType type, workload::Trace trace,
+                           int hosts, int planes, int rounds,
+                           std::uint64_t cap_bytes,
+                           const exp::TrialContext& ctx) {
   const auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type,
-                                     hosts, planes, seed);
+                                     hosts, planes, ctx.seed);
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;  // single path, §5.3
   sim::SimConfig sim_config;
@@ -36,7 +41,7 @@ std::vector<double> run_trace(topo::NetworkType type, workload::Trace trace,
   workload::ClosedLoopApp::Config config;
   config.concurrent_per_host = 4;  // saturating closed loop, §5.3
   config.rounds_per_worker = rounds;
-  config.seed = seed * 0x51 + 3;
+  config.seed = mix64(ctx.seed);
   workload::ClosedLoopApp app(
       harness.starter(), harness.all_hosts(), config,
       [&](HostId src, Rng& rng) {
@@ -46,7 +51,17 @@ std::vector<double> run_trace(topo::NetworkType type, workload::Trace trace,
       [&dist, cap_bytes](Rng& rng) { return dist.sample(rng, cap_bytes); });
   app.start(0);
   harness.run();
-  return app.completion_times_us();
+
+  exp::TrialResult r;
+  r.fct_us = app.completion_times_us();
+  r.flows_started = static_cast<std::uint64_t>(harness.net().num_hosts()) *
+                    4ULL * static_cast<std::uint64_t>(rounds);
+  r.flows_finished = r.fct_us.size();
+  r.delivered_bytes =
+      static_cast<double>(harness.factory().total_delivered_bytes());
+  r.sim_seconds = units::to_seconds(harness.events().now());
+  r.events = harness.events().dispatched();
+  return r;
 }
 
 }  // namespace
@@ -89,28 +104,45 @@ int main(int argc, char** argv) {
   sizes.print();
 
   // --- (b)/(c) FCT distributions on Jellyfish 100/400G ------------------
-  for (auto trace : {workload::Trace::kDataMining,
-                     workload::Trace::kWebSearch}) {
-    const char* label =
-        trace == workload::Trace::kDataMining ? "Fig 13b" : "Fig 13c";
-    TextTable table(std::string(label) + ": " + workload::to_string(trace) +
-                        " FCT (us) on Jellyfish, single-path closed loop",
-                    {"network", "median", "p90", "p99", "mean"});
-    std::vector<std::pair<std::string, std::vector<double>>> cdfs;
+  const workload::Trace traces[] = {workload::Trace::kDataMining,
+                                    workload::Trace::kWebSearch};
+  bench::Experiment experiment(flags, "fig13");
+  for (auto trace : traces) {
     for (auto type : bench::kAllTypes) {
-      auto samples =
-          run_trace(type, trace, hosts, planes, rounds, cap, seed);
-      const auto s = bench::summarize(samples);
-      table.add_row(topo::to_string(type),
-                    {s.median, s.p90, s.p99, s.mean}, 1);
-      cdfs.emplace_back(topo::to_string(type), std::move(samples));
-    }
-    table.print();
-    for (auto& [name, samples] : cdfs) {
-      bench::print_cdf(std::string(label) + " CDF: " + name,
-                       Cdf::from_samples(std::move(samples)), "FCT (us)",
-                       12);
+      exp::ExperimentSpec spec;
+      spec.name = std::string(workload::to_string(trace)) + "/" +
+                  topo::to_string(type);
+      spec.engine = exp::Engine::kCustom;
+      spec.seed = seed;
+      spec.trials = experiment.trials(1);
+      experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+        return run_trace(type, trace, hosts, planes, rounds, cap, ctx);
+      });
     }
   }
-  return 0;
+  const auto results = experiment.run();
+  const std::size_t num_types = std::size(bench::kAllTypes);
+
+  for (std::size_t t = 0; t < std::size(traces); ++t) {
+    const char* label = traces[t] == workload::Trace::kDataMining
+                            ? "Fig 13b" : "Fig 13c";
+    TextTable table(std::string(label) + ": " +
+                        workload::to_string(traces[t]) +
+                        " FCT (us) on Jellyfish, single-path closed loop",
+                    {"network", "median", "p90", "p99", "mean"});
+    for (std::size_t j = 0; j < num_types; ++j) {
+      const auto s = results[t * num_types + j].fct();
+      table.add_row(topo::to_string(bench::kAllTypes[j]),
+                    {s.median, s.p90, s.p99, s.mean}, 1);
+    }
+    table.print();
+    for (std::size_t j = 0; j < num_types; ++j) {
+      bench::print_cdf(
+          std::string(label) + " CDF: " +
+              topo::to_string(bench::kAllTypes[j]),
+          Cdf::from_samples(results[t * num_types + j].merged_fct_us()),
+          "FCT (us)", 12);
+    }
+  }
+  return experiment.finish();
 }

@@ -7,6 +7,9 @@
 // only ~3%; heterogeneous starts lower but loses its shortest paths faster,
 // remaining best overall.
 //
+// One custom-engine cell per (failure rate, series); each trial is one
+// independent failure draw, fanned over --threads by exp::Runner.
+//
 // Usage: bench_fig14 [--hosts=686] [--planes=4] [--trials=5] [--seed=1]
 #include "analysis/failures.hpp"
 #include "common.hpp"
@@ -21,11 +24,9 @@ int main(int argc, char** argv) {
                       "\n"
                       "  --hosts=N    hosts (default 686)\n"
                       "  --planes=N   dataplanes (default 4)\n"
-                      "  --trials=N   failure draws per rate (default 5)\n"
                       "  --seed=N     base seed (default 1)\n");
   const int hosts = flags.get_int("hosts", 686);
   const int planes = flags.get_int("planes", 4);
-  const int trials = flags.get_int("trials", 5);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));
 
@@ -34,39 +35,52 @@ int main(int argc, char** argv) {
   struct SeriesDef {
     const char* name;
     topo::NetworkType type;
-    int planes;
   };
   const SeriesDef series[] = {
-      {"serial (low/high-bw)", topo::NetworkType::kSerialLow, planes},
-      {"parallel homogeneous", topo::NetworkType::kParallelHomogeneous,
-       planes},
-      {"parallel heterogeneous", topo::NetworkType::kParallelHeterogeneous,
-       planes},
+      {"serial (low/high-bw)", topo::NetworkType::kSerialLow},
+      {"parallel homogeneous", topo::NetworkType::kParallelHomogeneous},
+      {"parallel heterogeneous", topo::NetworkType::kParallelHeterogeneous},
   };
+
+  bench::Experiment experiment(flags, "fig14");
+  const int trials = experiment.trials(5);
+  for (double rate : failure_rates) {
+    for (const auto& def : series) {
+      const auto type = def.type;
+      exp::ExperimentSpec spec;
+      spec.name = "fail=" + format_double(rate * 100, 0) + "%/" +
+                  topo::to_string(type);
+      spec.engine = exp::Engine::kCustom;
+      spec.seed = seed;
+      spec.trials = trials;
+      experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+        const auto net = topo::build_network(bench::make_spec(
+            topo::TopoKind::kJellyfish, type, hosts, planes, ctx.seed));
+        const auto r = analysis::hop_count_under_failures(
+            net, rate, mix64(ctx.seed));
+        exp::TrialResult result;
+        result.metrics["mean_hops"] = r.mean_hops;
+        return result;
+      });
+    }
+  }
+  const auto results = experiment.run();
 
   TextTable table("Fig 14: mean rack-pair hop count (switch hops), "
                   "mean +- stddev over trials",
                   {"failure %", "serial", "sd", "par hom", "sd", "par het",
                    "sd"});
   std::vector<double> healthy(3, 0.0);
-  std::vector<std::vector<double>> at_worst(3);
+  std::vector<double> at_worst(3, 0.0);
+  std::size_t next = 0;
   for (double rate : failure_rates) {
     std::vector<double> row;
     for (std::size_t s = 0; s < 3; ++s) {
-      RunningStats stats;
-      for (int t = 0; t < trials; ++t) {
-        const auto net = topo::build_network(
-            bench::make_spec(topo::TopoKind::kJellyfish, series[s].type,
-                             hosts, series[s].planes,
-                             seed + 1000 * static_cast<std::uint64_t>(t)));
-        const auto r = analysis::hop_count_under_failures(
-            net, rate, seed + 17 * static_cast<std::uint64_t>(t) + 3);
-        stats.add(r.mean_hops);
-      }
-      row.push_back(stats.mean());
-      row.push_back(stats.stddev());
-      if (rate == 0.0) healthy[s] = stats.mean();
-      if (rate == failure_rates.back()) at_worst[s].push_back(stats.mean());
+      const auto stats = results[next++].metric("mean_hops");
+      row.push_back(stats.mean);
+      row.push_back(stats.stddev);
+      if (rate == 0.0) healthy[s] = stats.mean;
+      if (rate == failure_rates.back()) at_worst[s] = stats.mean;
     }
     table.add_row(format_double(rate * 100, 0), row, 3);
   }
@@ -77,8 +91,8 @@ int main(int argc, char** argv) {
                       {"network", "inflation %"});
   for (std::size_t s = 0; s < 3; ++s) {
     inflation.add_row(series[s].name,
-                      {100.0 * (at_worst[s].front() / healthy[s] - 1.0)}, 1);
+                      {100.0 * (at_worst[s] / healthy[s] - 1.0)}, 1);
   }
   inflation.print();
-  return 0;
+  return experiment.finish();
 }

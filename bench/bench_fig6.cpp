@@ -7,6 +7,10 @@
 // saturation throughput (active hosts x 100G), exactly as in the paper
 // where the serial low-bw series sits at 1.
 //
+// Each figure point is one custom-engine ExperimentSpec cell whose trial
+// function performs a single LP solve; exp::Runner fans every
+// (point, trial) pair over --threads.
+//
 // Usage: bench_fig6 [--hosts=128] [--eps=0.05] [--seed=1] [--trials=3]
 //        (--scale=paper runs the 1024-host setup of the paper)
 #include <map>
@@ -15,35 +19,6 @@
 
 using namespace pnet;
 using bench::LpScheme;
-
-namespace {
-
-struct Series {
-  double mean = 0.0;
-  double stddev = 0.0;
-};
-
-Series run_trials(topo::NetworkType type, int hosts, int planes,
-                  bool all_to_all, LpScheme scheme, int k, double eps,
-                  int trials, std::uint64_t seed) {
-  RunningStats stats;
-  for (int t = 0; t < trials; ++t) {
-    const auto net = topo::build_network(bench::make_spec(
-        topo::TopoKind::kFatTree, type, hosts, planes, seed + 100 * t));
-    Rng rng(seed + 7 * t);
-    const auto pairs =
-        all_to_all ? workload::rack_all_to_all_pairs(net)
-                   : workload::permutation_pairs(net.num_hosts(), rng);
-    const double active_hosts = static_cast<double>(
-        all_to_all ? net.num_racks() : net.num_hosts());
-    const auto run = bench::lp_throughput(net, pairs, scheme, k, eps);
-    stats.add(run.total_throughput_bps /
-              (active_hosts * net.spec().base_rate_bps));
-  }
-  return {stats.mean(), stats.stddev()};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
@@ -54,17 +29,69 @@ int main(int argc, char** argv) {
                       "  --hosts=N    hosts (default 128; paper 1024)\n"
                       "  --eps=X      LP approximation epsilon "
                       "(default 0.05)\n"
-                      "  --trials=N   seeds per point (default 3)\n"
                       "  --seed=N     base seed (default 1)\n");
   const int hosts = flags.get_int("hosts", flags.paper_scale() ? 1024 : 128);
   const double eps = flags.get_double("eps", 0.05);
-  const int trials = flags.get_int("trials", flags.paper_scale() ? 5 : 3);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));
 
+  bench::Experiment experiment(flags, "fig6");
+  const int trials = experiment.trials(flags.paper_scale() ? 5 : 3);
+
+  auto add_cell = [&](const std::string& name, topo::NetworkType type,
+                      int planes, bool all_to_all, LpScheme scheme, int k) {
+    exp::ExperimentSpec spec;
+    spec.name = name;
+    spec.engine = exp::Engine::kCustom;
+    spec.seed = seed;
+    spec.trials = trials;
+    return experiment.add(
+        std::move(spec), [=](const exp::TrialContext& ctx) {
+          const auto net = topo::build_network(bench::make_spec(
+              topo::TopoKind::kFatTree, type, hosts, planes, ctx.seed));
+          Rng rng(mix64(ctx.seed));
+          const auto pairs =
+              all_to_all ? workload::rack_all_to_all_pairs(net)
+                         : workload::permutation_pairs(net.num_hosts(), rng);
+          const double active_hosts = static_cast<double>(
+              all_to_all ? net.num_racks() : net.num_hosts());
+          const auto run = bench::lp_throughput(net, pairs, scheme, k, eps);
+          exp::TrialResult r;
+          r.metrics["norm_tput"] = run.total_throughput_bps /
+                                   (active_hosts * net.spec().base_rate_bps);
+          r.metrics["alpha"] = run.alpha;
+          return r;
+        });
+  };
+
+  auto type_for = [](int planes) {
+    return planes == 1 ? topo::NetworkType::kSerialLow
+                       : topo::NetworkType::kParallelHomogeneous;
+  };
+
   const std::vector<int> plane_counts = {1, 2, 4, 8};
+  const std::vector<int> ks = {1, 2, 4, 8, 16, 32};
 
   // --- (a) all-to-all + ECMP, (b) permutation + ECMP ------------------
+  for (const bool all_to_all : {true, false}) {
+    for (int n : plane_counts) {
+      add_cell(std::string(all_to_all ? "a2a" : "perm") + "/ecmp/planes=" +
+                   std::to_string(n),
+               type_for(n), n, all_to_all, LpScheme::kEcmp, 0);
+    }
+  }
+  // --- (c) permutation, multipath sweep --------------------------------
+  for (int k : ks) {
+    for (int n : {1, 2, 4}) {
+      add_cell("perm/ksp/k=" + std::to_string(k) +
+                   "/planes=" + std::to_string(n),
+               type_for(n), n, false, LpScheme::kKsp, k);
+    }
+  }
+
+  const auto results = experiment.run();
+  std::size_t next = 0;
+
   for (const bool all_to_all : {true, false}) {
     TextTable table(std::string("Fig 6") + (all_to_all ? "a" : "b") + ": " +
                         (all_to_all ? "all-to-all" : "permutation") +
@@ -72,32 +99,24 @@ int main(int argc, char** argv) {
                     {"planes", "parallel fat tree", "stddev",
                      "serial high-bw (ideal)"});
     for (int n : plane_counts) {
-      const auto s = run_trials(
-          n == 1 ? topo::NetworkType::kSerialLow
-                 : topo::NetworkType::kParallelHomogeneous,
-          hosts, n, all_to_all, LpScheme::kEcmp, 0, eps, trials, seed);
+      const auto s = results[next++].metric("norm_tput");
       table.add_row(std::to_string(n),
                     {s.mean, s.stddev, static_cast<double>(n)});
     }
     table.print();
   }
 
-  // --- (c) permutation, multipath sweep --------------------------------
   TextTable sweep(
       "Fig 6c: permutation throughput vs multipath level K "
       "(normalized to serial low-bw; circled = first K saturating N planes)",
       {"K", "serial (N=1)", "parallel N=2", "parallel N=4"});
-  const std::vector<int> ks = {1, 2, 4, 8, 16, 32};
   std::map<int, int> saturation_k;
   for (int k : ks) {
     std::vector<double> row;
     for (int n : {1, 2, 4}) {
-      const auto s = run_trials(
-          n == 1 ? topo::NetworkType::kSerialLow
-                 : topo::NetworkType::kParallelHomogeneous,
-          hosts, n, false, LpScheme::kKsp, k, eps, trials, seed);
-      row.push_back(s.mean);
-      if (!saturation_k.contains(n) && s.mean >= 0.9 * n) {
+      const double mean = results[next++].metric("norm_tput").mean;
+      row.push_back(mean);
+      if (!saturation_k.contains(n) && mean >= 0.9 * n) {
         saturation_k[n] = k;
       }
     }
@@ -112,5 +131,5 @@ int main(int argc, char** argv) {
     circles.add_row(std::to_string(n), {static_cast<double>(k)}, 0);
   }
   circles.print();
-  return 0;
+  return experiment.finish();
 }

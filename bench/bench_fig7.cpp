@@ -9,8 +9,14 @@
 // bit. Parallel homogeneous equals serial high-bw (identical planes) and is
 // printed once to confirm, as the paper notes before omitting it.
 //
+// Each (network type, plane count) point is one custom-engine cell whose
+// trial function performs a single oracle LP solve; exp::Runner fans every
+// (point, trial) pair over --threads.
+//
 // Usage: bench_fig7 [--racks=24] [--degree=8] [--eps=0.06] [--trials=3]
 //        [--seed=1]   (--scale=paper: 128 racks as in the paper)
+#include <map>
+
 #include "common.hpp"
 
 using namespace pnet;
@@ -53,62 +59,79 @@ int main(int argc, char** argv) {
       "  --racks=N    racks (default 24; paper 128)\n"
       "  --degree=N   switch network degree (default 8)\n"
       "  --eps=X      LP approximation epsilon (default 0.06)\n"
-      "  --trials=N   seeds per point (default 3)\n"
       "  --seed=N     base seed (default 1)\n");
   const int racks = flags.get_int("racks", flags.paper_scale() ? 128 : 24);
   const int degree = flags.get_int("degree", 8);
   const double eps = flags.get_double("eps", 0.06);
-  const int trials = flags.get_int("trials", flags.paper_scale() ? 5 : 3);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));
 
-  auto spec_for = [&](topo::NetworkType type, int planes,
-                      std::uint64_t s) {
-    auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type,
-                                 racks, planes, s);
-    spec.jf_switches = racks;
-    spec.jf_degree = degree;
-    spec.jf_hosts_per_switch = 1;  // hosts unused: rack-level commodities
-    return spec;
+  bench::Experiment experiment(flags, "fig7");
+  const int trials = experiment.trials(flags.paper_scale() ? 5 : 3);
+
+  auto add_cell = [&](const std::string& name, topo::NetworkType type,
+                      int planes) {
+    exp::ExperimentSpec spec;
+    spec.name = name;
+    spec.engine = exp::Engine::kCustom;
+    spec.seed = seed;
+    spec.trials = trials;
+    return experiment.add(
+        std::move(spec), [=](const exp::TrialContext& ctx) {
+          auto tspec = bench::make_spec(topo::TopoKind::kJellyfish, type,
+                                        racks, planes, ctx.seed);
+          tspec.jf_switches = racks;
+          tspec.jf_degree = degree;
+          tspec.jf_hosts_per_switch = 1;  // hosts unused: rack commodities
+          exp::TrialResult r;
+          r.metrics["tput_bps"] =
+              oracle_throughput(topo::build_network(tspec), eps);
+          return r;
+        });
   };
 
-  auto run = [&](topo::NetworkType type, int planes) {
-    RunningStats stats;
-    for (int t = 0; t < trials; ++t) {
-      const auto net =
-          topo::build_network(spec_for(type, planes, seed + 31 * t));
-      stats.add(oracle_throughput(net, eps));
+  const std::vector<int> plane_counts = {1, 2, 4, 8};
+  const std::size_t serial_low =
+      add_cell("serial-low", topo::NetworkType::kSerialLow, 1);
+  std::map<int, std::size_t> het_cells;
+  std::map<int, std::size_t> high_cells;
+  for (int n : plane_counts) {
+    if (n > 1) {
+      het_cells[n] = add_cell("het/planes=" + std::to_string(n),
+                              topo::NetworkType::kParallelHeterogeneous, n);
     }
-    return stats;
-  };
+    high_cells[n] = add_cell("high/planes=" + std::to_string(n),
+                             topo::NetworkType::kSerialHigh, n);
+  }
+  const std::size_t hom4 =
+      add_cell("hom/planes=4", topo::NetworkType::kParallelHomogeneous, 4);
 
-  const double serial_low =
-      run(topo::NetworkType::kSerialLow, 1).mean();
+  const auto results = experiment.run();
+  const double serial_low_mean = results[serial_low].metric("tput_bps").mean;
 
   TextTable table("Fig 7: throughput normalized to serial low-bw "
                   "(parallel homogeneous == serial high-bw, shown once)",
                   {"planes", "serial high-bw", "parallel heterogeneous",
                    "het stddev", "het / serial-high"});
-  for (int n : {1, 2, 4, 8}) {
-    const auto het =
-        n == 1 ? run(topo::NetworkType::kSerialLow, 1)
-               : run(topo::NetworkType::kParallelHeterogeneous, n);
-    const auto high = run(topo::NetworkType::kSerialHigh, n);
-    const double high_norm = high.mean() / serial_low;
-    const double het_norm = het.mean() / serial_low;
+  for (int n : plane_counts) {
+    const auto het = results[n == 1 ? serial_low : het_cells[n]]
+                         .metric("tput_bps");
+    const auto high = results[high_cells[n]].metric("tput_bps");
+    const double high_norm = high.mean / serial_low_mean;
+    const double het_norm = het.mean / serial_low_mean;
     table.add_row(std::to_string(n),
-                  {high_norm, het_norm, het.stddev() / serial_low,
+                  {high_norm, het_norm, het.stddev / serial_low_mean,
                    het_norm / high_norm});
   }
   table.print();
 
   // Confirmation row the paper mentions: homogeneous == serial high-bw.
-  const auto hom = run(topo::NetworkType::kParallelHomogeneous, 4);
-  const auto high4 = run(topo::NetworkType::kSerialHigh, 4);
   TextTable check("Check: parallel homogeneous matches serial high-bw "
                   "(paper omits the curve for this reason)",
                   {"planes", "parallel homogeneous", "serial high-bw"});
-  check.add_row("4", {hom.mean() / serial_low, high4.mean() / serial_low});
+  check.add_row("4", {results[hom4].metric("tput_bps").mean / serial_low_mean,
+                      results[high_cells[4]].metric("tput_bps").mean /
+                          serial_low_mean});
   check.print();
-  return 0;
+  return experiment.finish();
 }

@@ -5,6 +5,9 @@
 //   (c) permutation, K sweep             — saturation again needs K ~ 8*N.
 // Normalized to the serial low-bandwidth Jellyfish saturation throughput.
 //
+// Each figure point is one custom-engine cell (one LP solve per trial)
+// fanned over --threads by exp::Runner.
+//
 // Usage: bench_fig8 [--hosts=98] [--eps=0.05] [--seed=1] [--trials=3]
 //        (--scale=paper: 1024 hosts)
 #include <map>
@@ -13,36 +16,6 @@
 
 using namespace pnet;
 using bench::LpScheme;
-
-namespace {
-
-struct Series {
-  double mean = 0.0;
-  double stddev = 0.0;
-};
-
-Series run_trials(topo::NetworkType type, int hosts, int planes,
-                  bool all_to_all, int k, double eps, int trials,
-                  std::uint64_t seed) {
-  RunningStats stats;
-  for (int t = 0; t < trials; ++t) {
-    const auto net = topo::build_network(bench::make_spec(
-        topo::TopoKind::kJellyfish, type, hosts, planes, seed + 100 * t));
-    Rng rng(seed + 7 * t);
-    const auto pairs =
-        all_to_all ? workload::rack_all_to_all_pairs(net)
-                   : workload::permutation_pairs(net.num_hosts(), rng);
-    const double active_hosts = static_cast<double>(
-        all_to_all ? net.num_racks() : net.num_hosts());
-    const auto run =
-        bench::lp_throughput(net, pairs, LpScheme::kKsp, k, eps);
-    stats.add(run.total_throughput_bps /
-              (active_hosts * net.spec().base_rate_bps));
-  }
-  return {stats.mean(), stats.stddev()};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
@@ -54,13 +27,64 @@ int main(int argc, char** argv) {
                       "  --hosts=N    hosts (default 98; paper 1024)\n"
                       "  --eps=X      LP approximation epsilon "
                       "(default 0.05)\n"
-                      "  --trials=N   seeds per point (default 3)\n"
                       "  --seed=N     base seed (default 1)\n");
   const int hosts = flags.get_int("hosts", flags.paper_scale() ? 1024 : 98);
   const double eps = flags.get_double("eps", 0.05);
-  const int trials = flags.get_int("trials", flags.paper_scale() ? 5 : 3);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));
+
+  bench::Experiment experiment(flags, "fig8");
+  const int trials = experiment.trials(flags.paper_scale() ? 5 : 3);
+
+  auto add_cell = [&](const std::string& name, int planes, bool all_to_all,
+                      int k) {
+    const auto type = planes == 1
+                          ? topo::NetworkType::kSerialLow
+                          : topo::NetworkType::kParallelHeterogeneous;
+    exp::ExperimentSpec spec;
+    spec.name = name;
+    spec.engine = exp::Engine::kCustom;
+    spec.seed = seed;
+    spec.trials = trials;
+    return experiment.add(
+        std::move(spec), [=](const exp::TrialContext& ctx) {
+          const auto net = topo::build_network(bench::make_spec(
+              topo::TopoKind::kJellyfish, type, hosts, planes, ctx.seed));
+          Rng rng(mix64(ctx.seed));
+          const auto pairs =
+              all_to_all ? workload::rack_all_to_all_pairs(net)
+                         : workload::permutation_pairs(net.num_hosts(), rng);
+          const double active_hosts = static_cast<double>(
+              all_to_all ? net.num_racks() : net.num_hosts());
+          const auto run =
+              bench::lp_throughput(net, pairs, LpScheme::kKsp, k, eps);
+          exp::TrialResult r;
+          r.metrics["norm_tput"] = run.total_throughput_bps /
+                                   (active_hosts * net.spec().base_rate_bps);
+          return r;
+        });
+  };
+
+  const std::vector<int> plane_counts = {1, 2, 4, 8};
+  const std::vector<int> ks = {1, 2, 4, 8, 16, 32};
+
+  for (const bool all_to_all : {true, false}) {
+    for (int n : plane_counts) {
+      add_cell(std::string(all_to_all ? "a2a" : "perm") + "/ksp8/planes=" +
+                   std::to_string(n),
+               n, all_to_all, 8);
+    }
+  }
+  for (int k : ks) {
+    for (int n : {1, 2, 4}) {
+      add_cell("perm/ksp/k=" + std::to_string(k) +
+                   "/planes=" + std::to_string(n),
+               n, false, k);
+    }
+  }
+
+  const auto results = experiment.run();
+  std::size_t next = 0;
 
   // --- (a) all-to-all + 8-way KSP, (b) permutation + 8-way KSP ---------
   for (const bool all_to_all : {true, false}) {
@@ -70,11 +94,8 @@ int main(int argc, char** argv) {
             " throughput, 8-way KSP (normalized to serial low-bw)",
         {"planes", "parallel heterogeneous", "stddev",
          "serial high-bw (ideal)"});
-    for (int n : {1, 2, 4, 8}) {
-      const auto s = run_trials(
-          n == 1 ? topo::NetworkType::kSerialLow
-                 : topo::NetworkType::kParallelHeterogeneous,
-          hosts, n, all_to_all, 8, eps, trials, seed);
+    for (int n : plane_counts) {
+      const auto s = results[next++].metric("norm_tput");
       table.add_row(std::to_string(n),
                     {s.mean, s.stddev, static_cast<double>(n)});
     }
@@ -87,15 +108,12 @@ int main(int argc, char** argv) {
       "(normalized to serial low-bw; circled = first K saturating N planes)",
       {"K", "serial (N=1)", "parallel N=2", "parallel N=4"});
   std::map<int, int> saturation_k;
-  for (int k : {1, 2, 4, 8, 16, 32}) {
+  for (int k : ks) {
     std::vector<double> row;
     for (int n : {1, 2, 4}) {
-      const auto s = run_trials(
-          n == 1 ? topo::NetworkType::kSerialLow
-                 : topo::NetworkType::kParallelHeterogeneous,
-          hosts, n, false, k, eps, trials, seed);
-      row.push_back(s.mean);
-      if (!saturation_k.contains(n) && s.mean >= 0.9 * n) {
+      const double mean = results[next++].metric("norm_tput").mean;
+      row.push_back(mean);
+      if (!saturation_k.contains(n) && mean >= 0.9 * n) {
         saturation_k[n] = k;
       }
     }
@@ -109,5 +127,5 @@ int main(int argc, char** argv) {
     circles.add_row(std::to_string(n), {static_cast<double>(k)}, 0);
   }
   circles.print();
-  return 0;
+  return experiment.finish();
 }

@@ -1,4 +1,4 @@
-// Figure 9: small-flow FCT vs flow size on Jellyfish P-Nets (packet sim).
+// Figure 9: small-flow FCT vs flow size on Jellyfish P-Nets.
 //
 // Permutation traffic, four network types, N = 4 dataplanes. As in the
 // paper's best-of configuration (§5.1.2), serial networks use single-path
@@ -6,6 +6,10 @@
 // parallel networks win for small flows (they slow-start over more paths,
 // finishing before queues fill), the advantage narrows around ~100 MB
 // (MPTCP probes slowly), and grows again for bulk flows.
+//
+// Every (flow size, network type) pair is one ExperimentSpec cell; the
+// whole grid fans out through exp::Runner in a single pass, so --threads
+// parallelizes across cells and --json captures the structured report.
 //
 // Usage: bench_fig9 [--hosts=96] [--planes=4] [--rounds=5] [--seed=1]
 //        [--maxsize=10000000]   (--scale=paper: 686 hosts, up to 1 GB)
@@ -28,79 +32,6 @@ core::PolicyConfig policy_for(topo::NetworkType type, int planes) {
   return policy;
 }
 
-bench::Summary run_packet(topo::NetworkType type, int hosts, int planes,
-                          std::uint64_t flow_bytes, int rounds,
-                          std::uint64_t seed) {
-  auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type, hosts,
-                               planes, seed);
-  // Bulk-transfer experiments use deeper per-port buffers (400 MTUs), as
-  // htsim TCP studies do; the shallow 100-packet default is kept for the
-  // RPC experiments where drop behaviour is the point (Fig 11).
-  sim::SimConfig sim_config;
-  sim_config.queue_buffer_bytes = 400 * 1500;
-  core::SimHarness harness(spec, policy_for(type, planes), sim_config);
-
-  Rng rng(seed * 33 + 1);
-  std::vector<double> fcts;
-  for (int round = 0; round < rounds; ++round) {
-    const auto pairs =
-        workload::permutation_pairs(harness.net().num_hosts(), rng);
-    const SimTime start = harness.events().now();
-    int remaining = static_cast<int>(pairs.size());
-    for (const auto& [src, dst] : pairs) {
-      // A few microseconds of start jitter, as in any real deployment.
-      const SimTime jittered =
-          start + static_cast<SimTime>(rng.next_below(10 * units::kMicrosecond));
-      harness.starter()(src, dst, flow_bytes, jittered,
-                        [&](const sim::FlowRecord& r) {
-                          fcts.push_back(
-                              units::to_microseconds(r.end - r.start));
-                          --remaining;
-                        });
-    }
-    harness.run();
-    if (remaining != 0) {
-      std::fprintf(stderr, "warning: %d flows unfinished\n", remaining);
-    }
-  }
-  return bench::summarize(fcts);
-}
-
-/// Fluid-engine twin of run_packet: same topology, permutations, jitter and
-/// policy intent, two orders of magnitude faster (no slow start or queueing
-/// delay; see DESIGN.md for the fidelity envelope).
-bench::Summary run_fsim(topo::NetworkType type, int hosts, int planes,
-                        std::uint64_t flow_bytes, int rounds,
-                        std::uint64_t seed) {
-  auto spec = bench::make_spec(topo::TopoKind::kJellyfish, type, hosts,
-                               planes, seed);
-  const auto net = topo::build_network(spec);
-  const auto config = bench::to_fsim_config(policy_for(type, planes));
-
-  Rng rng(seed * 33 + 1);
-  std::vector<double> fcts;
-  for (int round = 0; round < rounds; ++round) {
-    fsim::FluidSimulator fluid(net, config);
-    for (const auto& [src, dst] :
-         workload::permutation_pairs(net.num_hosts(), rng)) {
-      const SimTime jittered =
-          static_cast<SimTime>(rng.next_below(10 * units::kMicrosecond));
-      fluid.add_flow({src, dst, flow_bytes, jittered});
-    }
-    fluid.run();
-    for (double fct : fluid.fct_us()) fcts.push_back(fct);
-  }
-  return bench::summarize(fcts);
-}
-
-bench::Summary run_one(bench::Engine engine, topo::NetworkType type,
-                       int hosts, int planes, std::uint64_t flow_bytes,
-                       int rounds, std::uint64_t seed) {
-  return engine == bench::Engine::kPacket
-             ? run_packet(type, hosts, planes, flow_bytes, rounds, seed)
-             : run_fsim(type, hosts, planes, flow_bytes, rounds, seed);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,8 +44,6 @@ int main(int argc, char** argv) {
                       "  --planes=N       dataplanes (default 4)\n"
                       "  --rounds=N       permutation rounds (default 3)\n"
                       "  --maxsize=N      largest flow size in bytes\n"
-                      "  --engine=E       packet (default) or fsim "
-                      "(flow-level fluid model)\n"
                       "  --seed=N         base seed (default 1)\n");
   const auto engine = bench::parse_engine(flags);
   const bool paper = flags.paper_scale();
@@ -130,20 +59,45 @@ int main(int argc, char** argv) {
                                       100'000'000, 1'000'000'000};
   std::erase_if(sizes, [&](std::uint64_t s) { return s > max_size; });
 
+  bench::Experiment experiment(flags, "fig9");
+  for (std::uint64_t size : sizes) {
+    for (auto type : bench::kAllTypes) {
+      exp::ExperimentSpec spec;
+      spec.name = format_double(static_cast<double>(size) / 1e6, 1) +
+                  "MB/" + topo::to_string(type);
+      spec.topo = bench::make_spec(topo::TopoKind::kJellyfish, type, hosts,
+                                   planes, seed);
+      spec.policy = policy_for(type, planes);
+      spec.engine = engine;
+      // Bulk-transfer experiments use deeper per-port buffers (400 MTUs),
+      // as htsim TCP studies do; the shallow 100-packet default is kept
+      // for the RPC experiments where drop behaviour is the point (Fig 11).
+      spec.sim.queue_buffer_bytes = 400 * 1500;
+      spec.workload.flow_bytes = size;
+      spec.workload.rounds = rounds;
+      spec.seed = seed;
+      spec.trials = experiment.trials(1);
+      experiment.add(std::move(spec));
+    }
+  }
+  const auto results = experiment.run();
+
   TextTable table(std::string("Fig 9: mean FCT (us) with stddev, by flow "
                               "size [engine=") +
                       bench::to_string(engine) + "]",
                   {"flow size", "serial low-bw", "sd", "par hom", "sd",
                    "par het", "sd", "serial high-bw", "sd"});
-  for (std::uint64_t size : sizes) {
+  const std::size_t num_types = std::size(bench::kAllTypes);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
     std::vector<double> row;
-    for (auto type : bench::kAllTypes) {
-      const auto s = run_one(engine, type, hosts, planes, size, rounds, seed);
+    for (std::size_t j = 0; j < num_types; ++j) {
+      const auto s = results[i * num_types + j].fct();
       row.push_back(s.mean);
       row.push_back(s.stddev);
     }
-    table.add_row(format_double(static_cast<double>(size) / 1e6, 1) + " MB",
-                  row, 1);
+    table.add_row(
+        format_double(static_cast<double>(sizes[i]) / 1e6, 1) + " MB", row,
+        1);
   }
   table.print();
 
@@ -151,5 +105,5 @@ int main(int argc, char** argv) {
               "serial high-bw for flows <= 10 MB; the parallel advantage\n"
               "over serial low-bw narrows near 100 MB and grows again for\n"
               "1 GB bulk flows.\n");
-  return 0;
+  return experiment.finish();
 }

@@ -9,47 +9,39 @@
 // mean FCT must track the packet sim to within the slow-start/queueing
 // envelope (a few percent on 50 MB flows where links are genuinely
 // shared; see DESIGN.md for the saturated-link caveat). Both engines'
-// wall-clocks are printed; the fluid engine is typically 100x+ faster.
+// wall-clocks land in the trial's runtime block; the fluid engine is
+// typically 100x+ faster.
 //
 // Part 2 runs a k=16 fat tree (1024 hosts) with 10k+ flows through the
 // fluid engine alone — a size the packet simulator cannot touch — and
 // prints the wall-clock.
 //
-// Part 3 sweeps seeds across OS threads with fsim::run_sweep (one
-// independent simulation per job; results are bit-identical for any
-// --threads value).
+// Part 3 is a 16-trial built-in fluid-engine cell: exp::Runner fans the
+// trials over OS threads (one independent simulation per trial, workload
+// draws reseeded per trial; results are bit-identical for any --threads).
 //
 // Usage: bench_fsim_crossval [--hosts=16] [--planes=4] [--seed=1]
 //        [--bytes_mb=50] [--bighosts=1024] [--bigrounds=10] [--threads=0]
 //        [--skip_big=0] [--eps=0.02]
 #include "common.hpp"
-#include "fsim/sweep.hpp"
 
 using namespace pnet;
 
 namespace {
 
-struct CrossResult {
-  double lp_alpha = 0.0;
-  double fsim_min_frac = 0.0;   // steady-state min rate / plane link rate
-  double fsim_mean_fct_us = 0.0;
-  double packet_mean_fct_us = 0.0;
-  double fsim_wall_s = 0.0;
-  double packet_wall_s = 0.0;
-};
-
 /// One permutation of `bytes`-sized flows on a fat tree, same pinned
 /// single ECMP path per flow in all three engines.
-CrossResult cross_validate(topo::NetworkType type, int hosts, int planes,
-                           std::uint64_t bytes, double epsilon,
-                           std::uint64_t seed) {
+exp::TrialResult cross_validate(topo::NetworkType type, int hosts,
+                                int planes, std::uint64_t bytes,
+                                double epsilon,
+                                const exp::TrialContext& ctx) {
   const auto spec = bench::make_spec(topo::TopoKind::kFatTree, type, hosts,
-                                     planes, seed);
+                                     planes, ctx.seed);
   const auto net = topo::build_network(spec);
   fsim::FsimConfig config;
   config.scheme = fsim::RouteScheme::kEcmpPlaneHash;
 
-  Rng rng(seed);
+  Rng rng(ctx.seed);
   const auto pairs = workload::permutation_pairs(net.num_hosts(), rng);
   std::vector<std::vector<routing::Path>> paths;
   std::vector<SimTime> starts;
@@ -65,7 +57,8 @@ CrossResult cross_validate(topo::NetworkType type, int hosts, int planes,
         static_cast<SimTime>(rng.next_below(10 * units::kMicrosecond)));
   }
 
-  CrossResult result;
+  exp::TrialResult r;
+  r.flows_started = 2 * pairs.size();  // fluid + packet engines
 
   // --- LP: max concurrent flow over the pinned paths -------------------
   {
@@ -82,7 +75,7 @@ CrossResult cross_validate(topo::NetworkType type, int hosts, int planes,
     }
     lp::McfOptions options;
     options.epsilon = epsilon;
-    result.lp_alpha =
+    r.metrics["lp_alpha"] =
         lp::max_concurrent_flow(index.capacity(), commodities, options).alpha;
   }
 
@@ -96,11 +89,15 @@ CrossResult cross_validate(topo::NetworkType type, int hosts, int planes,
     }
     // Settle just past the jitter window: every flow admitted, none done.
     fluid.run_until(10 * units::kMicrosecond);
-    result.fsim_min_frac =
+    r.metrics["fsim_min_frac"] =
         fluid.min_rate_bps() / net.plane(0).link_rate_bps;
     fluid.run();
-    result.fsim_mean_fct_us = bench::summarize(fluid.fct_us()).mean;
-    result.fsim_wall_s = wall.seconds();
+    r.metrics["fsim_mean_fct_us"] = bench::summarize(fluid.fct_us()).mean;
+    r.flows_finished += fluid.results().size();
+    r.delivered_bytes += fluid.delivered_bytes();
+    r.sim_seconds += units::to_seconds(fluid.now());
+    r.events += fluid.events();
+    r.runtime["fsim_wall_s"] = wall.seconds();
   }
 
   // --- packet: same paths, bulk-transfer buffers ------------------------
@@ -114,17 +111,62 @@ CrossResult cross_validate(topo::NetworkType type, int hosts, int planes,
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       harness.factory().tcp_flow(pairs[i].first, pairs[i].second,
                                  paths[i].front(), bytes, starts[i],
-                                 [&fcts](const sim::FlowRecord& r) {
+                                 [&fcts](const sim::FlowRecord& rec) {
                                    fcts.push_back(
-                                       units::to_microseconds(r.end -
-                                                              r.start));
+                                       units::to_microseconds(rec.end -
+                                                              rec.start));
                                  });
     }
     harness.run();
-    result.packet_mean_fct_us = bench::summarize(fcts).mean;
-    result.packet_wall_s = wall.seconds();
+    r.metrics["packet_mean_fct_us"] = bench::summarize(fcts).mean;
+    r.fct_us = fcts;
+    r.flows_finished += fcts.size();
+    r.delivered_bytes +=
+        static_cast<double>(harness.factory().total_delivered_bytes());
+    r.sim_seconds += units::to_seconds(harness.events().now());
+    r.events += harness.events().dispatched();
+    r.runtime["packet_wall_s"] = wall.seconds();
   }
-  return result;
+  return r;
+}
+
+/// Fluid-only scale demo: a k=16 fat tree the packet simulator cannot
+/// touch.
+exp::TrialResult scale_demo(int big_hosts, int planes, int big_rounds,
+                            const exp::TrialContext& ctx) {
+  bench::WallClock wall;
+  const auto spec = bench::make_spec(
+      topo::TopoKind::kFatTree, topo::NetworkType::kParallelHomogeneous,
+      big_hosts, planes, ctx.seed);
+  const auto net = topo::build_network(spec);
+  fsim::FsimConfig config;
+  config.scheme = fsim::RouteScheme::kEcmpPlaneHash;
+  fsim::FluidSimulator fluid(net, config);
+  Rng rng(mix64(ctx.seed + 17));
+  exp::TrialResult r;
+  for (int round = 0; round < big_rounds; ++round) {
+    const SimTime base = round * 200 * units::kMicrosecond;
+    for (const auto& [src, dst] :
+         workload::permutation_pairs(net.num_hosts(), rng)) {
+      const SimTime jittered = base + static_cast<SimTime>(
+          rng.next_below(100 * units::kMicrosecond));
+      fluid.add_flow({src, dst, 1'000'000, jittered});
+      ++r.flows_started;
+    }
+  }
+  fluid.run();
+  r.fct_us = fluid.fct_us();
+  r.flows_finished = fluid.results().size();
+  r.delivered_bytes = fluid.delivered_bytes();
+  r.sim_seconds = units::to_seconds(fluid.now());
+  r.events = fluid.events();
+  r.metrics["hosts"] = static_cast<double>(net.num_hosts());
+  r.metrics["full_solves"] =
+      static_cast<double>(fluid.allocator().full_solves());
+  r.metrics["fast_paths"] =
+      static_cast<double>(fluid.allocator().fast_paths());
+  r.runtime["wall_s"] = wall.seconds();
+  return r;
 }
 
 }  // namespace
@@ -143,7 +185,7 @@ int main(int argc, char** argv) {
       "                 a k=16 fat tree)\n"
       "  --bigrounds=N  permutation rounds in the scale demo (default 10)\n"
       "  --skip_big=1   skip the scale demo (smoke-test runs)\n"
-      "  --threads=N    sweep worker threads, 0 = all cores (default 0)\n"
+      "  --threads=N    runner worker threads, 0 = all cores (default 0)\n"
       "  --seed=N       base seed (default 1)\n");
   const int hosts = flags.get_int("hosts", 16);
   const int planes = flags.get_int("planes", 4);
@@ -157,7 +199,6 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_i64("seed", 1));
 
-  // --- Part 1: three-engine cross-validation ---------------------------
   struct Config {
     const char* name;
     topo::NetworkType type;
@@ -169,6 +210,48 @@ int main(int argc, char** argv) {
        planes},
   };
 
+  bench::Experiment experiment(flags, "fsim_crossval");
+  for (const auto& config : configs) {
+    exp::ExperimentSpec spec;
+    spec.name = std::string("crossval/") + topo::to_string(config.type);
+    spec.engine = exp::Engine::kCustom;
+    spec.seed = seed;
+    const auto ty = config.type;
+    const int pl = config.planes;
+    experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+      return cross_validate(ty, hosts, pl, bytes, epsilon, ctx);
+    });
+  }
+  if (!skip_big) {
+    exp::ExperimentSpec spec;
+    spec.name = "scale/" + std::to_string(big_hosts) + "hosts";
+    spec.engine = exp::Engine::kCustom;
+    spec.seed = seed;
+    experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
+      return scale_demo(big_hosts, planes, big_rounds, ctx);
+    });
+  }
+  // Part 3's seed sweep: one built-in fluid-engine cell, 16 trials, each
+  // an independent simulation fanned over the runner's threads.
+  {
+    exp::ExperimentSpec spec;
+    spec.name = "sweep/par-hom";
+    spec.engine = exp::Engine::kFsim;
+    spec.topo = bench::make_spec(topo::TopoKind::kFatTree,
+                                 topo::NetworkType::kParallelHomogeneous,
+                                 hosts, planes, seed);
+    spec.policy.policy = core::RoutingPolicy::kEcmp;
+    spec.workload.pattern = exp::WorkloadSpec::Pattern::kPermutation;
+    spec.workload.flow_bytes = 1'000'000;
+    spec.workload.rounds = 1;
+    spec.workload.start_jitter = 10 * units::kMicrosecond;
+    spec.seed = seed;
+    spec.trials = experiment.trials(16);
+    experiment.add(std::move(spec));
+  }
+  const auto results = experiment.run();
+
+  // --- Part 1: three-engine cross-validation ---------------------------
   TextTable table("Permutation cross-check (single pinned ECMP path per "
                   "flow; min-rate and alpha as fraction of plane link "
                   "rate)",
@@ -177,17 +260,19 @@ int main(int argc, char** argv) {
                    "speedup"});
   double total_fsim_s = 0.0;
   double total_packet_s = 0.0;
-  for (const auto& config : configs) {
-    const auto r = cross_validate(config.type, hosts, config.planes, bytes,
-                                  epsilon, seed);
-    total_fsim_s += r.fsim_wall_s;
-    total_packet_s += r.packet_wall_s;
-    table.add_row(config.name,
-                  {r.lp_alpha, r.fsim_min_frac, r.fsim_mean_fct_us,
-                   r.packet_mean_fct_us,
-                   r.fsim_mean_fct_us / r.packet_mean_fct_us,
-                   r.fsim_wall_s, r.packet_wall_s,
-                   r.packet_wall_s / std::max(r.fsim_wall_s, 1e-9)},
+  for (std::size_t i = 0; i < std::size(configs); ++i) {
+    const auto& trial = results[i].trials.front();
+    const double fsim_s = trial.runtime.at("fsim_wall_s");
+    const double packet_s = trial.runtime.at("packet_wall_s");
+    total_fsim_s += fsim_s;
+    total_packet_s += packet_s;
+    const double fsim_fct = results[i].metric("fsim_mean_fct_us").mean;
+    const double packet_fct = results[i].metric("packet_mean_fct_us").mean;
+    table.add_row(configs[i].name,
+                  {results[i].metric("lp_alpha").mean,
+                   results[i].metric("fsim_min_frac").mean, fsim_fct,
+                   packet_fct, fsim_fct / packet_fct, fsim_s, packet_s,
+                   packet_s / std::max(fsim_s, 1e-9)},
                   3);
   }
   table.print();
@@ -202,71 +287,35 @@ int main(int argc, char** argv) {
               total_packet_s / std::max(total_fsim_s, 1e-9));
 
   // --- Part 2: fluid-only scale demo -----------------------------------
+  std::size_t next = std::size(configs);
   if (!skip_big) {
-    bench::WallClock wall;
-    const auto spec = bench::make_spec(
-        topo::TopoKind::kFatTree, topo::NetworkType::kParallelHomogeneous,
-        big_hosts, planes, seed);
-    const auto net = topo::build_network(spec);
-    fsim::FsimConfig config;
-    config.scheme = fsim::RouteScheme::kEcmpPlaneHash;
-    fsim::FluidSimulator fluid(net, config);
-    Rng rng(seed * 17 + 1);
-    int flows = 0;
-    for (int round = 0; round < big_rounds; ++round) {
-      const SimTime base = round * 200 * units::kMicrosecond;
-      for (const auto& [src, dst] :
-           workload::permutation_pairs(net.num_hosts(), rng)) {
-        const SimTime jittered = base + static_cast<SimTime>(
-            rng.next_below(100 * units::kMicrosecond));
-        fluid.add_flow({src, dst, 1'000'000, jittered});
-        ++flows;
-      }
-    }
-    fluid.run();
-    const auto s = bench::summarize(fluid.fct_us());
-    std::printf("scale demo: %d hosts (k=%d fat tree), %d planes, %d "
+    const auto& cell = results[next++];
+    const auto s = cell.fct();
+    std::printf("scale demo: %d hosts (k=%d fat tree), %d planes, %llu "
                 "flows\n"
                 "  completed in %.2f s wall-clock; mean FCT %.1f us, p99 "
                 "%.1f us\n"
                 "  allocator: %d full solves, %d fast-path updates\n\n",
-                net.num_hosts(), topo::fat_tree_k_for_hosts(big_hosts),
-                planes, flows, wall.seconds(), s.mean, s.p99,
-                fluid.allocator().full_solves(),
-                fluid.allocator().fast_paths());
+                static_cast<int>(cell.metric("hosts").mean),
+                topo::fat_tree_k_for_hosts(big_hosts), planes,
+                static_cast<unsigned long long>(cell.flows_started()),
+                cell.trials.front().runtime.at("wall_s"), s.mean, s.p99,
+                static_cast<int>(cell.metric("full_solves").mean),
+                static_cast<int>(cell.metric("fast_paths").mean));
   }
 
   // --- Part 3: multithreaded seed sweep --------------------------------
   {
-    std::vector<std::uint64_t> jobs;
-    for (std::uint64_t i = 0; i < 16; ++i) jobs.push_back(i);
-    bench::WallClock wall;
-    const auto means = fsim::run_sweep(
-        jobs,
-        [&](std::uint64_t job) {
-          const auto spec = bench::make_spec(
-              topo::TopoKind::kFatTree,
-              topo::NetworkType::kParallelHomogeneous, hosts, planes,
-              fsim::sweep_seed(seed, job));
-          const auto net = topo::build_network(spec);
-          fsim::FluidSimulator fluid(net, {});
-          Rng rng(fsim::sweep_seed(seed, job));
-          for (const auto& [src, dst] :
-               workload::permutation_pairs(net.num_hosts(), rng)) {
-            fluid.add_flow({src, dst, 1'000'000,
-                            static_cast<SimTime>(
-                                rng.next_below(10 * units::kMicrosecond))});
-          }
-          fluid.run();
-          return bench::summarize(fluid.fct_us()).mean;
-        },
-        threads);
+    const auto& cell = results[next++];
     RunningStats stats;
-    for (double m : means) stats.add(m);
-    std::printf("seed sweep: %zu independent runs in %.3f s "
-                "(--threads=%d); mean FCT %.1f +- %.1f us across seeds\n",
-                jobs.size(), wall.seconds(), threads, stats.mean(),
+    for (const auto& trial : cell.trials) {
+      stats.add(bench::summarize(trial.fct_us).mean);
+    }
+    std::printf("seed sweep: %zu independent runs, %.3f s of trial "
+                "wall-clock (--threads=%d); mean FCT %.1f +- %.1f us "
+                "across seeds\n",
+                cell.trials.size(), cell.wall_s(), threads, stats.mean(),
                 stats.stddev());
   }
-  return 0;
+  return experiment.finish();
 }

@@ -1,17 +1,22 @@
 // Shared plumbing for the per-figure bench binaries: flag handling, network
-// construction, the LP throughput runners used by Figs 6-8, and FCT summary
-// helpers. Every bench normalizes exactly as the paper does (against the
-// serial low-bandwidth network unless stated otherwise) and prints each
-// figure's series as a TextTable.
+// construction, the LP throughput runners used by Figs 6-8, and the
+// bench::Experiment adapter that funnels every bench through the
+// src/exp stack (ExperimentSpec -> exp::Runner -> exp::Report). Every
+// bench normalizes exactly as the paper does (against the serial
+// low-bandwidth network unless stated otherwise), prints each figure's
+// series as a TextTable, and can emit the structured JSON report with
+// --json=PATH.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/harness.hpp"
+#include "exp/runner.hpp"
 #include "fsim/fluid.hpp"
 #include "lp/mcf.hpp"
 #include "routing/ecmp.hpp"
@@ -106,28 +111,10 @@ inline double serial_low_capacity_bps(const topo::ParallelNetwork& net) {
   return static_cast<double>(net.num_hosts()) * net.spec().base_rate_bps;
 }
 
-/// Summary statistics of a sample, for figure series with error bars.
-struct Summary {
-  double mean = 0.0;
-  double stddev = 0.0;
-  double median = 0.0;
-  double p90 = 0.0;
-  double p99 = 0.0;
-};
-
-inline Summary summarize(const std::vector<double>& samples) {
-  Summary s;
-  if (samples.empty()) return s;
-  RunningStats stats;
-  for (double x : samples) stats.add(x);
-  s.mean = stats.mean();
-  s.stddev = stats.stddev();
-  const auto ps = percentiles(samples, {50, 90, 99});
-  s.median = ps[0];
-  s.p90 = ps[1];
-  s.p99 = ps[2];
-  return s;
-}
+// Summary statistics now live in the experiment layer; the bench names
+// stay for the figure code.
+using exp::Summary;
+using exp::summarize;
 
 /// Prints a CDF as x/y rows, downsampled for readability.
 inline void print_cdf(const std::string& title, const Cdf& cdf,
@@ -156,11 +143,9 @@ inline void print_header(const std::string& what, const Flags& flags,
 /// Which simulation engine a bench drives: the packet-level simulator
 /// (src/sim, exact but small-scale) or the flow-level fluid simulator
 /// (src/fsim, max-min rates, 100x+ faster). Selected with --engine.
-enum class Engine { kPacket, kFsim };
-
-inline const char* to_string(Engine engine) {
-  return engine == Engine::kPacket ? "packet" : "fsim";
-}
+using Engine = exp::Engine;
+using exp::to_string;
+using exp::to_fsim_config;
 
 inline Engine parse_engine(const Flags& flags) {
   const auto value = flags.get("engine", "packet");
@@ -169,36 +154,6 @@ inline Engine parse_engine(const Flags& flags) {
   std::fprintf(stderr, "%s: --engine must be 'packet' or 'fsim', got '%s'\n",
                flags.program().c_str(), value.c_str());
   std::exit(2);
-}
-
-/// The fluid-engine scheme matching a packet-sim routing policy, so a
-/// bench's --engine=fsim run models the same path choices its packet run
-/// simulates. (kEcmp and kRoundRobin both pin one plane per flow; the
-/// fluid model approximates round-robin by the ECMP plane hash, which has
-/// the same per-plane load in expectation. kSizeThreshold maps per flow.)
-inline fsim::FsimConfig to_fsim_config(const core::PolicyConfig& policy,
-                                       std::uint64_t flow_bytes = 0) {
-  fsim::FsimConfig config;
-  config.k = policy.k;
-  config.ecmp_path_cap = policy.ecmp_path_cap;
-  switch (policy.policy) {
-    case core::RoutingPolicy::kEcmp:
-    case core::RoutingPolicy::kRoundRobin:
-      config.scheme = fsim::RouteScheme::kEcmpPlaneHash;
-      break;
-    case core::RoutingPolicy::kShortestPlane:
-      config.scheme = fsim::RouteScheme::kShortestPlane;
-      break;
-    case core::RoutingPolicy::kKspMultipath:
-      config.scheme = fsim::RouteScheme::kKspMultipath;
-      break;
-    case core::RoutingPolicy::kSizeThreshold:
-      config.scheme = flow_bytes > policy.multipath_cutoff_bytes
-                          ? fsim::RouteScheme::kKspMultipath
-                          : fsim::RouteScheme::kShortestPlane;
-      break;
-  }
-  return config;
 }
 
 /// Wall-clock stopwatch for engine speedup comparisons.
@@ -213,6 +168,95 @@ class WallClock {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+// ------------------------------------------------------------ experiment
+
+/// The adapter every bench runs its cells through. Reads the common
+/// runner flags (--trials, --threads, --json, --json-timing,
+/// --require-complete), queues cells, fans them out through exp::Runner,
+/// and on finish() writes the structured JSON report and enforces
+/// --require-complete.
+///
+/// Typical shape:
+///   Experiment experiment(flags, "fig9");
+///   experiment.add(spec);                      // built-in engine cell
+///   experiment.add(spec2, my_trial_fn);        // custom trial body
+///   const auto results = experiment.run();     // one parallel pass
+///   ... print TextTables from results ...
+///   return experiment.finish();
+class Experiment {
+ public:
+  Experiment(const Flags& flags, std::string name)
+      : report_(std::move(name)),
+        runner_(flags.get_int("threads", 0)),
+        json_path_(flags.get("json", "")),
+        json_timing_(flags.get_bool("json-timing", true)),
+        require_complete_(flags.get_bool("require-complete", false)),
+        trials_override_(flags.get_int("trials", 0)) {}
+
+  /// The bench's trial count: --trials when given, else `def`.
+  [[nodiscard]] int trials(int def) const {
+    return trials_override_ > 0 ? trials_override_ : def;
+  }
+
+  [[nodiscard]] const exp::Runner& runner() const { return runner_; }
+  [[nodiscard]] exp::Report& report() { return report_; }
+
+  /// Queues one cell (run later by run()). Returns its index within the
+  /// pending batch. With no fn the spec's engine must be kPacket or kFsim.
+  std::size_t add(exp::ExperimentSpec spec, exp::TrialFn fn = {}) {
+    cells_.push_back({std::move(spec), std::move(fn)});
+    return cells_.size() - 1;
+  }
+
+  /// Runs every cell queued since the last run() through one exp::Runner
+  /// pass (all trials of all cells fan out together), appends the results
+  /// to the report, and returns them index-aligned with the add() calls.
+  std::vector<exp::CellResult> run() {
+    const WallClock clock;
+    auto results = runner_.run(cells_);
+    report_.record_runtime(clock.seconds(), runner_.threads());
+    cells_.clear();
+    for (const auto& cell : results) report_.add(cell);
+    return results;
+  }
+
+  /// Single-cell convenience: queue, run, return.
+  exp::CellResult run_one(exp::ExperimentSpec spec, exp::TrialFn fn = {}) {
+    add(std::move(spec), std::move(fn));
+    return std::move(run().front());
+  }
+
+  /// Bench epilogue: writes the --json report (runtime block included
+  /// unless --json-timing=0), warns about unfinished flows, and returns
+  /// the process exit code — nonzero when --require-complete is set and
+  /// any simulated flow was left unfinished, or the report could not be
+  /// written.
+  [[nodiscard]] int finish() const {
+    bool ok = true;
+    if (!json_path_.empty()) {
+      ok = report_.write_json(json_path_, json_timing_);
+    }
+    const std::uint64_t unfinished = report_.total_unfinished_flows();
+    if (unfinished > 0) {
+      std::fprintf(stderr, "%s: %llu flow(s) unfinished%s\n",
+                   report_.bench().c_str(),
+                   static_cast<unsigned long long>(unfinished),
+                   require_complete_ ? " (--require-complete: failing)" : "");
+      if (require_complete_) return 1;
+    }
+    return ok ? 0 : 1;
+  }
+
+ private:
+  exp::Report report_;
+  exp::Runner runner_;
+  std::string json_path_;
+  bool json_timing_;
+  bool require_complete_;
+  int trials_override_;
+  std::vector<exp::Cell> cells_;
 };
 
 }  // namespace pnet::bench

@@ -1,0 +1,63 @@
+// Deterministic streaming JSON writer for the experiment reports.
+//
+// No external JSON dependency exists in the container, and the reports
+// only need writing, never parsing — so this is a ~100-line emitter with
+// the one property the determinism contract needs: identical inputs
+// produce byte-identical text. Keys are emitted in call order (callers
+// iterate ordered containers), doubles are printed with the shortest
+// representation that round-trips (strtod(print(v)) == v), and there is no
+// locale, pointer, or time dependence anywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pnet::exp {
+
+/// Shortest decimal representation of `v` that parses back to exactly the
+/// same double. NaN/inf (not valid JSON) are emitted as null.
+std::string json_double(double v);
+
+/// `s` as a JSON string literal, with the mandatory escapes applied.
+std::string json_string(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts a "key": inside an object; follow with a value or a begin_*.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+  /// key(name) + value(v) in one call.
+  template <class T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// The finished document. Asserts balance in debug builds only.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  /// One bool per open container: true once the first element was written.
+  std::vector<bool> has_elements_;
+  bool pending_key_ = false;
+};
+
+}  // namespace pnet::exp

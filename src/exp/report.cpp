@@ -1,0 +1,237 @@
+#include "exp/report.hpp"
+
+#include <cstdio>
+
+#include "util/stats.hpp"
+
+namespace pnet::exp {
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  RunningStats stats;
+  for (double x : samples) stats.add(x);
+  s.count = stats.count();
+  s.mean = stats.mean();
+  s.stddev = stats.stddev();
+  s.min = stats.min();
+  s.max = stats.max();
+  const auto ps = percentiles(samples, {50, 90, 99});
+  s.median = ps[0];
+  s.p90 = ps[1];
+  s.p99 = ps[2];
+  return s;
+}
+
+std::vector<double> CellResult::merged_fct_us() const {
+  std::vector<double> merged;
+  for (const auto& trial : trials) {
+    merged.insert(merged.end(), trial.fct_us.begin(), trial.fct_us.end());
+  }
+  return merged;
+}
+
+std::vector<double> CellResult::merged_samples(const std::string& key) const {
+  std::vector<double> merged;
+  for (const auto& trial : trials) {
+    const auto it = trial.samples.find(key);
+    if (it == trial.samples.end()) continue;
+    merged.insert(merged.end(), it->second.begin(), it->second.end());
+  }
+  return merged;
+}
+
+std::vector<double> CellResult::metric_values(const std::string& key) const {
+  std::vector<double> values;
+  for (const auto& trial : trials) {
+    const auto it = trial.metrics.find(key);
+    if (it != trial.metrics.end()) values.push_back(it->second);
+  }
+  return values;
+}
+
+std::uint64_t CellResult::flows_started() const {
+  std::uint64_t n = 0;
+  for (const auto& trial : trials) n += trial.flows_started;
+  return n;
+}
+
+std::uint64_t CellResult::flows_finished() const {
+  std::uint64_t n = 0;
+  for (const auto& trial : trials) n += trial.flows_finished;
+  return n;
+}
+
+double CellResult::delivered_bytes() const {
+  double n = 0;
+  for (const auto& trial : trials) n += trial.delivered_bytes;
+  return n;
+}
+
+double CellResult::sim_seconds() const {
+  double n = 0;
+  for (const auto& trial : trials) n += trial.sim_seconds;
+  return n;
+}
+
+std::uint64_t CellResult::events() const {
+  std::uint64_t n = 0;
+  for (const auto& trial : trials) n += trial.events;
+  return n;
+}
+
+double CellResult::wall_s() const {
+  double n = 0;
+  for (const auto& trial : trials) n += trial.wall_s;
+  return n;
+}
+
+double CellResult::events_per_sec() const {
+  const double wall = wall_s();
+  return wall > 0 ? static_cast<double>(events()) / wall : 0.0;
+}
+
+std::uint64_t Report::total_unfinished_flows() const {
+  std::uint64_t n = 0;
+  for (const auto& cell : cells_) n += cell.unfinished_flows();
+  return n;
+}
+
+namespace {
+
+void summary_to_json(JsonWriter& w, const Summary& s) {
+  w.begin_object();
+  w.field("count", static_cast<std::uint64_t>(s.count));
+  w.field("mean", s.mean);
+  w.field("stddev", s.stddev);
+  w.field("p50", s.median);
+  w.field("p90", s.p90);
+  w.field("p99", s.p99);
+  w.field("min", s.min);
+  w.field("max", s.max);
+  w.end_object();
+}
+
+void cell_to_json(JsonWriter& w, const CellResult& cell, bool with_runtime) {
+  w.begin_object();
+  w.key("spec");
+  cell.spec.to_json(w);
+
+  w.key("metrics").begin_object();
+  w.key("fct_us");
+  summary_to_json(w, cell.fct());
+  w.key("flows").begin_object();
+  w.field("started", cell.flows_started());
+  w.field("finished", cell.flows_finished());
+  w.field("unfinished", cell.unfinished_flows());
+  w.end_object();
+  w.field("delivered_bytes", cell.delivered_bytes());
+  w.field("sim_seconds", cell.sim_seconds());
+  w.field("events", cell.events());
+
+  // Scalar metrics: union of keys across trials (std::map — key order).
+  std::map<std::string, bool> metric_keys;
+  std::map<std::string, bool> sample_keys;
+  for (const auto& trial : cell.trials) {
+    for (const auto& [key, value] : trial.metrics) metric_keys[key] = true;
+    for (const auto& [key, value] : trial.samples) sample_keys[key] = true;
+  }
+  if (!metric_keys.empty()) {
+    w.key("extra").begin_object();
+    for (const auto& [key, unused] : metric_keys) {
+      const auto values = cell.metric_values(key);
+      const auto s = summarize(values);
+      w.key(key).begin_object();
+      w.field("mean", s.mean);
+      w.field("stddev", s.stddev);
+      w.key("per_trial").begin_array();
+      for (double v : values) w.value(v);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
+  if (!sample_keys.empty()) {
+    w.key("samples").begin_object();
+    for (const auto& [key, unused] : sample_keys) {
+      w.key(key);
+      summary_to_json(w, summarize(cell.merged_samples(key)));
+    }
+    w.end_object();
+  }
+  w.end_object();  // metrics
+
+  if (with_runtime) {
+    w.key("runtime").begin_object();
+    w.field("wall_s", cell.wall_s());
+    w.field("events_per_sec", cell.events_per_sec());
+    w.key("trial_wall_s").begin_array();
+    for (const auto& trial : cell.trials) w.value(trial.wall_s);
+    w.end_array();
+    std::map<std::string, bool> runtime_keys;
+    for (const auto& trial : cell.trials) {
+      for (const auto& [key, value] : trial.runtime) runtime_keys[key] = true;
+    }
+    for (const auto& [key, unused] : runtime_keys) {
+      w.key(key).begin_array();
+      for (const auto& trial : cell.trials) {
+        const auto it = trial.runtime.find(key);
+        w.value(it == trial.runtime.end() ? 0.0 : it->second);
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_object();  // cell
+}
+
+}  // namespace
+
+std::string Report::to_json(bool with_runtime) const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", kReportSchemaVersion);
+  w.field("bench", bench_);
+  w.field("unfinished_flows", total_unfinished_flows());
+  w.key("cells").begin_array();
+  for (const auto& cell : cells_) cell_to_json(w, cell, with_runtime);
+  w.end_array();
+  if (with_runtime) {
+    w.key("runtime").begin_object();
+    w.field("threads", threads_);
+    w.field("elapsed_s", elapsed_s_);
+    double wall = 0.0;
+    std::uint64_t events = 0;
+    for (const auto& cell : cells_) {
+      wall += cell.wall_s();
+      events += cell.events();
+    }
+    w.field("trial_wall_s", wall);
+    w.field("events", events);
+    w.field("events_per_sec", wall > 0 ? static_cast<double>(events) / wall
+                                       : 0.0);
+    w.end_object();
+  }
+  w.end_object();
+  return w.str() + "\n";
+}
+
+bool Report::write_json(const std::string& path, bool with_runtime) const {
+  const std::string text = to_json(with_runtime);
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "exp::Report: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "exp::Report: short write to '%s'\n",
+                        path.c_str());
+  return ok;
+}
+
+}  // namespace pnet::exp

@@ -1,0 +1,138 @@
+// Structured experiment results: per-trial metrics, per-cell merges, and
+// the schema-versioned JSON report every bench can emit next to its
+// TextTables (--json=PATH).
+//
+// Determinism contract: everything except the `runtime` blocks is a pure
+// function of the ExperimentSpec (trials merge in trial order, maps
+// iterate in key order, doubles print shortest-round-trip), so
+// Report::to_json(/*with_runtime=*/false) is byte-identical across
+// repeated runs and across --threads values. Wall-clock and events/sec
+// live only in the runtime blocks, which with_runtime=false omits —
+// that is what the CI bit-identity diff and the ctest determinism cases
+// compare.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/spec.hpp"
+
+namespace pnet::exp {
+
+/// Current JSON report schema. Bump when the report layout changes shape
+/// (adding optional fields does not count).
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Summary statistics of one sample set, for figure series and reports.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+/// What one trial of one cell produced. Custom trial functions fill in
+/// whatever applies; the built-in engines fill everything. `wall_s` and
+/// `runtime` are the only fields allowed to differ between identical runs
+/// — everything else must be a pure function of (spec, trial seed).
+struct TrialResult {
+  /// Flow completion times in microseconds, the primary sample set.
+  std::vector<double> fct_us;
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_finished = 0;
+  double delivered_bytes = 0.0;
+  /// Simulated time elapsed, seconds.
+  double sim_seconds = 0.0;
+  /// Engine events processed (EventQueue dispatches / fluid admissions +
+  /// completions); events / wall_s is the runner throughput metric.
+  std::uint64_t events = 0;
+  /// Named scalar metrics (deterministic; merged across trials by key).
+  std::map<std::string, double> metrics;
+  /// Named sample sets beyond fct_us (e.g. a goodput timeline).
+  std::map<std::string, std::vector<double>> samples;
+  /// Non-deterministic extras (sub-measured wall-clocks, speedups...).
+  /// Reported only in the runtime block.
+  std::map<std::string, double> runtime;
+  /// Wall-clock of the trial, filled by the runner.
+  double wall_s = 0.0;
+
+  [[nodiscard]] std::uint64_t unfinished_flows() const {
+    return flows_started - flows_finished;
+  }
+};
+
+/// One cell's spec plus its trials (in trial order) and merged views.
+struct CellResult {
+  ExperimentSpec spec;
+  std::vector<TrialResult> trials;
+
+  /// All trials' FCT samples concatenated in trial order.
+  [[nodiscard]] std::vector<double> merged_fct_us() const;
+  [[nodiscard]] Summary fct() const { return summarize(merged_fct_us()); }
+  [[nodiscard]] std::vector<double> merged_samples(
+      const std::string& key) const;
+  /// Per-trial values of a scalar metric, in trial order.
+  [[nodiscard]] std::vector<double> metric_values(
+      const std::string& key) const;
+  /// Summary of a scalar metric across trials.
+  [[nodiscard]] Summary metric(const std::string& key) const {
+    return summarize(metric_values(key));
+  }
+
+  [[nodiscard]] std::uint64_t flows_started() const;
+  [[nodiscard]] std::uint64_t flows_finished() const;
+  [[nodiscard]] std::uint64_t unfinished_flows() const {
+    return flows_started() - flows_finished();
+  }
+  [[nodiscard]] double delivered_bytes() const;
+  [[nodiscard]] double sim_seconds() const;
+  [[nodiscard]] std::uint64_t events() const;
+  /// Sum of trial wall-clocks (what the trials cost, not elapsed time).
+  [[nodiscard]] double wall_s() const;
+  [[nodiscard]] double events_per_sec() const;
+};
+
+/// The whole bench run: cells in submission order plus run-level runtime.
+class Report {
+ public:
+  explicit Report(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void add(CellResult cell) { cells_.push_back(std::move(cell)); }
+  [[nodiscard]] const std::vector<CellResult>& cells() const {
+    return cells_;
+  }
+  [[nodiscard]] const std::string& bench() const { return bench_; }
+
+  [[nodiscard]] std::uint64_t total_unfinished_flows() const;
+
+  /// Elapsed wall-clock and thread count of the runner invocation(s), for
+  /// the run-level runtime block.
+  void record_runtime(double elapsed_s, int threads) {
+    elapsed_s_ += elapsed_s;
+    threads_ = threads;
+  }
+
+  /// The JSON document. with_runtime=false omits every wall-clock-derived
+  /// field, making the output a pure function of the specs + seeds.
+  [[nodiscard]] std::string to_json(bool with_runtime) const;
+
+  /// Writes to_json(with_runtime) to `path` ("-" = stdout). Returns false
+  /// (with a message on stderr) if the file cannot be written.
+  bool write_json(const std::string& path, bool with_runtime) const;
+
+ private:
+  std::string bench_;
+  std::vector<CellResult> cells_;
+  double elapsed_s_ = 0.0;
+  int threads_ = 0;
+};
+
+}  // namespace pnet::exp

@@ -1,0 +1,202 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/harness.hpp"
+#include "util/parallel.hpp"
+#include "workload/patterns.hpp"
+
+namespace pnet::exp {
+
+namespace {
+
+std::vector<workload::HostPair> pattern_pairs(
+    const WorkloadSpec& workload, const topo::ParallelNetwork& net,
+    Rng& rng) {
+  switch (workload.pattern) {
+    case WorkloadSpec::Pattern::kPermutation:
+      return workload::permutation_pairs(net.num_hosts(), rng);
+    case WorkloadSpec::Pattern::kAllToAll:
+      return workload::all_to_all_pairs(net.num_hosts());
+    case WorkloadSpec::Pattern::kRackAllToAll:
+      return workload::rack_all_to_all_pairs(net);
+  }
+  return {};
+}
+
+SimTime jittered(SimTime base, SimTime jitter, Rng& rng) {
+  if (jitter <= 0) return base;
+  return base + static_cast<SimTime>(
+                    rng.next_below(static_cast<std::uint64_t>(jitter)));
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TrialResult Runner::packet_trial(const TrialContext& ctx) {
+  const ExperimentSpec& spec = ctx.spec;
+  const WorkloadSpec& wl = spec.workload;
+  TrialResult r;
+  core::SimHarness harness(spec.topo, spec.policy, spec.sim);
+  Rng rng(ctx.seed);
+  for (int round = 0; round < wl.rounds; ++round) {
+    const SimTime base =
+        wl.round_gap > 0 ? round * wl.round_gap : harness.events().now();
+    for (const auto& [src, dst] :
+         pattern_pairs(wl, harness.net(), rng)) {
+      ++r.flows_started;
+      harness.starter()(src, dst, wl.flow_bytes,
+                        jittered(base, wl.start_jitter, rng),
+                        [&r](const sim::FlowRecord& rec) {
+                          r.fct_us.push_back(
+                              units::to_microseconds(rec.end - rec.start));
+                          ++r.flows_finished;
+                        });
+    }
+    if (wl.round_gap == 0) {
+      // Back-to-back rounds: drain this round before drawing the next.
+      if (spec.deadline > 0) {
+        harness.run_until(spec.deadline);
+      } else {
+        harness.run();
+      }
+    }
+  }
+  if (wl.round_gap > 0) {
+    if (spec.deadline > 0) {
+      harness.run_until(spec.deadline);
+    } else {
+      harness.run();
+    }
+  }
+  r.delivered_bytes =
+      static_cast<double>(harness.factory().total_delivered_bytes());
+  r.sim_seconds = units::to_seconds(harness.events().now());
+  r.events = harness.events().dispatched();
+  return r;
+}
+
+TrialResult Runner::fsim_trial(const TrialContext& ctx) {
+  const ExperimentSpec& spec = ctx.spec;
+  const WorkloadSpec& wl = spec.workload;
+  const fsim::FsimConfig config = to_fsim_config(spec.policy, wl.flow_bytes);
+  const auto net = topo::build_network(spec.topo);
+  TrialResult r;
+  Rng rng(ctx.seed);
+
+  auto finish = [&r](fsim::FluidSimulator& fluid) {
+    for (double fct : fluid.fct_us()) r.fct_us.push_back(fct);
+    r.flows_finished += fluid.results().size();
+    r.delivered_bytes += fluid.delivered_bytes();
+    r.sim_seconds += units::to_seconds(fluid.now());
+    r.events += fluid.events();
+  };
+
+  if (wl.round_gap > 0) {
+    // Overlapping rounds share one simulator (and its allocator state).
+    fsim::FluidSimulator fluid(net, config);
+    for (int round = 0; round < wl.rounds; ++round) {
+      const SimTime base = round * wl.round_gap;
+      for (const auto& [src, dst] : pattern_pairs(wl, net, rng)) {
+        ++r.flows_started;
+        fluid.add_flow({src, dst, wl.flow_bytes,
+                        jittered(base, wl.start_jitter, rng)});
+      }
+    }
+    if (spec.deadline > 0) {
+      fluid.run_until(spec.deadline);
+    } else {
+      fluid.run();
+    }
+    finish(fluid);
+  } else {
+    // Back-to-back rounds: a fresh simulator per round, as the packet
+    // engine's drained-queue equivalent.
+    for (int round = 0; round < wl.rounds; ++round) {
+      fsim::FluidSimulator fluid(net, config);
+      for (const auto& [src, dst] : pattern_pairs(wl, net, rng)) {
+        ++r.flows_started;
+        fluid.add_flow({src, dst, wl.flow_bytes,
+                        jittered(0, wl.start_jitter, rng)});
+      }
+      if (spec.deadline > 0) {
+        fluid.run_until(spec.deadline);
+      } else {
+        fluid.run();
+      }
+      finish(fluid);
+    }
+  }
+  return r;
+}
+
+std::vector<CellResult> Runner::run(const std::vector<Cell>& cells) const {
+  struct Job {
+    std::size_t cell;
+    int trial;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const auto& cell = cells[c];
+    const std::string problem = cell.spec.validate();
+    if (!problem.empty()) {
+      throw std::invalid_argument("exp::Runner: cell '" + cell.spec.name +
+                                  "': " + problem);
+    }
+    if (!cell.fn && cell.spec.engine == Engine::kCustom) {
+      throw std::invalid_argument("exp::Runner: cell '" + cell.spec.name +
+                                  "' has engine=custom but no trial "
+                                  "function");
+    }
+    for (int t = 0; t < cell.spec.trials; ++t) {
+      jobs.push_back({c, t});
+    }
+  }
+
+  auto trial_results = util::parallel_map(
+      jobs,
+      [&cells](const Job& job) {
+        const Cell& cell = cells[job.cell];
+        const TrialContext ctx{cell.spec, job.trial,
+                               util::job_seed(cell.spec.seed,
+                                              static_cast<std::uint64_t>(
+                                                  job.trial))};
+        const double wall_start = now_seconds();
+        TrialResult result;
+        if (cell.fn) {
+          result = cell.fn(ctx);
+        } else if (cell.spec.engine == Engine::kPacket) {
+          result = packet_trial(ctx);
+        } else {
+          result = fsim_trial(ctx);
+        }
+        result.wall_s = now_seconds() - wall_start;
+        return result;
+      },
+      threads_);
+
+  std::vector<CellResult> results(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    results[c].spec = cells[c].spec;
+    results[c].trials.reserve(static_cast<std::size_t>(cells[c].spec.trials));
+  }
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    results[jobs[j].cell].trials.push_back(std::move(trial_results[j]));
+  }
+  return results;
+}
+
+CellResult Runner::run_cell(Cell cell) const {
+  std::vector<Cell> cells;
+  cells.push_back(std::move(cell));
+  auto results = run(cells);
+  return std::move(results.front());
+}
+
+}  // namespace pnet::exp

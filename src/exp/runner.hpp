@@ -1,0 +1,66 @@
+// Deterministic parallel experiment runner: the generalization of PR 2's
+// fsim::run_sweep to both engines and to whole experiment grids.
+//
+// A bench queues cells (ExperimentSpec + optional custom trial function);
+// the runner flattens every (cell, trial) pair into one job list, fans the
+// jobs over OS threads via util::parallel_map, and reassembles CellResults
+// in submission order. Each trial is fully self-contained — its own
+// topology, simulator and Rng, seeded with util::job_seed(cell seed, trial
+// index) — so merged results are bit-identical for any --threads value;
+// tests/exp_test.cpp locks the property in for both engines.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/spec.hpp"
+
+namespace pnet::exp {
+
+/// What a trial function sees: the cell's spec, the trial index within the
+/// cell, and the deterministic per-trial seed every random choice of the
+/// trial must derive from.
+struct TrialContext {
+  const ExperimentSpec& spec;
+  int trial;
+  std::uint64_t seed;
+};
+
+using TrialFn = std::function<TrialResult(const TrialContext&)>;
+
+/// One queued experiment cell. With no fn, the spec's engine must be
+/// kPacket or kFsim and the runner supplies the built-in trial body; with
+/// a fn, the function owns the trial (LP solves, fault timelines, cost
+/// models...) but still runs under the runner's seeding and fan-out.
+struct Cell {
+  ExperimentSpec spec;
+  TrialFn fn;
+};
+
+class Runner {
+ public:
+  /// `threads`: worker threads for the (cell, trial) fan-out; 0 = all
+  /// hardware threads.
+  explicit Runner(int threads = 0) : threads_(threads) {}
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Runs every trial of every cell. Throws std::invalid_argument if any
+  /// spec fails validation or a custom-engine cell lacks a function.
+  [[nodiscard]] std::vector<CellResult> run(
+      const std::vector<Cell>& cells) const;
+
+  /// Single-cell convenience.
+  [[nodiscard]] CellResult run_cell(Cell cell) const;
+
+  /// Built-in trial bodies, usable directly from custom functions that
+  /// want the standard run plus extra instrumentation.
+  static TrialResult packet_trial(const TrialContext& ctx);
+  static TrialResult fsim_trial(const TrialContext& ctx);
+
+ private:
+  int threads_;
+};
+
+}  // namespace pnet::exp

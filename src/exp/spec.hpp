@@ -1,0 +1,88 @@
+// Declarative description of one experiment cell.
+//
+// The paper's evaluation is a grid of repeated experiments — topology x
+// policy x workload x seed — and an ExperimentSpec is one cell of that
+// grid: everything needed to reconstruct the run bit-for-bit. The
+// exp::Runner consumes specs (fanning cells and trials over OS threads),
+// and the exp::Report serializes them into the JSON report so a result can
+// always be traced back to its exact configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/path_selector.hpp"
+#include "exp/json.hpp"
+#include "fsim/fluid.hpp"
+#include "sim/network.hpp"
+#include "topo/parallel.hpp"
+#include "util/units.hpp"
+
+namespace pnet::exp {
+
+/// Which engine executes the cell's trials.
+///   kPacket — core::SimHarness over the packet simulator (src/sim);
+///   kFsim   — fsim::FluidSimulator (flow-level max-min rates, 100x+
+///             faster, fidelity envelope in DESIGN.md);
+///   kCustom — the cell supplies its own trial function (LP studies,
+///             fault-injection timelines, cost models...); the runner
+///             still owns seeding, fan-out, timing, and report assembly.
+enum class Engine : std::uint8_t { kPacket, kFsim, kCustom };
+
+[[nodiscard]] const char* to_string(Engine engine);
+
+/// Synthetic workload of the built-in packet/fsim engines: `rounds`
+/// pattern instances of fixed-size flows, each flow jittered uniformly in
+/// [round start, round start + start_jitter).
+struct WorkloadSpec {
+  enum class Pattern : std::uint8_t {
+    kPermutation,    // each host sends to exactly one other host
+    kAllToAll,       // every ordered host pair
+    kRackAllToAll,   // one representative host per rack pair
+  };
+
+  Pattern pattern = Pattern::kPermutation;
+  std::uint64_t flow_bytes = 1'000'000;
+  int rounds = 1;
+  SimTime start_jitter = 10 * units::kMicrosecond;
+  /// 0: rounds run back-to-back (each drains before the next starts).
+  /// >0: round r's flows are all scheduled at r * round_gap + jitter.
+  SimTime round_gap = 0;
+};
+
+[[nodiscard]] const char* to_string(WorkloadSpec::Pattern pattern);
+
+struct ExperimentSpec {
+  /// Cell label: names the row/series in tables and the JSON report.
+  std::string name;
+  topo::NetworkSpec topo;
+  core::PolicyConfig policy;
+  Engine engine = Engine::kPacket;
+  sim::SimConfig sim;
+  WorkloadSpec workload;
+  /// Base seed of the cell. Trial t runs with util::job_seed(seed, t), so
+  /// cells sharing a seed get paired trial seeds (the benches' device for
+  /// comparing network types on identical workload draws).
+  std::uint64_t seed = 1;
+  int trials = 1;
+  /// 0 = run to completion; otherwise stop at this simulated time and
+  /// count still-running flows as unfinished.
+  SimTime deadline = 0;
+
+  /// Empty string if the spec is runnable; otherwise a description of the
+  /// first problem found.
+  [[nodiscard]] std::string validate() const;
+
+  /// Serializes the spec (deterministically) into an open JSON object.
+  void to_json(JsonWriter& w) const;
+};
+
+/// The fluid-engine scheme matching a packet-sim routing policy, so a
+/// cell's --engine=fsim run models the same path choices its packet run
+/// simulates. (kEcmp and kRoundRobin both pin one plane per flow; the
+/// fluid model approximates round-robin by the ECMP plane hash, which has
+/// the same per-plane load in expectation. kSizeThreshold maps per flow.)
+[[nodiscard]] fsim::FsimConfig to_fsim_config(const core::PolicyConfig& policy,
+                                              std::uint64_t flow_bytes = 0);
+
+}  // namespace pnet::exp

@@ -91,6 +91,7 @@ void FluidSimulator::add_flow(const FlowSpec& spec,
 }
 
 void FluidSimulator::admit(Pending&& pending) {
+  ++events_;
   if (pending.paths.empty()) {
     // Disconnected pair: nothing can flow; log a zero-duration record so
     // the caller sees the flow was not silently dropped.
@@ -129,6 +130,7 @@ void FluidSimulator::admit(Pending&& pending) {
 }
 
 void FluidSimulator::complete(std::size_t slot) {
+  ++events_;
   Active& active = active_[slot];
   FlowResult result;
   result.src = active.spec.src;

@@ -123,6 +123,9 @@ class FluidSimulator {
   [[nodiscard]] double min_rate_bps() const;
   /// Fluid bytes drained so far across all flows, complete and partial.
   [[nodiscard]] double delivered_bytes() const { return delivered_bytes_; }
+  /// Flow admissions + completions processed — the fluid engine's
+  /// "events", feeding the experiment runner's events/sec metric.
+  [[nodiscard]] std::uint64_t events() const { return events_; }
 
   [[nodiscard]] const MaxMinAllocator& allocator() const { return alloc_; }
   [[nodiscard]] const lp::LinkIndex& index() const { return index_; }
@@ -156,6 +159,7 @@ class FluidSimulator {
   SimTime now_ = 0;
   std::uint64_t next_key_ = 0;
   double delivered_bytes_ = 0.0;
+  std::uint64_t events_ = 0;
   bool rates_stale_ = false;
 };
 

@@ -1,21 +1,15 @@
 // Multithreaded parameter-sweep runner for the fluid simulator.
 //
-// A FluidSimulator run is single-threaded and deterministic, so large
-// sweeps parallelize across *runs*: each job is one independent simulation
-// (its own topology, allocator and Rng, seeded deterministically from the
-// job), workers pull jobs from a shared atomic cursor, and results land in
-// a preallocated sink indexed by job order. The merged result vector is
-// therefore bit-identical regardless of thread count or scheduling — the
-// property tests/fsim_test.cpp locks in.
+// The machinery moved to util/parallel.hpp when exp::Runner generalized it
+// to both engines; these aliases keep the original fsim spelling working
+// for existing sweeps and tests. See util::parallel_map for the contract
+// (self-contained jobs, results bit-identical for any thread count).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <thread>
-#include <type_traits>
 #include <vector>
 
-#include "util/rng.hpp"
+#include "util/parallel.hpp"
 
 namespace pnet::fsim {
 
@@ -24,43 +18,14 @@ namespace pnet::fsim {
 /// base seed.
 [[nodiscard]] constexpr std::uint64_t sweep_seed(std::uint64_t base_seed,
                                                  std::uint64_t index) {
-  return mix64(base_seed * 0x9E3779B97F4A7C15ULL + index + 1);
+  return util::job_seed(base_seed, index);
 }
 
 /// Runs `fn(job)` for every job on up to `threads` OS threads (0 = all
-/// hardware threads) and returns the results in job order. `fn` must be
-/// self-contained per job (no shared mutable state) and must not throw —
-/// an escaping exception terminates the process, the honest outcome for a
-/// sweep worker with nowhere to report.
+/// hardware threads) and returns the results in job order.
 template <class Job, class Fn>
-auto run_sweep(const std::vector<Job>& jobs, Fn fn, int threads = 0)
-    -> std::vector<std::invoke_result_t<Fn&, const Job&>> {
-  using Result = std::invoke_result_t<Fn&, const Job&>;
-  std::vector<Result> results(jobs.size());
-  if (jobs.empty()) return results;
-
-  unsigned workers = threads > 0
-                         ? static_cast<unsigned>(threads)
-                         : std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, static_cast<unsigned>(jobs.size()));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = fn(jobs[i]);
-    return results;
-  }
-
-  std::atomic<std::size_t> cursor{0};
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
-      results[i] = fn(jobs[i]);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  return results;
+auto run_sweep(const std::vector<Job>& jobs, Fn fn, int threads = 0) {
+  return util::parallel_map(jobs, fn, threads);
 }
 
 }  // namespace pnet::fsim

@@ -32,6 +32,14 @@ std::set<std::string, std::less<>> keys_in_usage(std::string_view text) {
   return keys;
 }
 
+/// Flags every bench accepts regardless of its own usage text: the shared
+/// knobs of bench::print_header and the experiment-runner adapters.
+bool is_common_flag(std::string_view key) {
+  return key == "help" || key == "scale" || key == "trials" ||
+         key == "threads" || key == "json" || key == "json-timing" ||
+         key == "require-complete" || key == "engine";
+}
+
 }  // namespace
 
 Flags::Flags(int argc, char** argv) {
@@ -39,16 +47,20 @@ Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
     if (!arg.starts_with("--")) {
-      std::fprintf(stderr, "%s: expected --key=value, got '%s'\n",
-                   program_.c_str(), argv[i]);
+      std::fprintf(stderr, "%s: expected --key=value or --key value, "
+                   "got '%s'\n", program_.c_str(), argv[i]);
       std::exit(2);
     }
     arg.remove_prefix(2);
     const auto eq = arg.find('=');
-    if (eq == std::string_view::npos) {
-      values_[std::string(arg)] = "1";
-    } else {
+    if (eq != std::string_view::npos) {
       values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
+      // "--key value": the next token is the value.
+      values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      values_[std::string(arg)] = "1";
     }
   }
 }
@@ -81,24 +93,38 @@ bool Flags::get_bool(const std::string& key, bool def) const {
 
 bool Flags::has(const std::string& key) const { return values_.contains(key); }
 
+std::vector<std::string> Flags::unknown_flags(std::string_view usage) const {
+  const auto known = keys_in_usage(usage);
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    if (is_common_flag(key) || known.contains(key)) continue;
+    unknown.push_back(key);
+  }
+  return unknown;
+}
+
 void Flags::handle_usage(std::string_view usage) const {
   if (has("help")) {
     std::fwrite(usage.data(), 1, usage.size(), stdout);
     if (!usage.empty() && usage.back() != '\n') std::fputc('\n', stdout);
     std::printf(
-        "  --help          print this usage text\n"
-        "  --scale=paper   paper-scale run (or env PNET_SCALE=paper)\n");
+        "  --help            print this usage text\n"
+        "  --scale=paper     paper-scale run (or env PNET_SCALE=paper)\n"
+        "  --trials=N        trials per experiment cell (seeded per trial)\n"
+        "  --threads=N       experiment-runner worker threads (0 = all "
+        "cores)\n"
+        "  --json=PATH       write the structured JSON report to PATH\n"
+        "  --json-timing=0   omit wall-clock fields from the JSON, making\n"
+        "                    reports bit-identical across thread counts\n"
+        "  --require-complete  exit 1 if any flows are left unfinished\n");
     std::exit(0);
   }
-  const auto known = keys_in_usage(usage);
-  bool bad = false;
-  for (const auto& [key, value] : values_) {
-    if (key == "help" || key == "scale" || known.contains(key)) continue;
+  const auto unknown = unknown_flags(usage);
+  for (const auto& key : unknown) {
     std::fprintf(stderr, "%s: unrecognized flag --%s\n", program_.c_str(),
                  key.c_str());
-    bad = true;
   }
-  if (bad) {
+  if (!unknown.empty()) {
     std::fprintf(stderr, "%s: run with --help for the accepted flags\n",
                  program_.c_str());
     std::exit(2);

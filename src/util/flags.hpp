@@ -1,8 +1,10 @@
-// Minimal --key=value command-line parser for bench and example binaries.
+// Minimal command-line parser for bench and example binaries.
 //
-// Every bench accepts the same knobs (hosts, planes, seed, scale...) so the
-// parser lives here rather than being copy-pasted. Unknown flags abort with
-// a usage message; experiments should fail loudly, not silently ignore a
+// Every bench accepts the same knobs (hosts, planes, seed, scale, trials,
+// threads, json...) so the parser lives here rather than being copy-pasted.
+// Both "--key=value" and "--key value" spellings are accepted (benches
+// historically mixed conventions). Unknown flags abort with a usage
+// message; experiments should fail loudly, not silently ignore a
 // misspelled parameter.
 #pragma once
 
@@ -10,12 +12,15 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace pnet {
 
 class Flags {
  public:
-  /// Parses argv. Accepts "--key=value" and bare "--key" (value "1").
+  /// Parses argv. Accepts "--key=value", "--key value" (the next argv
+  /// token, when it does not itself start with "--"), and bare "--key"
+  /// (value "1").
   Flags(int argc, char** argv);
 
   [[nodiscard]] std::string get(const std::string& key,
@@ -31,13 +36,18 @@ class Flags {
   /// --scale=paper or env PNET_SCALE=paper.
   [[nodiscard]] bool paper_scale() const;
 
+  /// Flags that were parsed but appear neither as "--key" in `usage` nor in
+  /// the common set every bench accepts (--help, --scale, and the
+  /// experiment-runner flags --trials/--threads/--json/--json-timing/
+  /// --require-complete/--engine). The testable core of handle_usage.
+  [[nodiscard]] std::vector<std::string> unknown_flags(
+      std::string_view usage) const;
+
   /// Shared --help / typo handling, reached by every bench through
   /// bench::print_header. If --help was passed: prints `usage` plus the
-  /// common-flag epilogue (--help, --scale) and exits 0. Otherwise every
-  /// parsed flag must appear as "--key" somewhere in `usage` (the common
-  /// flags are always accepted); an unrecognized flag aborts with exit
-  /// code 2 listing the offenders, so a misspelled parameter can never
-  /// silently fall back to its default.
+  /// common-flag epilogue and exits 0. Otherwise any flag unknown_flags()
+  /// reports aborts with exit code 2 listing the offenders, so a
+  /// misspelled parameter can never silently fall back to its default.
   void handle_usage(std::string_view usage) const;
 
   /// Name of the binary, for usage messages.

@@ -1,0 +1,241 @@
+// Tests for the experiment layer (src/exp): spec validation, the
+// deterministic JSON writer, and the runner's central guarantee — the
+// timing-free report is a pure function of (spec, seed), byte-identical
+// across repeated runs and across --threads values, for both engines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exp/json.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "util/parallel.hpp"
+#include "util/units.hpp"
+
+namespace pnet::exp {
+namespace {
+
+// ------------------------------------------------------------- validation
+
+ExperimentSpec small_packet_spec(const std::string& name) {
+  ExperimentSpec spec;
+  spec.name = name;
+  spec.engine = Engine::kPacket;
+  spec.topo.topo = topo::TopoKind::kFatTree;
+  spec.topo.type = topo::NetworkType::kParallelHomogeneous;
+  spec.topo.hosts = 8;
+  spec.topo.parallelism = 2;
+  spec.policy.policy = core::RoutingPolicy::kRoundRobin;
+  spec.workload.flow_bytes = 200'000;
+  spec.workload.rounds = 1;
+  spec.seed = 7;
+  spec.trials = 2;
+  return spec;
+}
+
+TEST(ExperimentSpec, ValidSpecPasses) {
+  EXPECT_EQ(small_packet_spec("ok").validate(), "");
+}
+
+TEST(ExperimentSpec, RejectsBadFields) {
+  auto spec = small_packet_spec("bad");
+  spec.name = "";
+  EXPECT_NE(spec.validate(), "");
+
+  spec = small_packet_spec("bad");
+  spec.trials = 0;
+  EXPECT_NE(spec.validate(), "");
+
+  spec = small_packet_spec("bad");
+  spec.topo.hosts = 1;
+  EXPECT_NE(spec.validate(), "");
+
+  spec = small_packet_spec("bad");
+  spec.workload.flow_bytes = 0;
+  EXPECT_NE(spec.validate(), "");
+
+  // A deadline across drained back-to-back rounds is meaningless.
+  spec = small_packet_spec("bad");
+  spec.workload.rounds = 2;
+  spec.workload.round_gap = 0;
+  spec.deadline = units::kMillisecond;
+  EXPECT_NE(spec.validate(), "");
+}
+
+TEST(ExperimentSpec, CustomEngineSkipsEngineFieldChecks) {
+  ExperimentSpec spec;
+  spec.name = "custom";
+  spec.engine = Engine::kCustom;
+  spec.topo.hosts = 0;  // would fail for the built-in engines
+  EXPECT_EQ(spec.validate(), "");
+}
+
+TEST(Runner, ThrowsOnInvalidSpecAndMissingCustomFn) {
+  Runner runner(1);
+  auto bad = small_packet_spec("bad");
+  bad.trials = 0;
+  EXPECT_THROW(runner.run_cell({bad, {}}), std::invalid_argument);
+
+  ExperimentSpec custom;
+  custom.name = "no-fn";
+  custom.engine = Engine::kCustom;
+  EXPECT_THROW(runner.run_cell({custom, {}}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ JSON writer
+
+TEST(JsonWriter, EmitsBalancedDocuments) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "a\"b\n");
+  w.field("count", std::uint64_t{3});
+  w.key("list").begin_array();
+  w.value(1.5);
+  w.value(false);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"a\\\"b\\n\",\"count\":3,\"list\":[1.5,false]}");
+}
+
+TEST(JsonWriter, DoublesRoundTripShortest) {
+  for (double v : {0.0, -1.0, 0.1, 1e300, 3.14159265358979,
+                   123456789.123456789}) {
+    const std::string s = json_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+  // Integral doubles print without an exponent soup.
+  EXPECT_EQ(json_double(42.0), "42");
+}
+
+// ------------------------------------------------------------ parallelism
+
+TEST(ParallelMap, ResultsInJobOrderForAnyThreadCount) {
+  std::vector<int> jobs;
+  for (int i = 0; i < 100; ++i) jobs.push_back(i);
+  const auto square = [](const int& v) { return v * v; };
+  const auto one = util::parallel_map(jobs, square, 1);
+  const auto four = util::parallel_map(jobs, square, 4);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one[99], 99 * 99);
+}
+
+TEST(ParallelMap, JobSeedIsStableAndDecorrelated) {
+  EXPECT_EQ(util::job_seed(1, 0), util::job_seed(1, 0));
+  EXPECT_NE(util::job_seed(1, 0), util::job_seed(1, 1));
+  EXPECT_NE(util::job_seed(1, 0), util::job_seed(2, 0));
+}
+
+// ------------------------------------------------- determinism contract
+
+std::string run_report_json(const std::vector<Cell>& cells,
+                            int threads) {
+  Runner runner(threads);
+  Report report("determinism");
+  for (auto& cell : runner.run(cells)) report.add(std::move(cell));
+  return report.to_json(/*with_runtime=*/false);
+}
+
+TEST(Runner, PacketEngineReportIsByteIdenticalAcrossThreadsAndRuns) {
+  auto spec = small_packet_spec("packet-cell");
+  spec.trials = 3;
+  const std::vector<Cell> cells = {{spec, {}}};
+  const std::string one = run_report_json(cells, 1);
+  EXPECT_EQ(one, run_report_json(cells, 4));
+  EXPECT_EQ(one, run_report_json(cells, 1));
+  EXPECT_NE(one.find("\"unfinished\":0"), std::string::npos);
+}
+
+TEST(Runner, FsimEngineReportIsByteIdenticalAcrossThreadsAndRuns) {
+  auto spec = small_packet_spec("fsim-cell");
+  spec.engine = Engine::kFsim;
+  spec.trials = 4;
+  spec.workload.rounds = 2;
+  const std::vector<Cell> cells = {{spec, {}}};
+  const std::string one = run_report_json(cells, 1);
+  EXPECT_EQ(one, run_report_json(cells, 4));
+  EXPECT_EQ(one, run_report_json(cells, 1));
+}
+
+TEST(Runner, MixedCellsMergeInSubmissionOrder) {
+  auto packet = small_packet_spec("a-packet");
+  auto fsim = small_packet_spec("b-fsim");
+  fsim.engine = Engine::kFsim;
+  ExperimentSpec custom;
+  custom.name = "c-custom";
+  custom.engine = Engine::kCustom;
+  custom.trials = 2;
+  custom.seed = 11;
+  const TrialFn fn = [](const TrialContext& ctx) {
+    TrialResult r;
+    r.metrics["seed_lo"] = static_cast<double>(ctx.seed & 0xFFFF);
+    r.flows_started = 1;
+    r.flows_finished = 1;
+    return r;
+  };
+  const std::vector<Cell> cells = {{packet, {}}, {fsim, {}},
+                                           {custom, fn}};
+  const auto results = Runner(4).run(cells);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].spec.name, "a-packet");
+  EXPECT_EQ(results[1].spec.name, "b-fsim");
+  EXPECT_EQ(results[2].spec.name, "c-custom");
+  EXPECT_EQ(results[2].trials.size(), 2u);
+}
+
+TEST(Runner, CustomTrialsSeePerTrialJobSeeds) {
+  ExperimentSpec spec;
+  spec.name = "seeded";
+  spec.engine = Engine::kCustom;
+  spec.seed = 42;
+  spec.trials = 3;
+  std::atomic<int> calls{0};
+  const TrialFn fn = [&calls](const TrialContext& ctx) {
+    EXPECT_EQ(ctx.seed, util::job_seed(42, static_cast<std::uint64_t>(
+                                               ctx.trial)));
+    ++calls;
+    TrialResult r;
+    r.metrics["trial"] = ctx.trial;
+    return r;
+  };
+  const auto cell = Runner(2).run_cell({spec, fn});
+  EXPECT_EQ(calls.load(), 3);
+  ASSERT_EQ(cell.trials.size(), 3u);
+  // Trials land in trial order regardless of which worker ran them.
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(cell.trials[t].metrics.at("trial"), t);
+  }
+}
+
+// ------------------------------------------------- unfinished accounting
+
+TEST(Runner, DeadlineSurfacesUnfinishedFlowsInReport) {
+  auto spec = small_packet_spec("cut-short");
+  spec.trials = 1;
+  spec.workload.flow_bytes = 50'000'000;  // cannot finish in 50 us
+  spec.deadline = 50 * units::kMicrosecond;
+  Runner runner(1);
+  Report report("unfinished");
+  report.add(runner.run_cell({spec, {}}));
+  EXPECT_GT(report.total_unfinished_flows(), 0u);
+  const std::string json = report.to_json(false);
+  EXPECT_EQ(json.find("\"unfinished\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"unfinished\":"), std::string::npos);
+}
+
+TEST(Report, RuntimeBlockOnlyWithTiming) {
+  auto spec = small_packet_spec("timing");
+  spec.trials = 1;
+  Runner runner(1);
+  Report report("timing");
+  report.add(runner.run_cell({spec, {}}));
+  report.record_runtime(0.5, 2);
+  EXPECT_EQ(report.to_json(false).find("runtime"), std::string::npos);
+  EXPECT_NE(report.to_json(true).find("runtime"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnet::exp

@@ -59,6 +59,47 @@ TEST(EventQueueTest, TiesDispatchInScheduleOrder) {
   EXPECT_EQ(log, (std::vector<int>{2, 1}));
 }
 
+TEST(EventQueueTest, ManyTiesDispatchInScheduleOrderThroughHeapChurn) {
+  // Regression for the vector-backed binary heap: sift_up/sift_down swap
+  // entries freely, so FIFO order within a timestamp must come from the
+  // sequence number, not from insertion position. Interleave three
+  // timestamp groups, scheduled out of time order, with enough entries
+  // that the heap reshuffles many times.
+  EventQueue events;
+  events.reserve(96);
+  std::vector<int> log;
+  std::vector<std::unique_ptr<RecordingSource>> sources;
+  // ids 0..31 at t=20, 100..131 at t=10, 200..231 at t=30, round-robin.
+  for (int i = 0; i < 32; ++i) {
+    for (const auto& [base, when] :
+         {std::pair{0, 20}, std::pair{100, 10}, std::pair{200, 30}}) {
+      sources.push_back(
+          std::make_unique<RecordingSource>(events, log, base + i));
+      events.schedule_at(when, sources.back().get());
+    }
+  }
+  events.run();
+  ASSERT_EQ(log.size(), 96u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(log[i], 100 + i);       // t=10 group, scheduling order
+    EXPECT_EQ(log[32 + i], i);        // t=20 group
+    EXPECT_EQ(log[64 + i], 200 + i);  // t=30 group
+  }
+  EXPECT_EQ(events.dispatched(), 96u);
+}
+
+TEST(EventQueueTest, DispatchedCountsAcrossRuns) {
+  EventQueue events;
+  std::vector<int> log;
+  RecordingSource a(events, log, 1);
+  events.schedule_at(10, &a);
+  events.run();
+  events.schedule_at(20, &a);
+  events.run();
+  EXPECT_EQ(events.dispatched(), 2u);
+  EXPECT_TRUE(events.empty());
+}
+
 TEST(EventQueueTest, RunUntilStopsAtDeadline) {
   EventQueue events;
   std::vector<int> log;

@@ -215,6 +215,32 @@ TEST(Flags, ParsesKeyValueAndDefaults) {
   EXPECT_TRUE(flags.has("hosts"));
 }
 
+TEST(Flags, ParsesSpaceSeparatedValues) {
+  const auto flags = make_flags(
+      {"prog", "--hosts", "128", "--rate", "2.5", "--label", "a-b"});
+  EXPECT_EQ(flags.get_int("hosts", 0), 128);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(flags.get("label", ""), "a-b");
+}
+
+TEST(Flags, MixedFormsAndTrailingBoolean) {
+  // "--verbose" followed by another "--flag" must stay a boolean, not
+  // swallow the next flag as its value; both spellings coexist.
+  const auto flags =
+      make_flags({"prog", "--verbose", "--hosts", "64", "--planes=2",
+                  "--quiet"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_TRUE(flags.get_bool("quiet", false));
+  EXPECT_EQ(flags.get_int("hosts", 0), 64);
+  EXPECT_EQ(flags.get_int("planes", 0), 2);
+}
+
+TEST(FlagsUsageDeathTest, BarePositionalArgumentFailsFast) {
+  EXPECT_EXIT(make_flags({"prog", "oops"}),
+              testing::ExitedWithCode(2),
+              "expected --key=value or --key value");
+}
+
 TEST(Flags, PaperScaleFlag) {
   EXPECT_TRUE(make_flags({"prog", "--scale=paper"}).paper_scale());
   EXPECT_FALSE(make_flags({"prog"}).paper_scale());
