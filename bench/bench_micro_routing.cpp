@@ -1,14 +1,35 @@
 // google-benchmark microbenchmarks for the routing substrate: BFS, ECMP
-// enumeration, Yen KSP, cross-plane KSP merge, and the path-selector cache.
-// These quantify the cost of the path computations the experiments lean on.
+// enumeration, Yen KSP, cross-plane KSP merge, the compiled RouteTable
+// arena, and the shared RouteCache (cold miss vs warm hit). These quantify
+// the cost of the path computations the experiments lean on.
+//
+// Besides the default google-benchmark mode, `--json[=PATH]` switches to a
+// self-contained report mode that measures what the route cache buys the
+// experiment stack — cold vs warm lookup latency, cache hit rate, arena
+// footprint, and the fsim KSP sweep (route 10k flows at k=16) with the
+// cache enabled vs in pass-through mode — and writes one JSON document
+// (committed as BENCH_routing.json at the repo root). Report-mode flags:
+// --flows, --k, --hosts, --planes, --pairs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "core/path_selector.hpp"
+#include "exp/json.hpp"
+#include "fsim/fluid.hpp"
 #include "routing/ecmp.hpp"
 #include "routing/plane_paths.hpp"
+#include "routing/route_cache.hpp"
 #include "routing/shortest.hpp"
 #include "routing/yen.hpp"
 #include "topo/parallel.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -89,6 +110,203 @@ void BM_PathSelectorCached(benchmark::State& state) {
 }
 BENCHMARK(BM_PathSelectorCached);
 
+// Interning one path into a warm RouteTable: the marginal cost a cache
+// miss pays on top of the compute (hash + dedup probe + slab copy).
+void BM_RouteTableIntern(benchmark::State& state) {
+  const auto& net = jellyfish4();
+  const auto paths =
+      routing::ksp_across_planes(net, HostId{0}, HostId{200}, 64);
+  routing::RouteTable table;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = paths[i++ % paths.size()];
+    benchmark::DoNotOptimize(table.intern(p.plane, p.links));
+  }
+}
+BENCHMARK(BM_RouteTableIntern);
+
+// A cold RouteCache lookup: full KSP compute + intern. Each iteration uses
+// a distinct destination so every lookup misses.
+void BM_RouteCacheColdKsp(benchmark::State& state) {
+  const auto& net = jellyfish4();
+  routing::RouteCache cache(/*enabled=*/true);
+  std::int32_t dst = 0;
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    dst = (dst + 1) % 255;
+    // A fresh tie-break seed each wrap keeps later laps cold too.
+    if (dst == 0) ++salt;
+    benchmark::DoNotOptimize(cache.lookup(
+        net, routing::RouteQuery::ksp(HostId{255}, HostId{dst}, 8, salt)));
+  }
+}
+BENCHMARK(BM_RouteCacheColdKsp);
+
+// A warm RouteCache lookup: shard lock + hash probe + epoch check.
+void BM_RouteCacheWarmKsp(benchmark::State& state) {
+  const auto& net = jellyfish4();
+  routing::RouteCache cache(/*enabled=*/true);
+  const auto q = routing::RouteQuery::ksp(HostId{0}, HostId{200}, 8, 7);
+  (void)cache.lookup(net, q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(net, q));
+  }
+}
+BENCHMARK(BM_RouteCacheWarmKsp);
+
+// --------------------------------------------------------- --json report
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Routes `flows` KSP-multipath flows through a FluidSimulator backed by
+/// `cache`, returning the wall-clock seconds spent routing (add_flow).
+double route_flows(const topo::ParallelNetwork& net,
+                   const fsim::FsimConfig& config,
+                   std::shared_ptr<routing::RouteCache> cache, int flows,
+                   std::uint64_t seed) {
+  fsim::FluidSimulator fluid(net, config, std::move(cache));
+  Rng rng(seed);
+  const auto hosts = static_cast<std::uint64_t>(net.num_hosts());
+  std::vector<fsim::FlowSpec> specs;
+  specs.reserve(static_cast<std::size_t>(flows));
+  for (int i = 0; i < flows; ++i) {
+    const HostId src{static_cast<std::int32_t>(rng.next_below(hosts))};
+    HostId dst{static_cast<std::int32_t>(rng.next_below(hosts))};
+    if (dst == src) dst = HostId{(dst.v + 1) % net.num_hosts()};
+    specs.push_back({src, dst, 1'000'000, 0});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& spec : specs) fluid.add_flow(spec);
+  return seconds_since(t0);
+}
+
+int run_json_report(const Flags& flags) {
+  const std::string path = flags.get("json", "-");
+  // 32 hosts -> 992 (src, dst) pairs, so 10k flows revisit each pair ~10
+  // times: the regime the per-cell shared cache targets (many flows, few
+  // pairs). --hosts=64 shows the low-reuse end instead.
+  const int hosts = flags.get_int("hosts", 32);
+  const int planes = flags.get_int("planes", 2);
+  const int flows = flags.get_int("flows", 10'000);
+  const int k = flags.get_int("k", 16);
+  const int pairs = flags.get_int("pairs", 512);
+
+  exp::JsonWriter w;
+  w.begin_object();
+  w.field("bench", "micro_routing");
+  w.key("config").begin_object();
+  w.field("hosts", hosts);
+  w.field("planes", planes);
+  w.field("flows", flows);
+  w.field("k", k);
+  w.field("pairs", pairs);
+  w.end_object();
+
+  // Cold vs warm lookup latency over `pairs` distinct jellyfish pairs.
+  {
+    const auto& net = jellyfish4();
+    routing::RouteCache cache(/*enabled=*/true);
+    std::vector<routing::RouteQuery> queries;
+    Rng rng(17);
+    for (int i = 0; i < pairs; ++i) {
+      const HostId src{static_cast<std::int32_t>(rng.next_below(256))};
+      HostId dst{static_cast<std::int32_t>(rng.next_below(256))};
+      if (dst == src) dst = HostId{(dst.v + 1) % 256};
+      queries.push_back(routing::RouteQuery::ksp(src, dst, 8, 7));
+    }
+    const auto t_cold = std::chrono::steady_clock::now();
+    for (const auto& q : queries) (void)cache.lookup(net, q);
+    const double cold_s = seconds_since(t_cold);
+    const auto t_warm = std::chrono::steady_clock::now();
+    for (const auto& q : queries) (void)cache.lookup(net, q);
+    const double warm_s = seconds_since(t_warm);
+    const auto stats = cache.stats();
+
+    w.key("route_cache").begin_object();
+    w.field("cold_lookup_ns_mean", cold_s * 1e9 / pairs);
+    w.field("warm_lookup_ns_mean", warm_s * 1e9 / pairs);
+    w.field("cold_over_warm", warm_s > 0 ? cold_s / warm_s : 0.0);
+    w.field("hits", stats.hits);
+    w.field("misses", stats.misses);
+    w.field("hit_rate", static_cast<double>(stats.hits) /
+                            static_cast<double>(stats.hits + stats.misses));
+    w.field("entries", stats.entries);
+    w.field("paths", stats.paths);
+    w.field("arena_bytes", stats.arena_bytes);
+    w.field("compute_ns", stats.compute_ns);
+    w.end_object();
+  }
+
+  // The fsim KSP sweep: route `flows` k-shortest-path multipath flows with
+  // the shared cache enabled vs forced pass-through (PNET_ROUTE_CACHE=off
+  // equivalent). The candidate KSP pools are per-pair, so the cached run
+  // computes each pair once and the speedup approaches flows / pairs.
+  {
+    topo::NetworkSpec spec;
+    spec.topo = topo::TopoKind::kFatTree;
+    spec.type = topo::NetworkType::kParallelHomogeneous;
+    spec.hosts = hosts;
+    spec.parallelism = planes;
+    const auto net = topo::build_network(spec);
+
+    fsim::FsimConfig config;
+    config.scheme = fsim::RouteScheme::kKspMultipath;
+    config.k = k;
+
+    const auto cached = std::make_shared<routing::RouteCache>(true);
+    const double cached_s = route_flows(net, config, cached, flows, 23);
+    const double uncached_s = route_flows(
+        net, config, std::make_shared<routing::RouteCache>(false), flows,
+        23);
+    const auto stats = cached->stats();
+
+    w.key("fsim_ksp_sweep").begin_object();
+    w.field("engine", "fsim");
+    w.field("scheme", "ksp_multipath");
+    // The fat-tree builder rounds the host count up to the next radix.
+    w.field("built_hosts", net.num_hosts());
+    w.field("cached_s", cached_s);
+    w.field("uncached_s", uncached_s);
+    w.field("speedup", cached_s > 0 ? uncached_s / cached_s : 0.0);
+    w.field("hits", stats.hits);
+    w.field("misses", stats.misses);
+    w.field("hit_rate", static_cast<double>(stats.hits) /
+                            static_cast<double>(stats.hits + stats.misses));
+    w.field("arena_bytes", stats.arena_bytes);
+    w.end_object();
+  }
+
+  w.end_object();
+  const std::string text = w.str() + "\n";
+  if (path == "-" || path == "1") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0) {
+      return run_json_report(Flags(argc, argv));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,32 +1,43 @@
 # ctest harness for the bench-report determinism contract: the same spec
 # and seed must produce a byte-identical timing-free JSON report at any
-# --threads value, for both engines. Invoked by the bench_report_determinism
-# test with -DBENCH=<bench_fig9 path> -DWORKDIR=<scratch dir>.
+# --threads value, for both engines, and with the shared route cache on or
+# off (PNET_ROUTE_CACHE=off forces pass-through recomputes — the cache must
+# be an optimization, never a behavior change). Invoked by the
+# bench_report_determinism test with -DBENCH=<bench_fig9 path>
+# -DWORKDIR=<scratch dir>.
 set(args --hosts=16 --planes=2 --maxsize=1000000 --rounds=1 --trials=2
          --json-timing=0)
 
 foreach(engine packet fsim)
   set(outputs "")
   foreach(threads 1 4)
-    set(json ${WORKDIR}/fig9_${engine}_t${threads}.json)
-    execute_process(
-      COMMAND ${BENCH} ${args} --engine=${engine} --threads=${threads}
-              --json=${json}
-      RESULT_VARIABLE rc OUTPUT_QUIET)
-    if(NOT rc EQUAL 0)
-      message(FATAL_ERROR "${BENCH} --engine=${engine} --threads=${threads} "
-                          "exited ${rc}")
-    endif()
-    list(APPEND outputs ${json})
+    foreach(cache on off)
+      set(json ${WORKDIR}/fig9_${engine}_t${threads}_cache-${cache}.json)
+      execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env PNET_ROUTE_CACHE=${cache}
+                ${BENCH} ${args} --engine=${engine} --threads=${threads}
+                --json=${json}
+        RESULT_VARIABLE rc OUTPUT_QUIET)
+      if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${BENCH} --engine=${engine} "
+                            "--threads=${threads} (route cache ${cache}) "
+                            "exited ${rc}")
+      endif()
+      list(APPEND outputs ${json})
+    endforeach()
   endforeach()
   list(GET outputs 0 first)
-  list(GET outputs 1 second)
-  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
-                          ${first} ${second}
-                  RESULT_VARIABLE diff)
-  if(NOT diff EQUAL 0)
-    message(FATAL_ERROR "engine=${engine}: JSON report differs between "
-                        "--threads=1 and --threads=4 (${first} vs "
-                        "${second}) — the determinism contract is broken")
-  endif()
+  foreach(other ${outputs})
+    if(other STREQUAL first)
+      continue()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            ${first} ${other}
+                    RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+      message(FATAL_ERROR "engine=${engine}: JSON report differs between "
+                          "${first} and ${other} — the determinism "
+                          "contract (threads x route-cache) is broken")
+    endif()
+  endforeach()
 endforeach()

@@ -16,12 +16,16 @@ namespace pnet::core {
 
 class SimHarness {
  public:
+  /// `route_cache` (optional) shares one compiled route store across
+  /// harnesses — e.g. every trial of an experiment cell; see
+  /// routing::RouteCache for the determinism contract.
   SimHarness(const topo::NetworkSpec& spec, const PolicyConfig& policy,
-             const sim::SimConfig& sim_config = {})
+             const sim::SimConfig& sim_config = {},
+             std::shared_ptr<routing::RouteCache> route_cache = nullptr)
       : net_(topo::build_network(spec)),
         network_(events_, pool_, net_, sim_config),
         factory_(events_, pool_, network_, logger_),
-        selector_(net_, policy),
+        selector_(net_, policy, std::move(route_cache)),
         starter_(selector_.make_starter(factory_)) {}
 
   [[nodiscard]] const topo::ParallelNetwork& net() const { return net_; }

@@ -35,10 +35,23 @@ void HealthMonitor::react(const sim::FaultEvent& event) {
       }
       if (factory_ != nullptr) factory_->on_plane_recovered(event.plane);
       break;
+    case sim::FaultKind::kCableFail:
+    case sim::FaultKind::kCableRecover:
+      // Not visible in host link status (the host's own uplink stays up),
+      // but once the control plane disseminates the change the selectors'
+      // route caches invalidate affected entries so new flows avoid (or
+      // resume using) the cable. In-flight flows still depend on the
+      // transport's path-suspect repath.
+      if (config_.propagate_cable_events) {
+        for (PathSelector* selector : selectors_) {
+          selector->set_link_failed(event.plane, event.link,
+                                    event.kind == sim::FaultKind::kCableFail);
+        }
+      }
+      break;
     default:
-      // Cable-scoped events are not visible in host link status (the
-      // host's own uplink stays up); they are logged above but the
-      // reaction is left to the transport's path-suspect machinery.
+      // Degrade/restore keep the cable in service (possibly lossy/slow);
+      // routing around it is the transport's call, not the cache's.
       break;
   }
 }

@@ -18,8 +18,24 @@ std::string to_string(RoutingPolicy policy) {
   return "?";
 }
 
+PathSelector::PathSelector(const topo::ParallelNetwork& net,
+                           PolicyConfig config,
+                           std::shared_ptr<routing::RouteCache> cache)
+    : net_(net), config_(std::move(config)), cache_(std::move(cache)),
+      plane_failed_(static_cast<std::size_t>(net.num_planes()), false) {
+  if (cache_ == nullptr) cache_ = std::make_shared<routing::RouteCache>();
+  cache_->bind(net_);
+}
+
 void PathSelector::set_plane_failed(int plane, bool failed) {
+  // Plane health is a selection-time filter, not a cache event: cached path
+  // sets stay intact (bit-identical to the cache-less baseline) and plane
+  // flaps cost nothing to recover from.
   plane_failed_[static_cast<std::size_t>(plane)] = failed;
+}
+
+void PathSelector::set_link_failed(int plane, LinkId link, bool failed) {
+  cache_->set_link_state(plane, link, failed);
 }
 
 bool PathSelector::plane_usable(int plane) const {
@@ -39,77 +55,86 @@ std::vector<int> PathSelector::usable_planes() const {
   return out;
 }
 
+routing::RouteSnapshot PathSelector::ksp_paths(HostId src, HostId dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(src.v))
+                             << 32) |
+                            static_cast<std::uint32_t>(dst.v);
+  // Keep k candidates per plane (not just k overall) with per-pair
+  // randomized tie-breaks, so plane failures can be filtered out at
+  // selection time and fat-tree ties do not collapse onto one corner.
+  return cache_->lookup(
+      net_, routing::RouteQuery::ksp(src, dst, config_.k,
+                                     mix64(key ^ 0xD1CE),
+                                     config_.k * net_.num_planes()));
+}
+
+routing::RouteSnapshot PathSelector::spp_paths(HostId src, HostId dst) {
+  return cache_->lookup(net_,
+                        routing::RouteQuery::shortest_per_plane(src, dst));
+}
+
+routing::RouteSnapshot PathSelector::ecmp_paths(HostId src, HostId dst,
+                                                int plane) {
+  // Every single-path policy hashes among the plane's equal-cost shortest
+  // paths (what a real ECMP dataplane does); enumerated once per pair and
+  // plane, shared through the route cache.
+  return cache_->lookup(net_, routing::RouteQuery::ecmp_plane(
+                                  src, dst, plane, config_.ecmp_path_cap));
+}
+
 std::vector<routing::Path> PathSelector::shortest_plane_pick(
-    const PairPaths& paths, std::uint64_t flow_key) const {
+    HostId src, HostId dst, std::uint64_t flow_key) {
   // The "low-latency" single-path interface: restrict to the planes tied at
   // the global minimum hop count, then hash the flow over the union of
   // their equal-cost shortest paths. On heterogeneous P-Nets this usually
   // singles out one plane (the latency win of §5.2.1); on homogeneous ones
   // every plane ties, so flows spread plane-wide instead of piling onto
   // plane 0.
+  const routing::RouteSnapshot spp = spp_paths(src, dst);
   int best_hops = -1;
-  std::vector<const routing::Path*> pool;
-  const routing::Path* fallback = nullptr;
-  for (const auto& candidate : paths.shortest_per_plane) {
-    if (!plane_usable(candidate.plane)) continue;
-    if (fallback == nullptr) fallback = &candidate;
+  std::vector<routing::PathView> pool;
+  std::vector<routing::RouteSnapshot> pinned;  // keeps pool views alive
+  routing::PathView fallback;
+  bool have_fallback = false;
+  for (std::size_t i = 0; i < spp->size(); ++i) {
+    const routing::PathView candidate = spp->view(i);
+    if (!plane_usable(candidate.plane())) continue;
+    if (!have_fallback) {
+      fallback = candidate;
+      have_fallback = true;
+    }
     if (best_hops < 0) best_hops = candidate.hops();
     if (candidate.hops() != best_hops) break;  // sorted by hops
-    for (const auto& path :
-         paths.ecmp[static_cast<std::size_t>(candidate.plane)]) {
-      pool.push_back(&path);
+    routing::RouteSnapshot in_plane =
+        ecmp_paths(src, dst, candidate.plane());
+    for (std::size_t j = 0; j < in_plane->size(); ++j) {
+      pool.push_back(in_plane->view(j));
     }
+    pinned.push_back(std::move(in_plane));
   }
-  if (pool.empty()) return fallback != nullptr
-                               ? std::vector<routing::Path>{*fallback}
-                               : std::vector<routing::Path>{};
+  if (pool.empty()) {
+    return have_fallback ? std::vector<routing::Path>{fallback.materialize()}
+                         : std::vector<routing::Path>{};
+  }
   const int pick =
       routing::ecmp_pick(flow_key, static_cast<int>(pool.size()));
-  return {*pool[static_cast<std::size_t>(pick)]};
-}
-
-const PathSelector::PairPaths& PathSelector::pair_paths(HostId src,
-                                                        HostId dst) {
-  const std::uint64_t key = (static_cast<std::uint64_t>(
-                                 static_cast<std::uint32_t>(src.v))
-                             << 32) |
-                            static_cast<std::uint32_t>(dst.v);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-
-  PairPaths paths;
-  paths.shortest_per_plane = routing::shortest_per_plane(net_, src, dst);
-  if (config_.policy == RoutingPolicy::kKspMultipath ||
-      config_.policy == RoutingPolicy::kSizeThreshold) {
-    // Keep k candidates per plane (not just k overall) with per-pair
-    // randomized tie-breaks, so plane failures can be filtered out at
-    // selection time and fat-tree ties do not collapse onto one corner.
-    paths.ksp = routing::ksp_across_planes(
-        net_, src, dst, config_.k, mix64(key ^ 0xD1CE),
-        config_.k * net_.num_planes());
-  }
-  // Every single-path policy hashes among the plane's equal-cost shortest
-  // paths (what a real ECMP dataplane does); enumerate them once per pair.
-  paths.ecmp.reserve(static_cast<std::size_t>(net_.num_planes()));
-  for (int p = 0; p < net_.num_planes(); ++p) {
-    paths.ecmp.push_back(routing::ecmp_paths_in_plane(net_, p, src, dst,
-                                                      config_.ecmp_path_cap));
-  }
-  return cache_.emplace(key, std::move(paths)).first->second;
+  return {pool[static_cast<std::size_t>(pick)].materialize()};
 }
 
 std::vector<routing::Path> PathSelector::select(HostId src, HostId dst,
                                                 std::uint64_t bytes,
                                                 std::uint64_t flow_key) {
-  const PairPaths& paths = pair_paths(src, dst);
   const std::vector<int> usable = usable_planes();
   if (usable.empty()) return {};
 
   // Filters the cached cross-plane KSP pool to usable planes, first k.
   auto usable_ksp = [&] {
+    const routing::RouteSnapshot ksp = ksp_paths(src, dst);
     std::vector<routing::Path> out;
-    for (const auto& path : paths.ksp) {
-      if (plane_usable(path.plane)) out.push_back(path);
+    for (std::size_t i = 0; i < ksp->size(); ++i) {
+      const routing::PathView path = ksp->view(i);
+      if (plane_usable(path.plane())) out.push_back(path.materialize());
       if (static_cast<int>(out.size()) == config_.k) break;
     }
     return out;
@@ -122,11 +147,11 @@ std::vector<routing::Path> PathSelector::select(HostId src, HostId dst,
       // across planes.
       const int plane = usable[static_cast<std::size_t>(routing::ecmp_pick(
           mix64(flow_key) ^ 0x9E37, static_cast<int>(usable.size())))];
-      const auto& in_plane = paths.ecmp[static_cast<std::size_t>(plane)];
-      if (in_plane.empty()) return {};
-      const int pick = routing::ecmp_pick(flow_key,
-                                          static_cast<int>(in_plane.size()));
-      return {in_plane[static_cast<std::size_t>(pick)]};
+      const routing::RouteSnapshot in_plane = ecmp_paths(src, dst, plane);
+      if (in_plane->empty()) return {};
+      const int pick = routing::ecmp_pick(
+          flow_key, static_cast<int>(in_plane->size()));
+      return {in_plane->view(static_cast<std::size_t>(pick)).materialize()};
     }
     case RoutingPolicy::kRoundRobin: {
       // Cycle usable planes per source host (hash-offset start); within
@@ -138,14 +163,14 @@ std::vector<routing::Path> PathSelector::select(HostId src, HostId dst,
                           .first;
       const int plane = usable[static_cast<std::size_t>(
           it->second++ % usable.size())];
-      const auto& in_plane = paths.ecmp[static_cast<std::size_t>(plane)];
-      if (in_plane.empty()) return {};
-      const int pick = routing::ecmp_pick(flow_key,
-                                          static_cast<int>(in_plane.size()));
-      return {in_plane[static_cast<std::size_t>(pick)]};
+      const routing::RouteSnapshot in_plane = ecmp_paths(src, dst, plane);
+      if (in_plane->empty()) return {};
+      const int pick = routing::ecmp_pick(
+          flow_key, static_cast<int>(in_plane->size()));
+      return {in_plane->view(static_cast<std::size_t>(pick)).materialize()};
     }
     case RoutingPolicy::kShortestPlane:
-      return shortest_plane_pick(paths, flow_key);
+      return shortest_plane_pick(src, dst, flow_key);
     case RoutingPolicy::kKspMultipath:
       return usable_ksp();
     case RoutingPolicy::kSizeThreshold: {
@@ -153,7 +178,7 @@ std::vector<routing::Path> PathSelector::select(HostId src, HostId dst,
         auto multi = usable_ksp();
         if (multi.size() > 1) return multi;
       }
-      return shortest_plane_pick(paths, flow_key);  // small flows
+      return shortest_plane_pick(src, dst, flow_key);  // small flows
     }
   }
   return {};

@@ -18,10 +18,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "routing/plane_paths.hpp"
+#include "routing/route_cache.hpp"
 #include "sim/network.hpp"
 #include "topo/parallel.hpp"
 #include "workload/apps.hpp"
@@ -56,9 +58,12 @@ struct PolicyConfig {
 
 class PathSelector {
  public:
-  PathSelector(const topo::ParallelNetwork& net, PolicyConfig config)
-      : net_(net), config_(std::move(config)),
-        plane_failed_(static_cast<std::size_t>(net.num_planes()), false) {}
+  /// `cache` (optional) shares one compiled route store across selectors —
+  /// e.g. every trial of an experiment cell. Without it the selector owns a
+  /// private cache. Either way all path computation and per-pair caching
+  /// lives in routing::RouteCache; the selector only applies policy.
+  PathSelector(const topo::ParallelNetwork& net, PolicyConfig config,
+               std::shared_ptr<routing::RouteCache> cache = nullptr);
 
   /// The paths a new flow of `bytes` should use. `flow_key` feeds the ECMP
   /// hash / round-robin sequencing; callers pass a per-flow unique value.
@@ -76,6 +81,12 @@ class PathSelector {
   /// flight are the transport's problem.
   void set_plane_failed(int plane, bool failed);
 
+  /// Reports a cable (link) failure or recovery to the route cache: cached
+  /// entries whose paths traverse the link are recomputed on next use, so
+  /// new flows route around the dead cable. `link` is the plane-local id of
+  /// either direction of the duplex pair; both directions are affected.
+  void set_link_failed(int plane, LinkId link, bool failed);
+
   /// Installs this selector as the factory's repath provider, so flows in
   /// flight stop being "the transport's problem": when a TcpSrc declares
   /// its path suspect (consecutive RTOs) or a detected plane failure forces
@@ -88,20 +99,24 @@ class PathSelector {
 
   [[nodiscard]] const PolicyConfig& config() const { return config_; }
 
+  /// The (possibly shared) route cache — counters feed experiment reports.
+  [[nodiscard]] routing::RouteCache& route_cache() { return *cache_; }
+  [[nodiscard]] const std::shared_ptr<routing::RouteCache>&
+  route_cache_ptr() const {
+    return cache_;
+  }
+
  private:
-  struct PairPaths {
-    std::vector<routing::Path> ksp;               // global K shortest
-    std::vector<routing::Path> shortest_per_plane;  // sorted by hops
-    std::vector<std::vector<routing::Path>> ecmp;   // per plane
-  };
-  const PairPaths& pair_paths(HostId src, HostId dst);
-  std::vector<routing::Path> shortest_plane_pick(const PairPaths& paths,
-                                                 std::uint64_t flow_key) const;
+  routing::RouteSnapshot ksp_paths(HostId src, HostId dst);
+  routing::RouteSnapshot spp_paths(HostId src, HostId dst);
+  routing::RouteSnapshot ecmp_paths(HostId src, HostId dst, int plane);
+  std::vector<routing::Path> shortest_plane_pick(HostId src, HostId dst,
+                                                 std::uint64_t flow_key);
   [[nodiscard]] std::vector<int> usable_planes() const;
 
   const topo::ParallelNetwork& net_;
   PolicyConfig config_;
-  std::unordered_map<std::uint64_t, PairPaths> cache_;
+  std::shared_ptr<routing::RouteCache> cache_;
   /// Planes currently marked failed by set_plane_failed.
   std::vector<bool> plane_failed_;
   /// Per-source round-robin counters, seeded with a per-host hash offset.

@@ -165,6 +165,7 @@ void cell_to_json(JsonWriter& w, const CellResult& cell, bool with_runtime) {
     w.key("runtime").begin_object();
     w.field("wall_s", cell.wall_s());
     w.field("events_per_sec", cell.events_per_sec());
+    for (const auto& [key, value] : cell.runtime) w.field(key, value);
     w.key("trial_wall_s").begin_array();
     for (const auto& trial : cell.trials) w.value(trial.wall_s);
     w.end_array();

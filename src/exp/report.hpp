@@ -73,6 +73,10 @@ struct TrialResult {
 struct CellResult {
   ExperimentSpec spec;
   std::vector<TrialResult> trials;
+  /// Cell-level non-deterministic extras (e.g. the shared route cache's
+  /// hit/miss/compute-time counters, which aggregate across trials).
+  /// Reported only in the cell's runtime block.
+  std::map<std::string, double> runtime;
 
   /// All trials' FCT samples concatenated in trial order.
   [[nodiscard]] std::vector<double> merged_fct_us() const;

@@ -43,7 +43,8 @@ TrialResult Runner::packet_trial(const TrialContext& ctx) {
   const ExperimentSpec& spec = ctx.spec;
   const WorkloadSpec& wl = spec.workload;
   TrialResult r;
-  core::SimHarness harness(spec.topo, spec.policy, spec.sim);
+  core::SimHarness harness(spec.topo, spec.policy, spec.sim,
+                           ctx.route_cache);
   Rng rng(ctx.seed);
   for (int round = 0; round < wl.rounds; ++round) {
     const SimTime base =
@@ -100,7 +101,7 @@ TrialResult Runner::fsim_trial(const TrialContext& ctx) {
 
   if (wl.round_gap > 0) {
     // Overlapping rounds share one simulator (and its allocator state).
-    fsim::FluidSimulator fluid(net, config);
+    fsim::FluidSimulator fluid(net, config, ctx.route_cache);
     for (int round = 0; round < wl.rounds; ++round) {
       const SimTime base = round * wl.round_gap;
       for (const auto& [src, dst] : pattern_pairs(wl, net, rng)) {
@@ -119,7 +120,7 @@ TrialResult Runner::fsim_trial(const TrialContext& ctx) {
     // Back-to-back rounds: a fresh simulator per round, as the packet
     // engine's drained-queue equivalent.
     for (int round = 0; round < wl.rounds; ++round) {
-      fsim::FluidSimulator fluid(net, config);
+      fsim::FluidSimulator fluid(net, config, ctx.route_cache);
       for (const auto& [src, dst] : pattern_pairs(wl, net, rng)) {
         ++r.flows_started;
         fluid.add_flow({src, dst, wl.flow_bytes,
@@ -159,14 +160,27 @@ std::vector<CellResult> Runner::run(const std::vector<Cell>& cells) const {
     }
   }
 
+  // One route cache per cell, shared by all its trials (and worker
+  // threads): trials of a cell build identical topologies, so path
+  // computation runs once per distinct query. Safe because the built-in
+  // trial bodies never mutate link fault state, and cached content is a
+  // pure function of (net, query) — results stay bit-identical for any
+  // --threads value.
+  std::vector<std::shared_ptr<routing::RouteCache>> caches;
+  caches.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    caches.push_back(std::make_shared<routing::RouteCache>());
+  }
+
   auto trial_results = util::parallel_map(
       jobs,
-      [&cells](const Job& job) {
+      [&cells, &caches](const Job& job) {
         const Cell& cell = cells[job.cell];
         const TrialContext ctx{cell.spec, job.trial,
                                util::job_seed(cell.spec.seed,
                                               static_cast<std::uint64_t>(
-                                                  job.trial))};
+                                                  job.trial)),
+                               caches[job.cell]};
         const double wall_start = now_seconds();
         TrialResult result;
         if (cell.fn) {
@@ -188,6 +202,21 @@ std::vector<CellResult> Runner::run(const std::vector<Cell>& cells) const {
   }
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     results[jobs[j].cell].trials.push_back(std::move(trial_results[j]));
+  }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const routing::RouteCacheStats stats = caches[c]->stats();
+    if (stats.hits + stats.misses == 0) continue;  // cell never routed
+    auto& runtime = results[c].runtime;
+    runtime["route_cache_hits"] = static_cast<double>(stats.hits);
+    runtime["route_cache_misses"] = static_cast<double>(stats.misses);
+    runtime["route_cache_invalidations"] =
+        static_cast<double>(stats.invalidations);
+    runtime["route_cache_compute_ns"] =
+        static_cast<double>(stats.compute_ns);
+    runtime["route_cache_arena_bytes"] =
+        static_cast<double>(stats.arena_bytes);
+    runtime["route_cache_entries"] = static_cast<double>(stats.entries);
+    runtime["route_cache_paths"] = static_cast<double>(stats.paths);
   }
   return results;
 }

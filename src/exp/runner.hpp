@@ -11,20 +11,28 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "exp/report.hpp"
 #include "exp/spec.hpp"
+#include "routing/route_cache.hpp"
 
 namespace pnet::exp {
 
 /// What a trial function sees: the cell's spec, the trial index within the
 /// cell, and the deterministic per-trial seed every random choice of the
-/// trial must derive from.
+/// trial must derive from. `route_cache` is the cell's shared compiled
+/// route store: every trial of a cell runs the same topology, so path
+/// computation is done once and reused across trials and worker threads
+/// (entries are pure functions of (net, query) — results stay bit-identical
+/// to private caching; see routing::RouteCache). Custom trial functions
+/// that mutate link fault state must build a private cache instead.
 struct TrialContext {
   const ExperimentSpec& spec;
   int trial;
   std::uint64_t seed;
+  std::shared_ptr<routing::RouteCache> route_cache;
 };
 
 using TrialFn = std::function<TrialResult(const TrialContext&)>;

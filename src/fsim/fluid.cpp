@@ -32,6 +32,19 @@ const char* to_string(RouteScheme scheme) {
   return "?";
 }
 
+namespace {
+
+/// KSP tie-break jitter seed: per PAIR, not per flow, so the cache can
+/// memoize the candidate pool (matching core::PathSelector's convention).
+std::uint64_t ksp_seed(HostId src, HostId dst) {
+  const std::uint64_t pair_key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src.v)) << 32) |
+      static_cast<std::uint32_t>(dst.v);
+  return mix64(pair_key ^ 0xABCD);
+}
+
+}  // namespace
+
 std::vector<routing::Path> choose_paths(const topo::ParallelNetwork& net,
                                         const FsimConfig& config, HostId src,
                                         HostId dst, std::uint64_t flow_key) {
@@ -66,18 +79,72 @@ std::vector<routing::Path> choose_paths(const topo::ParallelNetwork& net,
     }
     case RouteScheme::kKspMultipath:
       return routing::ksp_across_planes(net, src, dst, config.k,
-                                        mix64(flow_key + 0xABCD));
+                                        ksp_seed(src, dst));
   }
   return {};
 }
 
 FluidSimulator::FluidSimulator(const topo::ParallelNetwork& net,
-                               FsimConfig config)
-    : net_(net), config_(config), index_(net), alloc_(index_.capacity()) {}
+                               FsimConfig config,
+                               std::shared_ptr<routing::RouteCache> cache)
+    : net_(net), config_(config), cache_(std::move(cache)), index_(net),
+      alloc_(index_.capacity()) {
+  if (cache_ == nullptr) cache_ = std::make_shared<routing::RouteCache>();
+  cache_->bind(net_);
+}
+
+void FluidSimulator::route(Pending& pending, std::uint64_t flow_key) {
+  // Mirrors choose_paths() exactly — candidate sets come from the cache,
+  // only the per-flow picks are computed here. tests/fsim_test.cpp pins the
+  // equivalence.
+  const HostId src = pending.spec.src;
+  const HostId dst = pending.spec.dst;
+  switch (config_.scheme) {
+    case RouteScheme::kEcmpPlaneHash: {
+      const int plane = routing::ecmp_pick(
+          mix64(flow_key * 0x9E3779B9ULL + 1), net_.num_planes());
+      pending.snapshot = cache_->lookup(
+          net_, routing::RouteQuery::ecmp_plane(src, dst, plane,
+                                                config_.ecmp_path_cap));
+      if (pending.snapshot->empty()) return;
+      pending.picks.push_back(static_cast<std::uint32_t>(routing::ecmp_pick(
+          mix64(flow_key ^ 0x5BF03635C4ULL),
+          static_cast<int>(pending.snapshot->size()))));
+      return;
+    }
+    case RouteScheme::kShortestPlane: {
+      pending.snapshot = cache_->lookup(
+          net_, routing::RouteQuery::shortest_per_plane(src, dst));
+      if (pending.snapshot->empty()) return;
+      int ties = 1;
+      while (ties < static_cast<int>(pending.snapshot->size()) &&
+             pending.snapshot->view(static_cast<std::size_t>(ties)).hops() ==
+                 pending.snapshot->view(0).hops()) {
+        ++ties;
+      }
+      pending.picks.push_back(static_cast<std::uint32_t>(
+          routing::ecmp_pick(mix64(flow_key + 0x51ED2705ULL), ties)));
+      return;
+    }
+    case RouteScheme::kKspMultipath: {
+      pending.snapshot = cache_->lookup(
+          net_, routing::RouteQuery::ksp(src, dst, config_.k,
+                                         ksp_seed(src, dst)));
+      for (std::uint32_t i = 0; i < pending.snapshot->size(); ++i) {
+        pending.picks.push_back(i);
+      }
+      return;
+    }
+  }
+}
 
 void FluidSimulator::add_flow(const FlowSpec& spec) {
-  add_flow(spec, choose_paths(net_, config_, spec.src, spec.dst,
-                              next_key_++));
+  Pending pending;
+  pending.spec = spec;
+  pending.spec.start = std::max(spec.start, now_);
+  route(pending, next_key_++);
+  pending_.push_back(std::move(pending));
+  std::push_heap(pending_.begin(), pending_.end(), PendingLater{});
 }
 
 void FluidSimulator::add_flow(const FlowSpec& spec,
@@ -92,7 +159,7 @@ void FluidSimulator::add_flow(const FlowSpec& spec,
 
 void FluidSimulator::admit(Pending&& pending) {
   ++events_;
-  if (pending.paths.empty()) {
+  if (!pending.routed()) {
     // Disconnected pair: nothing can flow; log a zero-duration record so
     // the caller sees the flow was not silently dropped.
     FlowResult result;
@@ -113,17 +180,17 @@ void FluidSimulator::admit(Pending&& pending) {
     result.bytes = pending.spec.bytes;
     result.start = pending.spec.start;
     result.end = now_;
-    result.hops = pending.paths.front().hops();
+    result.hops = pending.path(0).hops();
     results_.push_back(result);
     return;
   }
   Active active;
   active.spec = pending.spec;
   active.remaining_bytes = static_cast<double>(pending.spec.bytes);
-  active.hops = pending.paths.front().hops();
-  active.sub_ids.reserve(pending.paths.size());
-  for (const auto& path : pending.paths) {
-    active.sub_ids.push_back(alloc_.add(index_.to_global(path)));
+  active.hops = pending.path(0).hops();
+  active.sub_ids.reserve(pending.num_paths());
+  for (std::size_t i = 0; i < pending.num_paths(); ++i) {
+    active.sub_ids.push_back(alloc_.add(index_.to_global(pending.path(i))));
   }
   active_.push_back(std::move(active));
   rates_stale_ = true;

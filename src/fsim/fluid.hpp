@@ -22,11 +22,13 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "fsim/max_min.hpp"
 #include "lp/link_index.hpp"
 #include "routing/path.hpp"
+#include "routing/route_cache.hpp"
 #include "topo/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -60,7 +62,11 @@ struct FsimConfig {
 
 /// The paths a flow with `flow_key` uses under `config`. Exposed so tests
 /// and benches can pin the exact same paths into the packet simulator or
-/// the LP solver that the fluid simulator will use.
+/// the LP solver that the fluid simulator will use. The candidate sets
+/// (KSP pools, ECMP enumerations, per-plane shortest) depend only on the
+/// (src, dst) pair — KSP tie-break jitter is seeded per pair, not per flow —
+/// so the simulator memoizes them in a routing::RouteCache; only the
+/// per-flow hash picks vary with `flow_key`.
 std::vector<routing::Path> choose_paths(const topo::ParallelNetwork& net,
                                         const FsimConfig& config, HostId src,
                                         HostId dst, std::uint64_t flow_key);
@@ -90,8 +96,12 @@ struct FlowResult {
 
 class FluidSimulator {
  public:
+  /// `cache` (optional) shares one compiled route store with other
+  /// simulators/trials; by default the simulator owns a private cache.
   explicit FluidSimulator(const topo::ParallelNetwork& net,
-                          FsimConfig config = {});
+                          FsimConfig config = {},
+                          std::shared_ptr<routing::RouteCache> cache =
+                              nullptr);
 
   /// Queues a flow; paths are chosen by the configured scheme using a
   /// per-flow key (the flow's arrival index). `start` must be >= now().
@@ -129,6 +139,10 @@ class FluidSimulator {
 
   [[nodiscard]] const MaxMinAllocator& allocator() const { return alloc_; }
   [[nodiscard]] const lp::LinkIndex& index() const { return index_; }
+  /// Route-cache counters (hits/misses/compute time) for reports.
+  [[nodiscard]] const routing::RouteCache& route_cache() const {
+    return *cache_;
+  }
 
  private:
   struct Active {
@@ -140,16 +154,35 @@ class FluidSimulator {
   };
   struct Pending {
     FlowSpec spec;
+    /// Cached routing: the interned candidate set plus the per-flow picks
+    /// into it (no Path copies). Used when `snapshot` is set.
+    routing::RouteSnapshot snapshot;
+    std::vector<std::uint32_t> picks;
+    /// Explicit-path API (cross-validation runs): owned copies.
     std::vector<routing::Path> paths;
+
+    [[nodiscard]] bool routed() const {
+      return snapshot != nullptr ? !picks.empty() : !paths.empty();
+    }
+    [[nodiscard]] std::size_t num_paths() const {
+      return snapshot != nullptr ? picks.size() : paths.size();
+    }
+    [[nodiscard]] routing::PathView path(std::size_t i) const {
+      return snapshot != nullptr
+                 ? snapshot->view(picks[i])
+                 : routing::PathView(paths[i]);
+    }
   };
 
   void settle();  // re-solve + refresh per-flow rates if needed
+  void route(Pending& pending, std::uint64_t flow_key);
   void admit(Pending&& pending);
   void complete(std::size_t slot);
   void drain(SimTime dt);
 
   const topo::ParallelNetwork& net_;
   FsimConfig config_;
+  std::shared_ptr<routing::RouteCache> cache_;
   lp::LinkIndex index_;
   MaxMinAllocator alloc_;
 

@@ -24,4 +24,11 @@ std::vector<int> LinkIndex::to_global(const routing::Path& path) const {
   return out;
 }
 
+std::vector<int> LinkIndex::to_global(routing::PathView view) const {
+  std::vector<int> out;
+  out.reserve(view.links().size());
+  for (LinkId id : view.links()) out.push_back(global(view.plane(), id));
+  return out;
+}
+
 }  // namespace pnet::lp

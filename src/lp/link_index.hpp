@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "routing/path.hpp"
+#include "routing/route_table.hpp"
 #include "topo/parallel.hpp"
 
 namespace pnet::lp {
@@ -34,6 +35,8 @@ class LinkIndex {
 
   /// Converts a routed Path to global link ids.
   [[nodiscard]] std::vector<int> to_global(const routing::Path& path) const;
+  /// Same for a non-owning view (interned paths skip the Path copy).
+  [[nodiscard]] std::vector<int> to_global(routing::PathView view) const;
 
  private:
   std::vector<int> offsets_;

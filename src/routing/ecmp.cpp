@@ -9,7 +9,8 @@ namespace {
 
 void dfs_paths(const topo::Graph& g, NodeId at, NodeId dst,
                const std::vector<int>& dist_to_dst, Path& current,
-               std::vector<Path>& out, int cap) {
+               std::vector<Path>& out, int cap,
+               const std::vector<bool>* banned_links) {
   if (static_cast<int>(out.size()) >= cap) return;
   if (at == dst) {
     out.push_back(current);
@@ -18,6 +19,10 @@ void dfs_paths(const topo::Graph& g, NodeId at, NodeId dst,
   // Hosts never forward; only the source host may be expanded.
   if (g.is_host(at) && !current.links.empty()) return;
   for (LinkId id : g.out_links(at)) {
+    if (banned_links != nullptr &&
+        (*banned_links)[static_cast<std::size_t>(id.v)]) {
+      continue;
+    }
     const NodeId v = g.link(id).dst;
     const int dv = dist_to_dst[static_cast<std::size_t>(v.v)];
     // Stay on the shortest-path DAG: each step must reduce the distance to
@@ -27,7 +32,7 @@ void dfs_paths(const topo::Graph& g, NodeId at, NodeId dst,
       continue;
     }
     current.links.push_back(id);
-    dfs_paths(g, v, dst, dist_to_dst, current, out, cap);
+    dfs_paths(g, v, dst, dist_to_dst, current, out, cap, banned_links);
     current.links.pop_back();
   }
 }
@@ -35,17 +40,20 @@ void dfs_paths(const topo::Graph& g, NodeId at, NodeId dst,
 }  // namespace
 
 std::vector<Path> enumerate_shortest_paths(const topo::Graph& g, NodeId src,
-                                           NodeId dst, int cap) {
+                                           NodeId dst, int cap,
+                                           const std::vector<bool>*
+                                               banned_links) {
   std::vector<Path> out;
   if (src == dst) return out;
   // BFS from dst over reversed edges == BFS from dst in this graph, because
-  // every link has a same-latency reverse twin (duplex construction).
-  const std::vector<int> dist_to_dst = bfs_hops(g, dst);
+  // every link has a same-latency reverse twin (duplex construction) and
+  // callers ban cables in both directions.
+  const std::vector<int> dist_to_dst = bfs_hops(g, dst, banned_links);
   if (dist_to_dst[static_cast<std::size_t>(src.v)] == kUnreachable) {
     return out;
   }
   Path current;
-  dfs_paths(g, src, dst, dist_to_dst, current, out, cap);
+  dfs_paths(g, src, dst, dist_to_dst, current, out, cap, banned_links);
   return out;
 }
 

@@ -15,8 +15,13 @@ namespace pnet::routing {
 
 /// All (up to `cap`) fewest-hop paths from src to dst, found by DFS over the
 /// shortest-path DAG. Deterministic order (link-id lexicographic).
+/// `banned_links` (optional, indexed by LinkId::v) excludes failed links;
+/// cables must be banned in both directions (duplex pairs) so the reversed
+/// BFS distance trick stays valid.
 std::vector<Path> enumerate_shortest_paths(const topo::Graph& g, NodeId src,
-                                           NodeId dst, int cap = 256);
+                                           NodeId dst, int cap = 256,
+                                           const std::vector<bool>*
+                                               banned_links = nullptr);
 
 /// Stable per-flow choice among `count` equal options; `flow_key` identifies
 /// the flow (e.g. mix of src, dst and flow index).

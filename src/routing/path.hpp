@@ -19,11 +19,14 @@ struct Path {
   [[nodiscard]] int hops() const { return static_cast<int>(links.size()); }
   [[nodiscard]] bool empty() const { return links.empty(); }
 
+  /// Endpoints of the path; the invalid NodeId{} on an empty path (calling
+  /// front()/back() on an empty vector is UB, and empty paths legitimately
+  /// occur, e.g. partitioned planes after faults).
   [[nodiscard]] NodeId src(const topo::Graph& g) const {
-    return g.link(links.front()).src;
+    return links.empty() ? NodeId{} : g.link(links.front()).src;
   }
   [[nodiscard]] NodeId dst(const topo::Graph& g) const {
-    return g.link(links.back()).dst;
+    return links.empty() ? NodeId{} : g.link(links.back()).dst;
   }
 
   /// Total one-way propagation + per-hop latency along the path.

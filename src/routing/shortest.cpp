@@ -28,7 +28,8 @@ Path reconstruct(const std::vector<LinkId>& parent_link, NodeId src,
 
 }  // namespace
 
-std::vector<int> bfs_hops(const topo::Graph& g, NodeId src) {
+std::vector<int> bfs_hops(const topo::Graph& g, NodeId src,
+                          const std::vector<bool>* banned_links) {
   std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()),
                         kUnreachable);
   dist[static_cast<std::size_t>(src.v)] = 0;
@@ -39,6 +40,10 @@ std::vector<int> bfs_hops(const topo::Graph& g, NodeId src) {
     frontier.pop();
     if (!can_transit(g, u, src)) continue;
     for (LinkId id : g.out_links(u)) {
+      if (banned_links != nullptr &&
+          (*banned_links)[static_cast<std::size_t>(id.v)]) {
+        continue;
+      }
       const NodeId v = g.link(id).dst;
       if (dist[static_cast<std::size_t>(v.v)] == kUnreachable) {
         dist[static_cast<std::size_t>(v.v)] =
@@ -51,7 +56,8 @@ std::vector<int> bfs_hops(const topo::Graph& g, NodeId src) {
 }
 
 std::optional<Path> shortest_path(const topo::Graph& g, NodeId src,
-                                  NodeId dst) {
+                                  NodeId dst,
+                                  const std::vector<bool>* banned_links) {
   std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()),
                         kUnreachable);
   std::vector<LinkId> parent_link(static_cast<std::size_t>(g.num_nodes()));
@@ -64,6 +70,10 @@ std::optional<Path> shortest_path(const topo::Graph& g, NodeId src,
     if (u == dst) break;
     if (!can_transit(g, u, src)) continue;
     for (LinkId id : g.out_links(u)) {
+      if (banned_links != nullptr &&
+          (*banned_links)[static_cast<std::size_t>(id.v)]) {
+        continue;
+      }
       const NodeId v = g.link(id).dst;
       if (dist[static_cast<std::size_t>(v.v)] == kUnreachable) {
         dist[static_cast<std::size_t>(v.v)] =

@@ -16,11 +16,16 @@ namespace pnet::routing {
 inline constexpr int kUnreachable = std::numeric_limits<int>::max();
 
 /// Hop distance from `src` to every node (kUnreachable if none).
-std::vector<int> bfs_hops(const topo::Graph& g, NodeId src);
+/// `banned_links` (optional, indexed by LinkId::v) excludes failed links:
+/// the route-cache recompute path for fault-driven invalidation.
+std::vector<int> bfs_hops(const topo::Graph& g, NodeId src,
+                          const std::vector<bool>* banned_links = nullptr);
 
 /// One shortest (fewest-hop) path, deterministic tie-break by link id.
 std::optional<Path> shortest_path(const topo::Graph& g, NodeId src,
-                                  NodeId dst);
+                                  NodeId dst,
+                                  const std::vector<bool>* banned_links =
+                                      nullptr);
 
 /// Per-link weights for weighted searches; indexed by LinkId::v.
 using LinkWeights = std::vector<double>;

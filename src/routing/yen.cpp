@@ -30,7 +30,8 @@ LinkWeights jittered_unit_weights(const topo::Graph& g, std::uint64_t seed) {
 
 std::vector<Path> k_shortest_paths(const topo::Graph& g, NodeId src,
                                    NodeId dst, int k,
-                                   const LinkWeights* tiebreak_weights) {
+                                   const LinkWeights* tiebreak_weights,
+                                   const std::vector<bool>* base_banned) {
   std::vector<Path> result;
   if (k <= 0 || src == dst) return result;
 
@@ -39,7 +40,11 @@ std::vector<Path> k_shortest_paths(const topo::Graph& g, NodeId src,
           ? *tiebreak_weights
           : LinkWeights(static_cast<std::size_t>(g.num_links()), 1.0);
 
-  auto first = dijkstra(g, src, dst, unit);
+  const std::vector<bool> no_base;
+  const std::vector<bool>& base =
+      base_banned != nullptr ? *base_banned : no_base;
+
+  auto first = dijkstra(g, src, dst, unit, base);
   if (!first) return result;
   result.push_back(std::move(*first));
 
@@ -56,8 +61,12 @@ std::vector<Path> k_shortest_paths(const topo::Graph& g, NodeId src,
     NodeId spur_node = src;
     for (std::size_t i = 0; i < prev.links.size(); ++i) {
       // Ban links that would recreate any already-found path sharing this
-      // root.
-      std::fill(banned_links.begin(), banned_links.end(), false);
+      // root; start from the caller's fault mask.
+      if (base.empty()) {
+        std::fill(banned_links.begin(), banned_links.end(), false);
+      } else {
+        banned_links.assign(base.begin(), base.end());
+      }
       std::fill(banned_nodes.begin(), banned_nodes.end(), false);
       for (const Path& p : result) {
         if (p.links.size() >= i &&

@@ -203,6 +203,111 @@ TEST(PathSelectorTest, SerialNetworkAlwaysPlaneZero) {
   }
 }
 
+TEST(PathSelectorTest, PlaneFailureAfterPairCachedIsRespected) {
+  // Regression: warm the per-pair cache FIRST, then fail a plane. select()
+  // must stop returning paths through the failed plane even though the
+  // pair's candidate sets were cached while it was healthy.
+  const auto net = make_net(topo::NetworkType::kParallelHomogeneous, 4);
+  for (RoutingPolicy policy :
+       {RoutingPolicy::kEcmp, RoutingPolicy::kRoundRobin,
+        RoutingPolicy::kShortestPlane, RoutingPolicy::kKspMultipath}) {
+    PolicyConfig config;
+    config.policy = policy;
+    config.k = 8;
+    PathSelector selector(net, config);
+
+    bool plane2_used_before = false;
+    for (std::uint64_t key = 0; key < 64; ++key) {
+      for (const auto& p :
+           selector.select(HostId{0}, HostId{15}, 1'000'000'000, key)) {
+        plane2_used_before |= p.plane == 2;
+      }
+    }
+    ASSERT_TRUE(plane2_used_before) << to_string(policy);
+
+    selector.set_plane_failed(2, true);
+    for (std::uint64_t key = 0; key < 64; ++key) {
+      const auto paths =
+          selector.select(HostId{0}, HostId{15}, 1'000'000'000, key);
+      ASSERT_FALSE(paths.empty()) << to_string(policy);
+      for (const auto& p : paths) {
+        EXPECT_NE(p.plane, 2) << to_string(policy);
+      }
+    }
+
+    selector.set_plane_failed(2, false);
+    bool plane2_used_after = false;
+    for (std::uint64_t key = 0; key < 64; ++key) {
+      for (const auto& p :
+           selector.select(HostId{0}, HostId{15}, 1'000'000'000, key)) {
+        plane2_used_after |= p.plane == 2;
+      }
+    }
+    EXPECT_TRUE(plane2_used_after) << to_string(policy);
+  }
+}
+
+TEST(PathSelectorTest, LinkFailureInvalidatesCachedPaths) {
+  // A cable failure reported after the pair is cached must recompute the
+  // affected entries: new selections avoid the dead link (both directions).
+  const auto net = make_net(topo::NetworkType::kParallelHomogeneous, 2);
+  PolicyConfig config;
+  config.policy = RoutingPolicy::kEcmp;
+  PathSelector selector(net, config);
+
+  // Warm the cache and find a fabric link used by some flow on plane 0.
+  LinkId victim{-1};
+  for (std::uint64_t key = 0; key < 32 && !victim.valid(); ++key) {
+    const auto paths = selector.select(HostId{0}, HostId{15}, 1000, key);
+    ASSERT_EQ(paths.size(), 1u);
+    if (paths.front().plane == 0) victim = paths.front().links[1];
+  }
+  ASSERT_TRUE(victim.valid());
+
+  selector.set_link_failed(0, victim, true);
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    const auto paths = selector.select(HostId{0}, HostId{15}, 1000, key);
+    ASSERT_EQ(paths.size(), 1u);
+    for (LinkId id : paths.front().links) {
+      if (paths.front().plane != 0) break;
+      EXPECT_NE(id.v, victim.v);
+      EXPECT_NE(id.v, victim.v ^ 1);
+    }
+  }
+  EXPECT_GE(selector.route_cache().stats().invalidations, 1u);
+
+  // Recovery: the link becomes selectable again.
+  selector.set_link_failed(0, victim, false);
+  bool victim_used = false;
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    const auto paths = selector.select(HostId{0}, HostId{15}, 1000, key);
+    for (LinkId id : paths.front().links) victim_used |= id == victim;
+  }
+  EXPECT_TRUE(victim_used);
+}
+
+TEST(PathSelectorTest, SharedCacheGivesIdenticalSelections) {
+  // Two selectors sharing one cache must select exactly what two private-
+  // cache selectors do — the cache is invisible to results.
+  const auto net = make_net(topo::NetworkType::kParallelHomogeneous, 2);
+  PolicyConfig config;
+  config.policy = RoutingPolicy::kKspMultipath;
+  config.k = 4;
+
+  auto shared = std::make_shared<routing::RouteCache>(true);
+  PathSelector a(net, config, shared);
+  PathSelector b(net, config, shared);
+  PathSelector lone(net, config);
+  for (std::uint64_t key = 0; key < 16; ++key) {
+    const auto expect = lone.select(HostId{0}, HostId{15}, 1000, key);
+    EXPECT_EQ(a.select(HostId{0}, HostId{15}, 1000, key), expect);
+    EXPECT_EQ(b.select(HostId{0}, HostId{15}, 1000, key), expect);
+  }
+  // Second selector's lookups all hit the shared entries.
+  EXPECT_GT(shared->stats().hits, 0u);
+  EXPECT_EQ(shared->stats().misses, lone.route_cache().stats().misses);
+}
+
 TEST(PathSelectorTest, PolicyNames) {
   EXPECT_EQ(to_string(RoutingPolicy::kKspMultipath), "ksp-multipath");
   EXPECT_EQ(to_string(RoutingPolicy::kSizeThreshold), "size-threshold");

@@ -166,6 +166,67 @@ TEST(FluidSimulator, ZeroByteAndUnroutableFlowsComplete) {
   for (const auto& r : fluid.results()) EXPECT_EQ(r.end, r.start);
 }
 
+// The route cache is an optimization, never a behavior change: for every
+// scheme, a simulator with the cache enabled, one with the cache in
+// pass-through mode (PNET_ROUTE_CACHE=off equivalent), and one fed
+// explicitly pinned choose_paths() results must produce byte-identical
+// flow results. This pins FluidSimulator::route() to choose_paths().
+TEST(FluidSimulator, RouteCacheOnOffAndPinnedPathsAgree) {
+  const auto net = topo::build_network(
+      fat_tree_spec(topo::NetworkType::kParallelHomogeneous, 16, 2));
+  for (const RouteScheme scheme :
+       {RouteScheme::kEcmpPlaneHash, RouteScheme::kShortestPlane,
+        RouteScheme::kKspMultipath}) {
+    FsimConfig config;
+    config.scheme = scheme;
+    config.k = 4;
+
+    Rng rng(11);
+    std::vector<FlowSpec> specs;
+    for (int i = 0; i < 200; ++i) {
+      const HostId src{static_cast<std::int32_t>(rng.next_below(16))};
+      HostId dst{static_cast<std::int32_t>(rng.next_below(16))};
+      if (dst == src) dst = HostId{(dst.v + 1) % 16};
+      specs.push_back({src, dst, 1'000'000 + 1000 * rng.next_below(64),
+                       static_cast<SimTime>(i) * units::kMicrosecond});
+    }
+
+    FluidSimulator cached(
+        net, config, std::make_shared<routing::RouteCache>(true));
+    FluidSimulator uncached(
+        net, config, std::make_shared<routing::RouteCache>(false));
+    FluidSimulator pinned(net, config);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      cached.add_flow(specs[i]);
+      uncached.add_flow(specs[i]);
+      pinned.add_flow(specs[i],
+                      choose_paths(net, config, specs[i].src, specs[i].dst,
+                                   static_cast<std::uint64_t>(i)));
+    }
+    cached.run();
+    uncached.run();
+    pinned.run();
+
+    ASSERT_EQ(cached.results().size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto& a = cached.results()[i];
+      const auto& b = uncached.results()[i];
+      const auto& c = pinned.results()[i];
+      EXPECT_EQ(a.end, b.end) << to_string(scheme) << " flow " << i;
+      EXPECT_EQ(a.end, c.end) << to_string(scheme) << " flow " << i;
+      EXPECT_EQ(a.subflows, b.subflows);
+      EXPECT_EQ(a.subflows, c.subflows);
+      EXPECT_EQ(a.hops, b.hops);
+      EXPECT_EQ(a.hops, c.hops);
+    }
+    // The cache actually cached: candidate sets are per-pair, so with 200
+    // flows over <=240 pairs the enabled cache must see some reuse, and
+    // the pass-through cache must see none.
+    EXPECT_GT(cached.route_cache().stats().hits, 0u) << to_string(scheme);
+    EXPECT_EQ(uncached.route_cache().stats().hits, 0u);
+  }
+}
+
 // Steady-state permutation: the fluid max-min *minimum* rate must equal
 // the LP max-concurrent-flow alpha (same fixed single path per commodity,
 // demand = one plane's link rate). GK is an epsilon-approximation, so the

@@ -9,6 +9,7 @@
 #include "routing/ecmp.hpp"
 #include "routing/path.hpp"
 #include "routing/plane_paths.hpp"
+#include "routing/route_table.hpp"
 #include "routing/shortest.hpp"
 #include "routing/yen.hpp"
 #include "topo/fat_tree.hpp"
@@ -325,6 +326,170 @@ TEST(PlanePaths, EcmpPathsCarryPlaneIndex) {
   const auto paths = ecmp_paths_in_plane(net, 1, HostId{0}, HostId{15});
   ASSERT_FALSE(paths.empty());
   for (const auto& p : paths) EXPECT_EQ(p.plane, 1);
+}
+
+TEST(Path, EmptyPathAccessorsAreSafe) {
+  // Empty paths occur legitimately (e.g. a partitioned plane after faults);
+  // src()/dst() must return the invalid id instead of reading front()/back()
+  // of an empty vector.
+  std::vector<NodeId> n;
+  const Graph g = diamond(n);
+  const Path empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.hops(), 0);
+  EXPECT_FALSE(empty.src(g).valid());
+  EXPECT_FALSE(empty.dst(g).valid());
+  EXPECT_EQ(empty.latency(g), 0);
+
+  const PathView view(empty);
+  EXPECT_TRUE(view.empty());
+  EXPECT_FALSE(view.src(g).valid());
+  EXPECT_FALSE(view.dst(g).valid());
+  EXPECT_EQ(view.latency(g), 0);
+}
+
+TEST(RouteTable, InternDedupsAndViewsMatch) {
+  std::vector<NodeId> n;
+  const Graph g = diamond(n);
+  const auto p1 = shortest_path(g, n[0], n[3]);
+  ASSERT_TRUE(p1.has_value());
+
+  RouteTable table;
+  const PathRef a = table.intern(*p1);
+  const PathRef b = table.intern(*p1);  // identical content
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.num_paths(), 1u);
+  EXPECT_EQ(table.links_stored(), p1->links.size());
+
+  const PathView view = table.view(a);
+  EXPECT_EQ(view.hops(), p1->hops());
+  EXPECT_EQ(view.plane(), p1->plane);
+  EXPECT_TRUE(std::equal(view.links().begin(), view.links().end(),
+                         p1->links.begin(), p1->links.end()));
+  EXPECT_EQ(view.src(g), n[0]);
+  EXPECT_EQ(view.dst(g), n[3]);
+  EXPECT_EQ(view.latency(g), p1->latency(g));
+  EXPECT_EQ(view.materialize(), *p1);
+}
+
+TEST(RouteTable, PlaneDistinguishesEqualLinkSequences) {
+  Path p;
+  p.links = {LinkId{0}, LinkId{2}};
+  RouteTable table;
+  p.plane = 0;
+  const PathRef a = table.intern(p);
+  p.plane = 1;
+  const PathRef b = table.intern(p);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.num_paths(), 2u);
+  EXPECT_EQ(table.view(a).plane(), 0);
+  EXPECT_EQ(table.view(b).plane(), 1);
+}
+
+TEST(RouteTable, EmptyPathInternsWithoutAllocating) {
+  RouteTable table;
+  Path empty;
+  empty.plane = 3;
+  const PathRef ref = table.intern(empty);
+  EXPECT_EQ(ref.len, 0u);
+  const PathView view = table.view(ref);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.plane(), 3);
+  EXPECT_EQ(table.arena_bytes(), 0u);
+}
+
+TEST(RouteTable, ManyPathsSurviveSlabGrowth) {
+  // Enough distinct paths to cross several 64K-link slabs; earlier refs
+  // must stay resolvable (slabs never move).
+  RouteTable table;
+  std::vector<PathRef> refs;
+  Path p;
+  for (int i = 0; i < 40'000; ++i) {
+    p.links.assign(5, LinkId{i});
+    refs.push_back(table.intern(p));
+  }
+  EXPECT_GT(table.arena_bytes(), std::size_t{64} * 1024 * sizeof(LinkId));
+  for (int i = 0; i < 40'000; i += 997) {
+    const PathView view = table.view(refs[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(view.hops(), 5);
+    EXPECT_EQ(view.links().front(), LinkId{i});
+  }
+}
+
+TEST(BannedLinks, BfsAndShortestPathRouteAround) {
+  std::vector<NodeId> n;
+  const Graph g = diamond(n);
+  // Ban s-a (both directions): s->t must go via b (still 2 hops), and a is
+  // only reachable the long way round through t.
+  std::vector<bool> banned(static_cast<std::size_t>(g.num_links()), false);
+  banned[0] = banned[1] = true;  // first duplex pair: s<->a
+  const auto dist = bfs_hops(g, n[0], &banned);
+  EXPECT_EQ(dist[static_cast<std::size_t>(n[1].v)], 3);
+  EXPECT_EQ(dist[static_cast<std::size_t>(n[3].v)], 2);
+
+  const auto path = shortest_path(g, n[0], n[3], &banned);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 2);
+  EXPECT_EQ(g.link(path->links.front()).dst, n[2]);  // via b
+}
+
+TEST(BannedLinks, EcmpEnumerationSkipsBannedPaths) {
+  std::vector<NodeId> n;
+  const Graph g = diamond(n);
+  const auto all = enumerate_shortest_paths(g, n[0], n[3]);
+  ASSERT_EQ(all.size(), 2u);  // via a and via b
+
+  std::vector<bool> banned(static_cast<std::size_t>(g.num_links()), false);
+  banned[0] = banned[1] = true;  // ban s<->a
+  const auto constrained =
+      enumerate_shortest_paths(g, n[0], n[3], 256, &banned);
+  ASSERT_EQ(constrained.size(), 1u);
+  EXPECT_EQ(g.link(constrained.front().links.front()).dst, n[2]);
+}
+
+TEST(BannedLinks, YenBaseMaskExcludesLinkFromEveryPath) {
+  std::vector<NodeId> n;
+  const Graph g = diamond(n);
+  std::vector<bool> banned(static_cast<std::size_t>(g.num_links()), false);
+  banned[0] = banned[1] = true;  // ban s<->a
+  const auto paths = k_shortest_paths(g, n[0], n[3], 4, nullptr, &banned);
+  // Without the ban: 3 paths (via a, via b, via c-d). With it: 2.
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    for (LinkId id : p.links) {
+      EXPECT_FALSE(banned[static_cast<std::size_t>(id.v)]);
+    }
+  }
+}
+
+TEST(BannedLinks, PlaneBansApplyPerPlane) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  spec.parallelism = 2;
+  spec.type = topo::NetworkType::kParallelHomogeneous;
+  const auto net = build_network(spec);
+
+  const auto base = ecmp_paths_in_plane(net, 0, HostId{0}, HostId{15});
+  ASSERT_FALSE(base.empty());
+  // Ban plane 0's first path's first fabric link (and its twin) — plane 0
+  // loses at least that path while plane 1 is untouched.
+  const LinkId victim = base.front().links[1];
+  PlaneBans bans(2);
+  bans[0].assign(
+      static_cast<std::size_t>(net.plane(0).graph.num_links()), false);
+  bans[0][static_cast<std::size_t>(victim.v)] = true;
+  bans[0][static_cast<std::size_t>(victim.v ^ 1)] = true;
+
+  const auto p0 = ecmp_paths_in_plane(net, 0, HostId{0}, HostId{15}, 256,
+                                      &bans);
+  EXPECT_LT(p0.size(), base.size());
+  for (const auto& p : p0) {
+    for (LinkId id : p.links) EXPECT_NE(id, victim);
+  }
+  const auto p1 = ecmp_paths_in_plane(net, 1, HostId{0}, HostId{15}, 256,
+                                      &bans);
+  EXPECT_EQ(p1.size(), base.size());  // identical plane, no bans
 }
 
 }  // namespace
