@@ -45,7 +45,7 @@ exp::TrialResult run_incast(topo::NetworkType type, Transport transport,
   } else if (transport == Transport::kTrim) {
     sim_config.trim_to_header = true;
   }
-  core::SimHarness harness(spec, policy, sim_config);
+  core::SimHarness harness({.spec = spec, .policy = policy, .sim_config = sim_config});
 
   exp::TrialResult r;
   Rng rng(mix64(ctx.seed));
@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
       exp::ExperimentSpec spec;
       spec.name = "fanin=" + std::to_string(fan_in) + "/" +
                   topo::to_string(type) + "/" + to_string(transport);
-      spec.engine = exp::Engine::kCustom;
+      spec.engine = exp::EngineKind::kCustom;
       spec.seed = seed;
       spec.trials = trials;
       const auto ty = type;

@@ -28,7 +28,7 @@ exp::TrialResult run(bool aware, int hosts, int rounds,
                        ctx.seed);
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kRoundRobin;
-  core::SimHarness harness(spec, policy);
+  core::SimHarness harness({.spec = spec, .policy = policy});
 
   // The outage happens before traffic starts (the steady-state view).
   harness.network().set_plane_failed(2, true);
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   for (bool aware : {true, false}) {
     exp::ExperimentSpec spec;
     spec.name = aware ? "failure-aware" : "failure-unaware";
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     spec.seed = seed;
     spec.trials = experiment.trials(1);
     experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {

@@ -25,7 +25,7 @@ exp::TrialResult run_load(topo::NetworkType type, double load, int hosts,
   policy.policy = core::RoutingPolicy::kRoundRobin;
   sim::SimConfig sim_config;
   sim_config.queue_buffer_bytes = 400 * 1500;
-  core::SimHarness harness(spec, policy, sim_config);
+  core::SimHarness harness({.spec = spec, .policy = policy, .sim_config = sim_config});
 
   workload::OpenLoopApp::Config config;
   // Load is defined against the SERIAL edge bandwidth so the same x-axis
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
       exp::ExperimentSpec spec;
       spec.name = "load=" + format_double(load, 1) + "/" +
                   topo::to_string(type);
-      spec.engine = exp::Engine::kCustom;
+      spec.engine = exp::EngineKind::kCustom;
       spec.seed = seed;
       spec.trials = experiment.trials(1);
       experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {

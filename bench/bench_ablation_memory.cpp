@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   for (const auto& [label, type, planes] : configs) {
     exp::ExperimentSpec spec;
     spec.name = label;
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     spec.seed = seed;
     const auto t = type;
     const int p = planes;

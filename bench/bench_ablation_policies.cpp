@@ -30,7 +30,7 @@ exp::TrialResult run_policy(core::RoutingPolicy policy_kind, int hosts,
   policy.k = planes;
   sim::SimConfig sim_config;
   sim_config.queue_buffer_bytes = 400 * 1500;
-  core::SimHarness harness(spec, policy, sim_config);
+  core::SimHarness harness({.spec = spec, .policy = policy, .sim_config = sim_config});
 
   workload::ClosedLoopApp::Config config;
   config.concurrent_per_host = 2;
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
       exp::ExperimentSpec spec;
       spec.name = std::string(core::to_string(p)) + "/" +
                   std::to_string(bytes) + "B";
-      spec.engine = exp::Engine::kCustom;
+      spec.engine = exp::EngineKind::kCustom;
       spec.seed = seed;
       spec.trials = experiment.trials(1);
       const std::uint64_t b = bytes;

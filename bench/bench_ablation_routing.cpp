@@ -61,7 +61,7 @@ exp::TrialResult run_coupling(sim::Coupling coupling) {
     policy.policy = core::RoutingPolicy::kKspMultipath;
     policy.k = 2;
     policy.coupling = coupling;
-    core::SimHarness h(spec, policy);
+    core::SimHarness h({.spec = spec, .policy = policy});
     h.starter()(HostId{0}, HostId{15}, 50'000'000, 0, {});
     h.run();
     result.metrics["disjoint_fct_ms"] = h.logger().fct_us().front() / 1000.0;
@@ -74,7 +74,7 @@ exp::TrialResult run_coupling(sim::Coupling coupling) {
     spec.hosts = 16;
     core::PolicyConfig policy;
     policy.policy = core::RoutingPolicy::kShortestPlane;
-    core::SimHarness h(spec, policy);
+    core::SimHarness h({.spec = spec, .policy = policy});
     auto path_a = routing::shortest_path(h.net().plane(0).graph,
                                          h.net().host_node(0, HostId{0}),
                                          h.net().host_node(0, HostId{15}));
@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
   for (bool jitter : {false, true}) {
     exp::ExperimentSpec spec;
     spec.name = jitter ? "ksp/jittered" : "ksp/lexicographic";
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     spec.seed = seed;
     experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
       exp::TrialResult r;
@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
     exp::ExperimentSpec spec;
     spec.name = mode == sim::Coupling::kLia ? "coupling/lia"
                                             : "coupling/uncoupled";
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     spec.seed = seed;
     experiment.add(std::move(spec),
                    [=](const exp::TrialContext&) { return run_coupling(mode); });

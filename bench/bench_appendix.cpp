@@ -31,7 +31,7 @@ exp::TrialResult run_config(topo::TopoKind kind, topo::NetworkType type,
   policy.policy = core::RoutingPolicy::kShortestPlane;
   sim::SimConfig sim_config;
   sim_config.queue_buffer_bytes = 400 * 1500;
-  core::SimHarness harness(spec, policy, sim_config);
+  core::SimHarness harness({.spec = spec, .policy = policy, .sim_config = sim_config});
 
   const auto& dist = workload::FlowSizeDistribution::of(trace);
   workload::ClosedLoopApp::Config config;
@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
           spec.name = std::string(workload::to_string(trace)) + "/" +
                       (base_rate == 10e9 ? "10G" : "100G") + "/" +
                       topo::to_string(kind) + "/" + topo::to_string(type);
-          spec.engine = exp::Engine::kCustom;
+          spec.engine = exp::EngineKind::kCustom;
           spec.seed = seed;
           spec.trials = experiment.trials(1);
           experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {

@@ -12,8 +12,9 @@
 // sweep at the end shows time-to-recover tracking the delay.
 //
 // Seven custom-engine cells (3 timeline networks + 4 sweep delays), fanned
-// out by exp::Runner. The goodput timeline rides in the report as the
-// "goodput_bps" sample set; the recovery report becomes cell metrics. The
+// out by exp::Runner. The goodput timeline comes from the harness's
+// telemetry::Sampler ("goodput_bps" series, exported in the report's
+// telemetry block); the recovery report becomes cell metrics. The
 // bulk flows intentionally outlive the horizon (the timeline measures the
 // fabric, not flow arrivals), so the cells report no started/finished
 // flow counts.
@@ -61,11 +62,23 @@ exp::TrialResult run_network(topo::NetworkType type, const Scenario& sc,
   }
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kRoundRobin;
-  core::SimHarness h(spec, policy);
+
+  // This bench's figure IS a telemetry series: the sampler always runs,
+  // on the --sample-every grid when given, else on the scenario's bucket
+  // width (the grid the old GoodputProbe used).
+  telemetry::Config tcfg = ctx.telemetry;
+  if (tcfg.sample_every <= 0) tcfg.sample_every = sc.bucket;
+  const auto tel = std::make_shared<telemetry::Telemetry>(tcfg);
+
+  core::SimHarness h({.spec = spec,
+                      .policy = policy,
+                      .telemetry = tel.get(),
+                      .sample_route_cache = true});
 
   core::HealthMonitor monitor(h.events(), {.detect_delay = detect_delay});
   monitor.add_selector(h.selector());
   monitor.set_factory(h.factory());
+  monitor.set_trace(&tel->trace);
   h.selector().enable_repath(h.factory());
   sim::FaultInjector injector(h.events(), h.network());
   monitor.observe(injector);
@@ -77,11 +90,6 @@ exp::TrialResult run_network(topo::NetworkType type, const Scenario& sc,
       1.0, mix64(ctx.seed + 17)));
   injector.arm(plan);
 
-  analysis::GoodputProbe probe(
-      h.events(), [&h] { return h.factory().total_delivered_bytes(); },
-      sc.bucket, sc.horizon);
-  probe.start(0);
-
   // Long bulk flows (one per permutation pair) that outlive the horizon,
   // so the timeline measures the fabric, not flow arrivals/departures.
   Rng rng(mix64(ctx.seed + 7));
@@ -92,9 +100,15 @@ exp::TrialResult run_network(topo::NetworkType type, const Scenario& sc,
   h.run_until(sc.horizon);
 
   exp::TrialResult r;
-  for (const auto& s : probe.samples()) {
-    r.samples["t_ms"].push_back(units::to_milliseconds(s.t_end));
-    r.samples["goodput_bps"].push_back(s.goodput_bps);
+  // The goodput timeline comes straight off the harness sampler (the
+  // "goodput_bps" rate series over delivered bytes); repackage its grid as
+  // GoodputProbe samples for the episode analysis.
+  const std::vector<double>* goodput = tel->sampler.find("goodput_bps");
+  std::vector<analysis::GoodputProbe::Sample> samples;
+  if (goodput != nullptr) {
+    for (std::size_t i = 0; i < tel->sampler.times().size(); ++i) {
+      samples.push_back({tel->sampler.times()[i], (*goodput)[i]});
+    }
   }
   const auto episodes =
       analysis::plane_episodes(injector.applied(), monitor.detections());
@@ -102,7 +116,7 @@ exp::TrialResult run_network(topo::NetworkType type, const Scenario& sc,
   // ramp right after t=0 would otherwise drag the baseline down and make
   // any dip look "recovered" immediately.
   std::vector<analysis::GoodputProbe::Sample> steady;
-  for (const auto& s : probe.samples()) {
+  for (const auto& s : samples) {
     if (s.t_end > sc.flap_at / 2) steady.push_back(s);
   }
   const auto flap = analysis::analyze_episode(steady, episodes.front(),
@@ -124,6 +138,7 @@ exp::TrialResult run_network(topo::NetworkType type, const Scenario& sc,
       static_cast<double>(h.factory().total_delivered_bytes());
   r.sim_seconds = units::to_seconds(h.events().now());
   r.events = h.events().dispatched();
+  exp::fold_telemetry(tel, r);
   return r;
 }
 
@@ -171,7 +186,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < std::size(types); ++i) {
     exp::ExperimentSpec spec;
     spec.name = std::string("timeline/") + names[i];
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     spec.seed = seed;
     const auto type = types[i];
     experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
@@ -181,7 +196,7 @@ int main(int argc, char** argv) {
   for (const double delay_ms : sweep_delays_ms) {
     exp::ExperimentSpec spec;
     spec.name = "sweep/detect=" + format_double(delay_ms, 1) + "ms";
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     spec.seed = seed;
     experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
       return run_network(
@@ -202,14 +217,14 @@ int main(int argc, char** argv) {
 
   TextTable timeline("Goodput timeline (Gb/s per bucket)",
                      {"t (ms)", "serial-low", "par-hom", "par-het"});
-  const auto t_ms = results[0].merged_samples("t_ms");
-  for (std::size_t b = 1; b < t_ms.size(); b += 2) {
+  const auto t_us = results[0].merged_samples("tm/t_us");
+  for (std::size_t b = 1; b < t_us.size(); b += 2) {
     std::vector<double> row;
     for (std::size_t i = 0; i < std::size(types); ++i) {
-      row.push_back(results[i].merged_samples("goodput_bps")[b] /
+      row.push_back(results[i].merged_samples("tm/goodput_bps")[b] /
                     units::kGbps);
     }
-    timeline.add_row(format_double(t_ms[b], 0), row, 1);
+    timeline.add_row(format_double(t_us[b] / 1000.0, 0), row, 1);
   }
   timeline.print();
 

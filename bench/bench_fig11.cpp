@@ -27,7 +27,7 @@ exp::TrialResult run_rpcs(topo::NetworkType type, int hosts, int planes,
                                      hosts, planes, ctx.seed);
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;
-  core::SimHarness harness(spec, policy);
+  core::SimHarness harness({.spec = spec, .policy = policy});
 
   workload::ClosedLoopApp::Config config;
   config.concurrent_per_host = concurrent;
@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
     for (auto type : bench::kAllTypes) {
       exp::ExperimentSpec spec;
       spec.name = "conc=" + std::to_string(c) + "/" + topo::to_string(type);
-      spec.engine = exp::Engine::kCustom;
+      spec.engine = exp::EngineKind::kCustom;
       spec.seed = seed;
       spec.trials = experiment.trials(1);
       experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {

@@ -33,7 +33,7 @@ exp::TrialResult run_job(topo::NetworkType type, int hosts,
   policy.policy = core::RoutingPolicy::kShortestPlane;  // single path
   sim::SimConfig sim_config;
   sim_config.queue_buffer_bytes = 400 * 1500;  // bulk-transfer buffers
-  core::SimHarness harness(spec, policy, sim_config);
+  core::SimHarness harness({.spec = spec, .policy = policy, .sim_config = sim_config});
 
   job_config.seed = mix64(ctx.seed);
   workload::HadoopJob job(harness.starter(), harness.all_hosts(),
@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
   for (auto type : bench::kAllTypes) {
     exp::ExperimentSpec spec;
     spec.name = topo::to_string(type);
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     spec.seed = seed;
     spec.trials = experiment.trials(1);
     experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {

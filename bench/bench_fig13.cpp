@@ -35,7 +35,7 @@ exp::TrialResult run_trace(topo::NetworkType type, workload::Trace trace,
   policy.policy = core::RoutingPolicy::kShortestPlane;  // single path, §5.3
   sim::SimConfig sim_config;
   sim_config.queue_buffer_bytes = 400 * 1500;
-  core::SimHarness harness(spec, policy, sim_config);
+  core::SimHarness harness({.spec = spec, .policy = policy, .sim_config = sim_config});
 
   const auto& dist = workload::FlowSizeDistribution::of(trace);
   workload::ClosedLoopApp::Config config;
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
       exp::ExperimentSpec spec;
       spec.name = std::string(workload::to_string(trace)) + "/" +
                   topo::to_string(type);
-      spec.engine = exp::Engine::kCustom;
+      spec.engine = exp::EngineKind::kCustom;
       spec.seed = seed;
       spec.trials = experiment.trials(1);
       experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {

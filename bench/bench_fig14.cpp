@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
       exp::ExperimentSpec spec;
       spec.name = "fail=" + format_double(rate * 100, 0) + "%/" +
                   topo::to_string(type);
-      spec.engine = exp::Engine::kCustom;
+      spec.engine = exp::EngineKind::kCustom;
       spec.seed = seed;
       spec.trials = trials;
       experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {

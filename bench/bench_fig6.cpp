@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
                       int planes, bool all_to_all, LpScheme scheme, int k) {
     exp::ExperimentSpec spec;
     spec.name = name;
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     spec.seed = seed;
     spec.trials = trials;
     return experiment.add(

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
                       int planes) {
     exp::ExperimentSpec spec;
     spec.name = name;
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     spec.seed = seed;
     spec.trials = trials;
     return experiment.add(

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
                           : topo::NetworkType::kParallelHeterogeneous;
     exp::ExperimentSpec spec;
     spec.name = name;
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     spec.seed = seed;
     spec.trials = trials;
     return experiment.add(

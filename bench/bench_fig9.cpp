@@ -101,6 +101,35 @@ int main(int argc, char** argv) {
   }
   table.print();
 
+  // With --sample-every, the built-in engines record a goodput timeline
+  // per trial through telemetry::Sampler; surface the largest flow size's
+  // curves as a companion table (time axis from the serial low-bw cell —
+  // cells whose grid downsampled differently just truncate).
+  if (flags.get_double("sample-every", 0.0) > 0 && !sizes.empty()) {
+    TextTable curves("Fig 9 companion: sampler goodput timeline at the "
+                     "largest flow size (Gb/s)",
+                     {"t (ms)", "serial low-bw", "par hom", "par het",
+                      "serial high-bw"});
+    const std::size_t base = (sizes.size() - 1) * num_types;
+    const auto& axis = results[base].trials.front().samples;
+    const auto t_it = axis.find("tm/t_us");
+    const std::size_t points =
+        t_it == axis.end() ? 0 : t_it->second.size();
+    const std::size_t stride = points > 24 ? points / 24 : 1;
+    for (std::size_t b = 0; b < points; b += stride) {
+      std::vector<double> row;
+      for (std::size_t j = 0; j < num_types; ++j) {
+        const auto& samples = results[base + j].trials.front().samples;
+        const auto g = samples.find("tm/goodput_bps");
+        row.push_back(g != samples.end() && b < g->second.size()
+                          ? g->second[b] / units::kGbps
+                          : 0.0);
+      }
+      curves.add_row(format_double(t_it->second[b] / 1000.0, 2), row, 2);
+    }
+    curves.print();
+  }
+
   std::printf("\nExpected shape (paper): parallel networks at or below\n"
               "serial high-bw for flows <= 10 MB; the parallel advantage\n"
               "over serial low-bw narrows near 100 MB and grows again for\n"

@@ -106,7 +106,7 @@ exp::TrialResult cross_validate(topo::NetworkType type, int hosts,
     core::PolicyConfig policy;  // unused: paths are pinned via the factory
     sim::SimConfig sim_config;
     sim_config.queue_buffer_bytes = 400 * 1500;
-    core::SimHarness harness(spec, policy, sim_config);
+    core::SimHarness harness({.spec = spec, .policy = policy, .sim_config = sim_config});
     std::vector<double> fcts;
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       harness.factory().tcp_flow(pairs[i].first, pairs[i].second,
@@ -214,7 +214,7 @@ int main(int argc, char** argv) {
   for (const auto& config : configs) {
     exp::ExperimentSpec spec;
     spec.name = std::string("crossval/") + topo::to_string(config.type);
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     spec.seed = seed;
     const auto ty = config.type;
     const int pl = config.planes;
@@ -225,7 +225,7 @@ int main(int argc, char** argv) {
   if (!skip_big) {
     exp::ExperimentSpec spec;
     spec.name = "scale/" + std::to_string(big_hosts) + "hosts";
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     spec.seed = seed;
     experiment.add(std::move(spec), [=](const exp::TrialContext& ctx) {
       return scale_demo(big_hosts, planes, big_rounds, ctx);
@@ -236,7 +236,7 @@ int main(int argc, char** argv) {
   {
     exp::ExperimentSpec spec;
     spec.name = "sweep/par-hom";
-    spec.engine = exp::Engine::kFsim;
+    spec.engine = exp::EngineKind::kFsim;
     spec.topo = bench::make_spec(topo::TopoKind::kFatTree,
                                  topo::NetworkType::kParallelHomogeneous,
                                  hosts, planes, seed);

@@ -2,11 +2,19 @@
 // throughput, queue+pipe forwarding, and end-to-end simulated-bytes-per-
 // wall-second for a TCP transfer — the numbers that bound how large an
 // experiment the harness can run.
+//
+// The telemetry overhead budget lives here too: BM_TcpTransfer10MB is the
+// disabled-path baseline (telemetry pointer null, trace macros test a
+// pointer), BM_TcpTransfer10MBTelemetry the fully-enabled run (100 us
+// sampling grid + tracing). The disabled path must stay within ~2% of a
+// build without the telemetry wiring; compare against a pre-telemetry
+// checkout when touching the hot paths.
 #include <benchmark/benchmark.h>
 
 #include "core/harness.hpp"
 #include "routing/shortest.hpp"
 #include "sim/network.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -66,13 +74,36 @@ void BM_TcpTransfer10MB(benchmark::State& state) {
     spec.hosts = 16;
     core::PolicyConfig policy;
     policy.policy = core::RoutingPolicy::kShortestPlane;
-    core::SimHarness harness(spec, policy);
+    core::SimHarness harness({.spec = spec, .policy = policy});
     harness.starter()(HostId{0}, HostId{15}, 10'000'000, 0, {});
     harness.run();
   }
   state.SetBytesProcessed(state.iterations() * 10'000'000);
 }
 BENCHMARK(BM_TcpTransfer10MB)->Unit(benchmark::kMillisecond);
+
+// Same transfer with telemetry fully on: sampling every 100 us of
+// simulated time plus flow/fault tracing. The delta over BM_TcpTransfer10MB
+// is the enabled-mode cost (sampler probes walk every queue at each grid
+// point, so it scales with topology size and grid density).
+void BM_TcpTransfer10MBTelemetry(benchmark::State& state) {
+  for (auto _ : state) {
+    topo::NetworkSpec spec;
+    spec.topo = topo::TopoKind::kFatTree;
+    spec.hosts = 16;
+    core::PolicyConfig policy;
+    policy.policy = core::RoutingPolicy::kShortestPlane;
+    telemetry::Telemetry tel(
+        {.sample_every = 100 * units::kMicrosecond, .trace = true});
+    core::SimHarness harness(
+        {.spec = spec, .policy = policy, .telemetry = &tel});
+    harness.starter()(HostId{0}, HostId{15}, 10'000'000, 0, {});
+    harness.run();
+    benchmark::DoNotOptimize(tel.sampler.times().size());
+  }
+  state.SetBytesProcessed(state.iterations() * 10'000'000);
+}
+BENCHMARK(BM_TcpTransfer10MBTelemetry)->Unit(benchmark::kMillisecond);
 
 void BM_MptcpTransfer10MB(benchmark::State& state) {
   for (auto _ : state) {
@@ -84,7 +115,7 @@ void BM_MptcpTransfer10MB(benchmark::State& state) {
     core::PolicyConfig policy;
     policy.policy = core::RoutingPolicy::kKspMultipath;
     policy.k = 4;
-    core::SimHarness harness(spec, policy);
+    core::SimHarness harness({.spec = spec, .policy = policy});
     harness.starter()(HostId{0}, HostId{15}, 10'000'000, 0, {});
     harness.run();
   }

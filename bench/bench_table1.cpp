@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   for (const auto& design : designs) {
     exp::ExperimentSpec spec;
     spec.name = design.name;
-    spec.engine = exp::Engine::kCustom;
+    spec.engine = exp::EngineKind::kCustom;
     const auto count = design.count;
     experiment.add(std::move(spec), [count](const exp::TrialContext&) {
       exp::TrialResult r;

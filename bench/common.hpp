@@ -143,14 +143,14 @@ inline void print_header(const std::string& what, const Flags& flags,
 /// Which simulation engine a bench drives: the packet-level simulator
 /// (src/sim, exact but small-scale) or the flow-level fluid simulator
 /// (src/fsim, max-min rates, 100x+ faster). Selected with --engine.
-using Engine = exp::Engine;
+using EngineKind = exp::EngineKind;
 using exp::to_string;
 using exp::to_fsim_config;
 
-inline Engine parse_engine(const Flags& flags) {
+inline EngineKind parse_engine(const Flags& flags) {
   const auto value = flags.get("engine", "packet");
-  if (value == "packet") return Engine::kPacket;
-  if (value == "fsim") return Engine::kFsim;
+  if (value == "packet") return EngineKind::kPacket;
+  if (value == "fsim") return EngineKind::kFsim;
   std::fprintf(stderr, "%s: --engine must be 'packet' or 'fsim', got '%s'\n",
                flags.program().c_str(), value.c_str());
   std::exit(2);
@@ -174,9 +174,9 @@ class WallClock {
 
 /// The adapter every bench runs its cells through. Reads the common
 /// runner flags (--trials, --threads, --json, --json-timing,
-/// --require-complete), queues cells, fans them out through exp::Runner,
-/// and on finish() writes the structured JSON report and enforces
-/// --require-complete.
+/// --require-complete, --trace, --sample-every), queues cells, fans them
+/// out through exp::Runner, and on finish() writes the structured JSON
+/// report (and the --trace export) and enforces --require-complete.
 ///
 /// Typical shape:
 ///   Experiment experiment(flags, "fig9");
@@ -191,9 +191,16 @@ class Experiment {
       : report_(std::move(name)),
         runner_(flags.get_int("threads", 0)),
         json_path_(flags.get("json", "")),
+        trace_path_(flags.get("trace", "")),
         json_timing_(flags.get_bool("json-timing", true)),
         require_complete_(flags.get_bool("require-complete", false)),
-        trials_override_(flags.get_int("trials", 0)) {}
+        trials_override_(flags.get_int("trials", 0)) {
+    telemetry::Config cfg;
+    cfg.sample_every = static_cast<SimTime>(
+        flags.get_double("sample-every", 0.0) * units::kMillisecond);
+    cfg.trace = !trace_path_.empty();
+    runner_.set_telemetry(cfg);
+  }
 
   /// The bench's trial count: --trials when given, else `def`.
   [[nodiscard]] int trials(int def) const {
@@ -238,6 +245,9 @@ class Experiment {
     if (!json_path_.empty()) {
       ok = report_.write_json(json_path_, json_timing_);
     }
+    if (!trace_path_.empty()) {
+      ok = report_.write_trace(trace_path_) && ok;
+    }
     const std::uint64_t unfinished = report_.total_unfinished_flows();
     if (unfinished > 0) {
       std::fprintf(stderr, "%s: %llu flow(s) unfinished%s\n",
@@ -253,6 +263,7 @@ class Experiment {
   exp::Report report_;
   exp::Runner runner_;
   std::string json_path_;
+  std::string trace_path_;
   bool json_timing_;
   bool require_complete_;
   int trials_override_;

@@ -62,7 +62,7 @@ int main() {
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kKspMultipath;
   policy.k = 2;
-  core::SimHarness harness(spec, policy);
+  core::SimHarness harness({.spec = spec, .policy = policy});
   harness.starter()(HostId{0}, HostId{15}, 8'000'000, 0,
                     [](const sim::FlowRecord& r) {
                       std::printf("  8 MB flow over %d subflows finished "

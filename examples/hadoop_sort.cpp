@@ -36,7 +36,7 @@ double run(topo::NetworkType type, const char* label) {
   policy.policy = core::RoutingPolicy::kRoundRobin;  // §3.4 default LB
   sim::SimConfig sim_config;
   sim_config.queue_buffer_bytes = 400 * 1500;
-  core::SimHarness harness(spec, policy, sim_config);
+  core::SimHarness harness({.spec = spec, .policy = policy, .sim_config = sim_config});
 
   workload::HadoopJob job(harness.starter(), harness.all_hosts(),
                           job_config());

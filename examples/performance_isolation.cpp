@@ -29,7 +29,7 @@ double tenant_a_p99(bool pinned, bool tenant_b_active) {
   core::PolicyConfig policy_a;
   policy_a.policy = core::RoutingPolicy::kRoundRobin;
   if (pinned) policy_a.allowed_planes = {0};
-  core::SimHarness harness(spec, policy_a);
+  core::SimHarness harness({.spec = spec, .policy = policy_a});
 
   core::PolicyConfig policy_b;
   policy_b.policy = core::RoutingPolicy::kRoundRobin;

@@ -32,7 +32,7 @@ int main() {
   policy.multipath_cutoff_bytes = 1'000'000;  // demo-sized cutoff
 
   // 3. The harness wires topology + routing + packet simulator together.
-  core::SimHarness harness(spec, policy);
+  core::SimHarness harness({.spec = spec, .policy = policy});
 
   // 4. Launch flows through the policy-aware starter.
   std::printf("launching a 64 MB bulk flow and a 20 kB RPC-sized flow...\n");

@@ -28,7 +28,7 @@ std::vector<double> run(topo::NetworkType type) {
 
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;  // the low-latency API
-  core::SimHarness harness(spec, policy);
+  core::SimHarness harness({.spec = spec, .policy = policy});
 
   workload::ClosedLoopApp::Config config;
   config.concurrent_per_host = 1;

@@ -21,7 +21,7 @@ int main() {
   // The harness's own policy is unused here; HostInterfaces builds one
   // selector per traffic class over the same simulated fabric.
   core::PolicyConfig unused;
-  core::SimHarness harness(spec, unused);
+  core::SimHarness harness({.spec = spec, .policy = unused});
   core::HostInterfaces interfaces(harness.net(), harness.factory(),
                                   /*k=*/4);
 

@@ -1,0 +1,64 @@
+#include "core/harness.hpp"
+
+#include <string>
+
+namespace pnet::core {
+
+SimHarness::SimHarness(const Options& options)
+    : net_(topo::build_network(options.spec)),
+      network_(events_, pool_, net_, options.sim_config),
+      factory_(events_, pool_, network_, logger_),
+      selector_(net_, options.policy, options.route_cache),
+      starter_(selector_.make_starter(factory_)),
+      telemetry_(options.telemetry) {
+  if (telemetry_ != nullptr) wire_telemetry(options.sample_route_cache);
+}
+
+void SimHarness::wire_telemetry(bool sample_route_cache) {
+  using telemetry::Sampler;
+  network_.set_trace(&telemetry_->trace);
+  factory_.set_telemetry(telemetry_);
+  if (telemetry_->config.sample_every <= 0) return;
+
+  Sampler& sampler = telemetry_->sampler;
+  // Goodput as a rate of the cumulative acked-bytes counter — the exact
+  // series analysis::GoodputProbe produces, now on the shared sample grid.
+  sampler.add_series(
+      "goodput_bps", Sampler::Kind::kRate,
+      [this] {
+        return static_cast<double>(factory_.total_delivered_bytes());
+      },
+      8.0);
+  sampler.add_series("queue_bytes", Sampler::Kind::kGauge, [this] {
+    return static_cast<double>(network_.total_queued_bytes());
+  });
+  sampler.add_series("queue_bytes_max", Sampler::Kind::kGauge, [this] {
+    return static_cast<double>(network_.max_queued_bytes());
+  });
+  sampler.add_series("active_flows", Sampler::Kind::kGauge, [this] {
+    return static_cast<double>(factory_.active_flows());
+  });
+  for (int p = 0; p < net_.num_planes(); ++p) {
+    sampler.add_series(
+        "plane" + std::to_string(p) + "_util_bps", Sampler::Kind::kRate,
+        [this, p] {
+          return static_cast<double>(network_.plane_forwarded_bytes(p));
+        },
+        8.0);
+  }
+  if (sample_route_cache) {
+    sampler.add_series("route_cache_hit_rate", Sampler::Kind::kGauge,
+                       [this] {
+                         const auto stats = selector_.route_cache().stats();
+                         const auto total = stats.hits + stats.misses;
+                         return total == 0
+                                    ? 0.0
+                                    : static_cast<double>(stats.hits) /
+                                          static_cast<double>(total);
+                       });
+  }
+  driver_ = std::make_unique<sim::TelemetryDriver>(events_, sampler);
+  driver_->start(events_.now());
+}
+
+}  // namespace pnet::core

@@ -9,6 +9,8 @@
 #include "core/path_selector.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
+#include "sim/telemetry_driver.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topo/parallel.hpp"
 #include "workload/apps.hpp"
 
@@ -16,17 +18,35 @@ namespace pnet::core {
 
 class SimHarness {
  public:
-  /// `route_cache` (optional) shares one compiled route store across
-  /// harnesses — e.g. every trial of an experiment cell; see
-  /// routing::RouteCache for the determinism contract.
+  /// Named construction options — everything beyond `spec` and `policy` is
+  /// opt-in, so call sites read as `SimHarness({.spec = s, .policy = p})`.
+  struct Options {
+    topo::NetworkSpec spec;
+    PolicyConfig policy;
+    sim::SimConfig sim_config{};
+    /// Shares one compiled route store across harnesses — e.g. every trial
+    /// of an experiment cell; see routing::RouteCache for the determinism
+    /// contract. Null gives the selector a private cache.
+    std::shared_ptr<routing::RouteCache> route_cache{};
+    /// Wires counters, the sampler, and the trace through the whole stack
+    /// (network faults, flow lifecycle, queue depths, per-plane rates).
+    /// Must outlive the harness; null disables instrumentation entirely.
+    telemetry::Telemetry* telemetry = nullptr;
+    /// Also sample the route-cache hit rate. Off by default: with a cache
+    /// shared across parallel trials the hit sequence depends on thread
+    /// interleaving, which would break sampler determinism — only enable
+    /// this with a private (per-harness) cache.
+    bool sample_route_cache = false;
+  };
+
+  explicit SimHarness(const Options& options);
+
+  [[deprecated("use SimHarness(Options) with designated initializers")]]
   SimHarness(const topo::NetworkSpec& spec, const PolicyConfig& policy,
              const sim::SimConfig& sim_config = {},
              std::shared_ptr<routing::RouteCache> route_cache = nullptr)
-      : net_(topo::build_network(spec)),
-        network_(events_, pool_, net_, sim_config),
-        factory_(events_, pool_, network_, logger_),
-        selector_(net_, policy, std::move(route_cache)),
-        starter_(selector_.make_starter(factory_)) {}
+      : SimHarness(Options{spec, policy, sim_config, std::move(route_cache),
+                           nullptr, false}) {}
 
   [[nodiscard]] const topo::ParallelNetwork& net() const { return net_; }
   [[nodiscard]] sim::EventQueue& events() { return events_; }
@@ -50,7 +70,15 @@ class SimHarness {
   void run() { events_.run(); }
   void run_until(SimTime deadline) { events_.run_until(deadline); }
 
+  /// Logs partial FlowRecords for flows still active — run_until stops the
+  /// clock, it does not complete in-flight transfers, so without this the
+  /// FlowLogger silently under-reports launched flows. Call once after the
+  /// final run/run_until; returns the number of flows finalized.
+  int finalize(SimTime at) { return factory_.finalize(at); }
+
  private:
+  void wire_telemetry(bool sample_route_cache);
+
   topo::ParallelNetwork net_;
   sim::EventQueue events_;
   sim::PacketPool pool_;
@@ -59,6 +87,8 @@ class SimHarness {
   sim::FlowFactory factory_;
   PathSelector selector_;
   workload::FlowStarter starter_;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  std::unique_ptr<sim::TelemetryDriver> driver_;
 };
 
 }  // namespace pnet::core

@@ -22,6 +22,8 @@ void HealthMonitor::do_next_event() {
 }
 
 void HealthMonitor::react(const sim::FaultEvent& event) {
+  PNET_TRACE_INSTANT(trace_, "detect", events_.now(),
+                     static_cast<std::int64_t>(event.plane));
   switch (event.kind) {
     case sim::FaultKind::kPlaneFail:
       for (PathSelector* selector : selectors_) {
@@ -47,6 +49,9 @@ void HealthMonitor::react(const sim::FaultEvent& event) {
           selector->set_link_failed(event.plane, event.link,
                                     event.kind == sim::FaultKind::kCableFail);
         }
+        PNET_TRACE_INSTANT(trace_, "cache_invalidate", events_.now(),
+                           (static_cast<std::int64_t>(event.plane) << 32) |
+                               static_cast<std::uint32_t>(event.link.v));
       }
       break;
     default:

@@ -27,6 +27,7 @@
 
 #include "core/path_selector.hpp"
 #include "sim/faults.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pnet::core {
 
@@ -59,6 +60,11 @@ class HealthMonitor : public sim::EventSource {
   /// Wires this monitor as a listener of `injector`.
   void observe(sim::FaultInjector& injector);
 
+  /// Records host-side detections ("detect" instants, arg = plane) and
+  /// route-cache invalidations ("cache_invalidate" instants) into `trace`.
+  /// Null detaches (the default zero-cost path); must outlive the monitor.
+  void set_trace(telemetry::Trace* trace) { trace_ = trace; }
+
   /// Raw fabric-event intake; schedules the delayed host-side reaction.
   void on_fault(const sim::FaultEvent& event);
 
@@ -76,6 +82,7 @@ class HealthMonitor : public sim::EventSource {
   HealthMonitorConfig config_;
   std::vector<PathSelector*> selectors_;
   sim::FlowFactory* factory_ = nullptr;
+  telemetry::Trace* trace_ = nullptr;
   /// Events in flight to the hosts, with their delivery times. The delay is
   /// constant, so delivery order == arrival order and a deque suffices.
   std::deque<Detection> pending_;

@@ -1,0 +1,207 @@
+#include "exp/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/harness.hpp"
+#include "util/parallel.hpp"
+#include "workload/patterns.hpp"
+
+namespace pnet::exp {
+
+namespace {
+
+std::vector<workload::HostPair> pattern_pairs(
+    const WorkloadSpec& workload, const topo::ParallelNetwork& net,
+    Rng& rng) {
+  switch (workload.pattern) {
+    case WorkloadSpec::Pattern::kPermutation:
+      return workload::permutation_pairs(net.num_hosts(), rng);
+    case WorkloadSpec::Pattern::kAllToAll:
+      return workload::all_to_all_pairs(net.num_hosts());
+    case WorkloadSpec::Pattern::kRackAllToAll:
+      return workload::rack_all_to_all_pairs(net);
+  }
+  return {};
+}
+
+SimTime jittered(SimTime base, SimTime jitter, Rng& rng) {
+  if (jitter <= 0) return base;
+  return base + static_cast<SimTime>(
+                    rng.next_below(static_cast<std::uint64_t>(jitter)));
+}
+
+}  // namespace
+
+CellResult Engine::run(const ExperimentSpec& spec, const EngineContext& ctx) {
+  CellResult cell;
+  cell.spec = spec;
+  cell.trials.reserve(static_cast<std::size_t>(spec.trials));
+  for (int t = 0; t < spec.trials; ++t) {
+    const TrialContext trial{spec, t,
+                             util::job_seed(spec.seed,
+                                            static_cast<std::uint64_t>(t)),
+                             ctx.route_cache, ctx.telemetry};
+    cell.trials.push_back(run_trial(trial));
+  }
+  return cell;
+}
+
+TrialResult PacketEngine::run_trial(const TrialContext& ctx) {
+  const ExperimentSpec& spec = ctx.spec;
+  const WorkloadSpec& wl = spec.workload;
+  TrialResult r;
+  auto telemetry = make_telemetry(ctx.telemetry);
+  core::SimHarness harness({.spec = spec.topo,
+                            .policy = spec.policy,
+                            .sim_config = spec.sim,
+                            .route_cache = ctx.route_cache,
+                            .telemetry = telemetry.get()});
+  Rng rng(ctx.seed);
+  for (int round = 0; round < wl.rounds; ++round) {
+    const SimTime base =
+        wl.round_gap > 0 ? round * wl.round_gap : harness.events().now();
+    for (const auto& [src, dst] :
+         pattern_pairs(wl, harness.net(), rng)) {
+      ++r.flows_started;
+      harness.starter()(src, dst, wl.flow_bytes,
+                        jittered(base, wl.start_jitter, rng),
+                        [&r](const sim::FlowRecord& rec) {
+                          r.fct_us.push_back(
+                              units::to_microseconds(rec.end - rec.start));
+                          ++r.flows_finished;
+                        });
+    }
+    if (wl.round_gap == 0) {
+      // Back-to-back rounds: drain this round before drawing the next.
+      if (spec.deadline > 0) {
+        harness.run_until(spec.deadline);
+      } else {
+        harness.run();
+      }
+    }
+  }
+  if (wl.round_gap > 0) {
+    if (spec.deadline > 0) {
+      harness.run_until(spec.deadline);
+    } else {
+      harness.run();
+    }
+  }
+  harness.finalize(harness.events().now());
+  r.delivered_bytes =
+      static_cast<double>(harness.factory().total_delivered_bytes());
+  r.sim_seconds = units::to_seconds(harness.events().now());
+  r.events = harness.events().dispatched();
+  fold_telemetry(telemetry, r);
+  return r;
+}
+
+TrialResult FluidEngine::run_trial(const TrialContext& ctx) {
+  const ExperimentSpec& spec = ctx.spec;
+  const WorkloadSpec& wl = spec.workload;
+  const fsim::FsimConfig config = to_fsim_config(spec.policy, wl.flow_bytes);
+  const auto net = topo::build_network(spec.topo);
+  TrialResult r;
+  Rng rng(ctx.seed);
+
+  auto finish = [&r](fsim::FluidSimulator& fluid) {
+    for (double fct : fluid.fct_us()) r.fct_us.push_back(fct);
+    r.flows_finished += fluid.results().size();
+    r.delivered_bytes += fluid.delivered_bytes();
+    r.sim_seconds += units::to_seconds(fluid.now());
+    r.events += fluid.events();
+  };
+
+  if (wl.round_gap > 0 || wl.rounds == 1) {
+    // One simulator for the whole trial (overlapping rounds share it and
+    // its allocator state) — the only shape where a single sample grid /
+    // trace covers the trial, so telemetry attaches here.
+    auto telemetry = make_telemetry(ctx.telemetry);
+    fsim::FluidSimulator fluid(net, config, ctx.route_cache);
+    fluid.set_telemetry(telemetry.get());
+    for (int round = 0; round < wl.rounds; ++round) {
+      const SimTime base = round * wl.round_gap;
+      for (const auto& [src, dst] : pattern_pairs(wl, net, rng)) {
+        ++r.flows_started;
+        fluid.add_flow({src, dst, wl.flow_bytes,
+                        jittered(base, wl.start_jitter, rng)});
+      }
+    }
+    if (spec.deadline > 0) {
+      fluid.run_until(spec.deadline);
+    } else {
+      fluid.run();
+    }
+    finish(fluid);
+    fold_telemetry(telemetry, r);
+  } else {
+    // Back-to-back rounds: a fresh simulator per round, as the packet
+    // engine's drained-queue equivalent. Simulated clocks restart per
+    // round, so no cross-round telemetry is collected.
+    for (int round = 0; round < wl.rounds; ++round) {
+      fsim::FluidSimulator fluid(net, config, ctx.route_cache);
+      for (const auto& [src, dst] : pattern_pairs(wl, net, rng)) {
+        ++r.flows_started;
+        fluid.add_flow({src, dst, wl.flow_bytes,
+                        jittered(0, wl.start_jitter, rng)});
+      }
+      if (spec.deadline > 0) {
+        fluid.run_until(spec.deadline);
+      } else {
+        fluid.run();
+      }
+      finish(fluid);
+    }
+  }
+  return r;
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, TrialFn fn) {
+  if (fn) return std::make_unique<CustomEngine>(std::move(fn));
+  switch (kind) {
+    case EngineKind::kPacket: return std::make_unique<PacketEngine>();
+    case EngineKind::kFsim: return std::make_unique<FluidEngine>();
+    case EngineKind::kCustom:
+      throw std::invalid_argument(
+          "exp::make_engine: EngineKind::kCustom requires a trial function");
+  }
+  throw std::invalid_argument("exp::make_engine: unknown EngineKind");
+}
+
+std::shared_ptr<telemetry::Telemetry> make_telemetry(
+    const telemetry::Config& config) {
+  if (!config.enabled()) return nullptr;
+  return std::make_shared<telemetry::Telemetry>(config);
+}
+
+void fold_telemetry(const std::shared_ptr<telemetry::Telemetry>& telemetry,
+                    TrialResult& result) {
+  if (telemetry == nullptr) return;
+  const auto& sampler = telemetry->sampler;
+  if (!sampler.times().empty()) {
+    auto& t_us = result.samples["tm/t_us"];
+    t_us.reserve(sampler.times().size());
+    for (const SimTime t : sampler.times()) {
+      t_us.push_back(units::to_microseconds(t));
+    }
+    for (std::size_t i = 0; i < sampler.num_series(); ++i) {
+      result.samples["tm/" + sampler.name(i)] = sampler.values(i);
+    }
+  }
+  const telemetry::Registry::Snapshot snap = telemetry->registry.snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    result.metrics["tm/" + name] = static_cast<double>(value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    result.metrics["tm/" + name] = value;
+  }
+  if (telemetry->trace.size() > 0) {
+    // Aliasing shared_ptr: keeps the whole Telemetry block alive for as
+    // long as the report holds the trace.
+    result.trace = std::shared_ptr<const telemetry::Trace>(
+        telemetry, &telemetry->trace);
+  }
+}
+
+}  // namespace pnet::exp

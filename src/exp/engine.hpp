@@ -1,0 +1,118 @@
+// exp::Engine — the execution-strategy interface behind the experiment
+// runner. An ExperimentSpec's EngineKind is just a factory key; the object
+// that actually runs trials is one of these. The runner (and any direct
+// caller) programs against the interface, so the packet simulator, the
+// fluid simulator, and bench-supplied custom trial bodies are
+// interchangeable per cell:
+//
+//   auto engine = exp::make_engine(spec.engine);
+//   CellResult cell = engine->run(spec, {.telemetry = {...}});
+//
+// Telemetry rides the EngineContext: when `telemetry.enabled()`, the
+// built-in engines instrument each trial with a per-trial
+// telemetry::Telemetry block and fold its output into the TrialResult
+// under "tm/"-prefixed keys (see fold_telemetry), which the Report
+// serializes as the cell's telemetry block.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "exp/report.hpp"
+#include "exp/spec.hpp"
+#include "routing/route_cache.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace pnet::exp {
+
+/// What a trial body sees: the cell's spec, the trial index within the
+/// cell, and the deterministic per-trial seed every random choice of the
+/// trial must derive from. `route_cache` is the cell's shared compiled
+/// route store: every trial of a cell runs the same topology, so path
+/// computation is done once and reused across trials and worker threads
+/// (entries are pure functions of (net, query) — results stay bit-identical
+/// to private caching; see routing::RouteCache). Custom trial functions
+/// that mutate link fault state must build a private cache instead.
+struct TrialContext {
+  const ExperimentSpec& spec;
+  int trial;
+  std::uint64_t seed;
+  std::shared_ptr<routing::RouteCache> route_cache;
+  /// Per-trial instrumentation request (sampling interval, tracing).
+  /// Disabled by default; custom trial bodies are free to honour it via
+  /// make_telemetry/fold_telemetry like the built-in engines do.
+  telemetry::Config telemetry{};
+};
+
+using TrialFn = std::function<TrialResult(const TrialContext&)>;
+
+/// Cell-level inputs an Engine::run invocation shares across its trials.
+struct EngineContext {
+  /// Null = the engine builds a private cache per cell.
+  std::shared_ptr<routing::RouteCache> route_cache{};
+  telemetry::Config telemetry{};
+};
+
+/// Execution strategy for one experiment cell's trials.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Runs every trial of `spec` sequentially (trial t seeded with
+  /// util::job_seed(spec.seed, t)) and assembles the CellResult. The
+  /// Runner bypasses this to fan (cell, trial) jobs over threads, calling
+  /// run_trial directly — results are identical by the determinism
+  /// contract.
+  [[nodiscard]] virtual CellResult run(const ExperimentSpec& spec,
+                                       const EngineContext& ctx);
+
+  /// One trial. Must be thread-safe across distinct contexts: the runner
+  /// calls this concurrently from its worker pool.
+  [[nodiscard]] virtual TrialResult run_trial(const TrialContext& ctx) = 0;
+};
+
+/// core::SimHarness over the packet simulator (src/sim).
+class PacketEngine final : public Engine {
+ public:
+  [[nodiscard]] TrialResult run_trial(const TrialContext& ctx) override;
+};
+
+/// fsim::FluidSimulator — flow-level max-min rates, 100x+ faster.
+class FluidEngine final : public Engine {
+ public:
+  [[nodiscard]] TrialResult run_trial(const TrialContext& ctx) override;
+};
+
+/// Wraps a bench-supplied trial function (LP studies, fault timelines,
+/// cost models...) in the Engine interface.
+class CustomEngine final : public Engine {
+ public:
+  explicit CustomEngine(TrialFn fn) : fn_(std::move(fn)) {}
+  [[nodiscard]] TrialResult run_trial(const TrialContext& ctx) override {
+    return fn_(ctx);
+  }
+
+ private:
+  TrialFn fn_;
+};
+
+/// Factory: resolves a spec's EngineKind. kCustom requires `fn`; passing a
+/// fn with a built-in kind also wraps it (the fn overrides the built-in
+/// body, matching the Runner's historical Cell{spec, fn} semantics).
+/// Throws std::invalid_argument for kCustom without a fn.
+[[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                                  TrialFn fn = {});
+
+/// Builds the per-trial telemetry block a TrialContext asks for, or null
+/// when instrumentation is disabled (the zero-overhead path).
+[[nodiscard]] std::shared_ptr<telemetry::Telemetry> make_telemetry(
+    const telemetry::Config& config);
+
+/// Folds a trial's telemetry into its TrialResult: sampler series become
+/// samples["tm/<name>"] (plus the shared time axis samples["tm/t_us"]),
+/// registry counters and gauges become metrics["tm/<name>"], and a
+/// non-empty trace is attached as TrialResult::trace. Null-safe.
+void fold_telemetry(const std::shared_ptr<telemetry::Telemetry>& telemetry,
+                    TrialResult& result);
+
+}  // namespace pnet::exp

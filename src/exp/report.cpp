@@ -130,11 +130,22 @@ void cell_to_json(JsonWriter& w, const CellResult& cell, bool with_runtime) {
   w.field("events", cell.events());
 
   // Scalar metrics: union of keys across trials (std::map — key order).
+  // Telemetry output (the "tm/" prefix fold_telemetry applies) gets its
+  // own block below instead of the generic summaries.
   std::map<std::string, bool> metric_keys;
   std::map<std::string, bool> sample_keys;
+  std::map<std::string, bool> tm_metric_keys;
+  std::map<std::string, bool> tm_sample_keys;
+  const auto is_tm = [](const std::string& key) {
+    return key.rfind("tm/", 0) == 0;
+  };
   for (const auto& trial : cell.trials) {
-    for (const auto& [key, value] : trial.metrics) metric_keys[key] = true;
-    for (const auto& [key, value] : trial.samples) sample_keys[key] = true;
+    for (const auto& [key, value] : trial.metrics) {
+      (is_tm(key) ? tm_metric_keys : metric_keys)[key] = true;
+    }
+    for (const auto& [key, value] : trial.samples) {
+      (is_tm(key) ? tm_sample_keys : sample_keys)[key] = true;
+    }
   }
   if (!metric_keys.empty()) {
     w.key("extra").begin_object();
@@ -160,6 +171,46 @@ void cell_to_json(JsonWriter& w, const CellResult& cell, bool with_runtime) {
     w.end_object();
   }
   w.end_object();  // metrics
+
+  // Telemetry block: registry counters/gauges (sum + per-trial values)
+  // and sampler series (per-trial arrays on the trial's sample grid).
+  // Deterministic — sampler series are pure functions of (spec, seed) —
+  // so it lives outside the runtime block.
+  if (!tm_metric_keys.empty() || !tm_sample_keys.empty()) {
+    w.key("telemetry").begin_object();
+    if (!tm_metric_keys.empty()) {
+      w.key("counters").begin_object();
+      for (const auto& [key, unused] : tm_metric_keys) {
+        const auto values = cell.metric_values(key);
+        double sum = 0.0;
+        for (double v : values) sum += v;
+        w.key(key.substr(3)).begin_object();
+        w.field("sum", sum);
+        w.key("per_trial").begin_array();
+        for (double v : values) w.value(v);
+        w.end_array();
+        w.end_object();
+      }
+      w.end_object();
+    }
+    if (!tm_sample_keys.empty()) {
+      w.key("series").begin_object();
+      for (const auto& [key, unused] : tm_sample_keys) {
+        w.key(key.substr(3)).begin_array();
+        for (const auto& trial : cell.trials) {
+          const auto it = trial.samples.find(key);
+          w.begin_array();
+          if (it != trial.samples.end()) {
+            for (double v : it->second) w.value(v);
+          }
+          w.end_array();
+        }
+        w.end_array();
+      }
+      w.end_object();
+    }
+    w.end_object();  // telemetry
+  }
 
   if (with_runtime) {
     w.key("runtime").begin_object();
@@ -224,6 +275,50 @@ bool Report::write_json(const std::string& path, bool with_runtime) const {
     return true;
   }
   std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "exp::Report: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "exp::Report: short write to '%s'\n",
+                        path.c_str());
+  return ok;
+}
+
+bool Report::write_trace(const std::string& path) const {
+  std::string text;
+  const bool binary =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+  if (binary) {
+    // Binary mode has no pid/tid lanes: merge everything into one trace.
+    telemetry::Trace merged;
+    for (const auto& cell : cells_) {
+      for (const auto& trial : cell.trials) {
+        if (trial.trace) merged.append(*trial.trace);
+      }
+    }
+    merged.append_binary(text);
+  } else {
+    text = "{\"traceEvents\":[\n";
+    bool first = true;
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+      const auto& cell = cells_[c];
+      bool any = false;
+      for (const auto& trial : cell.trials) any |= (trial.trace != nullptr);
+      if (!any) continue;
+      const int pid = static_cast<int>(c);
+      telemetry::append_chrome_process_name(text, pid, cell.spec.name,
+                                            first);
+      for (std::size_t t = 0; t < cell.trials.size(); ++t) {
+        if (!cell.trials[t].trace) continue;
+        cell.trials[t].trace->append_chrome_json(text, pid,
+                                                 static_cast<int>(t), first);
+      }
+    }
+    text += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  }
+  std::FILE* f = std::fopen(path.c_str(), binary ? "wb" : "w");
   if (f == nullptr) {
     std::fprintf(stderr, "exp::Report: cannot write '%s'\n", path.c_str());
     return false;

@@ -14,10 +14,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exp/spec.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pnet::exp {
 
@@ -63,6 +65,10 @@ struct TrialResult {
   std::map<std::string, double> runtime;
   /// Wall-clock of the trial, filled by the runner.
   double wall_s = 0.0;
+  /// Span/instant events recorded by the trial's telemetry, when tracing
+  /// was requested. Never part of to_json — exported separately by
+  /// Report::write_trace.
+  std::shared_ptr<const telemetry::Trace> trace;
 
   [[nodiscard]] std::uint64_t unfinished_flows() const {
     return flows_started - flows_finished;
@@ -131,6 +137,12 @@ class Report {
   /// Writes to_json(with_runtime) to `path` ("-" = stdout). Returns false
   /// (with a message on stderr) if the file cannot be written.
   bool write_json(const std::string& path, bool with_runtime) const;
+
+  /// Exports every trial trace in the report: Chrome trace_event JSON
+  /// (one pid lane per cell, one tid per trial), or the compact binary
+  /// format when `path` ends in ".bin" (all traces merged). Returns false
+  /// on write failure; an empty report writes a valid empty trace.
+  bool write_trace(const std::string& path) const;
 
  private:
   std::string bench_;

@@ -3,33 +3,11 @@
 #include <chrono>
 #include <stdexcept>
 
-#include "core/harness.hpp"
 #include "util/parallel.hpp"
-#include "workload/patterns.hpp"
 
 namespace pnet::exp {
 
 namespace {
-
-std::vector<workload::HostPair> pattern_pairs(
-    const WorkloadSpec& workload, const topo::ParallelNetwork& net,
-    Rng& rng) {
-  switch (workload.pattern) {
-    case WorkloadSpec::Pattern::kPermutation:
-      return workload::permutation_pairs(net.num_hosts(), rng);
-    case WorkloadSpec::Pattern::kAllToAll:
-      return workload::all_to_all_pairs(net.num_hosts());
-    case WorkloadSpec::Pattern::kRackAllToAll:
-      return workload::rack_all_to_all_pairs(net);
-  }
-  return {};
-}
-
-SimTime jittered(SimTime base, SimTime jitter, Rng& rng) {
-  if (jitter <= 0) return base;
-  return base + static_cast<SimTime>(
-                    rng.next_below(static_cast<std::uint64_t>(jitter)));
-}
 
 double now_seconds() {
   return std::chrono::duration<double>(
@@ -40,101 +18,11 @@ double now_seconds() {
 }  // namespace
 
 TrialResult Runner::packet_trial(const TrialContext& ctx) {
-  const ExperimentSpec& spec = ctx.spec;
-  const WorkloadSpec& wl = spec.workload;
-  TrialResult r;
-  core::SimHarness harness(spec.topo, spec.policy, spec.sim,
-                           ctx.route_cache);
-  Rng rng(ctx.seed);
-  for (int round = 0; round < wl.rounds; ++round) {
-    const SimTime base =
-        wl.round_gap > 0 ? round * wl.round_gap : harness.events().now();
-    for (const auto& [src, dst] :
-         pattern_pairs(wl, harness.net(), rng)) {
-      ++r.flows_started;
-      harness.starter()(src, dst, wl.flow_bytes,
-                        jittered(base, wl.start_jitter, rng),
-                        [&r](const sim::FlowRecord& rec) {
-                          r.fct_us.push_back(
-                              units::to_microseconds(rec.end - rec.start));
-                          ++r.flows_finished;
-                        });
-    }
-    if (wl.round_gap == 0) {
-      // Back-to-back rounds: drain this round before drawing the next.
-      if (spec.deadline > 0) {
-        harness.run_until(spec.deadline);
-      } else {
-        harness.run();
-      }
-    }
-  }
-  if (wl.round_gap > 0) {
-    if (spec.deadline > 0) {
-      harness.run_until(spec.deadline);
-    } else {
-      harness.run();
-    }
-  }
-  r.delivered_bytes =
-      static_cast<double>(harness.factory().total_delivered_bytes());
-  r.sim_seconds = units::to_seconds(harness.events().now());
-  r.events = harness.events().dispatched();
-  return r;
+  return PacketEngine().run_trial(ctx);
 }
 
 TrialResult Runner::fsim_trial(const TrialContext& ctx) {
-  const ExperimentSpec& spec = ctx.spec;
-  const WorkloadSpec& wl = spec.workload;
-  const fsim::FsimConfig config = to_fsim_config(spec.policy, wl.flow_bytes);
-  const auto net = topo::build_network(spec.topo);
-  TrialResult r;
-  Rng rng(ctx.seed);
-
-  auto finish = [&r](fsim::FluidSimulator& fluid) {
-    for (double fct : fluid.fct_us()) r.fct_us.push_back(fct);
-    r.flows_finished += fluid.results().size();
-    r.delivered_bytes += fluid.delivered_bytes();
-    r.sim_seconds += units::to_seconds(fluid.now());
-    r.events += fluid.events();
-  };
-
-  if (wl.round_gap > 0) {
-    // Overlapping rounds share one simulator (and its allocator state).
-    fsim::FluidSimulator fluid(net, config, ctx.route_cache);
-    for (int round = 0; round < wl.rounds; ++round) {
-      const SimTime base = round * wl.round_gap;
-      for (const auto& [src, dst] : pattern_pairs(wl, net, rng)) {
-        ++r.flows_started;
-        fluid.add_flow({src, dst, wl.flow_bytes,
-                        jittered(base, wl.start_jitter, rng)});
-      }
-    }
-    if (spec.deadline > 0) {
-      fluid.run_until(spec.deadline);
-    } else {
-      fluid.run();
-    }
-    finish(fluid);
-  } else {
-    // Back-to-back rounds: a fresh simulator per round, as the packet
-    // engine's drained-queue equivalent.
-    for (int round = 0; round < wl.rounds; ++round) {
-      fsim::FluidSimulator fluid(net, config, ctx.route_cache);
-      for (const auto& [src, dst] : pattern_pairs(wl, net, rng)) {
-        ++r.flows_started;
-        fluid.add_flow({src, dst, wl.flow_bytes,
-                        jittered(0, wl.start_jitter, rng)});
-      }
-      if (spec.deadline > 0) {
-        fluid.run_until(spec.deadline);
-      } else {
-        fluid.run();
-      }
-      finish(fluid);
-    }
-  }
-  return r;
+  return FluidEngine().run_trial(ctx);
 }
 
 std::vector<CellResult> Runner::run(const std::vector<Cell>& cells) const {
@@ -150,7 +38,7 @@ std::vector<CellResult> Runner::run(const std::vector<Cell>& cells) const {
       throw std::invalid_argument("exp::Runner: cell '" + cell.spec.name +
                                   "': " + problem);
     }
-    if (!cell.fn && cell.spec.engine == Engine::kCustom) {
+    if (!cell.fn && cell.spec.engine == EngineKind::kCustom) {
       throw std::invalid_argument("exp::Runner: cell '" + cell.spec.name +
                                   "' has engine=custom but no trial "
                                   "function");
@@ -158,6 +46,15 @@ std::vector<CellResult> Runner::run(const std::vector<Cell>& cells) const {
     for (int t = 0; t < cell.spec.trials; ++t) {
       jobs.push_back({c, t});
     }
+  }
+
+  // Resolve each cell's engine once; run_trial is required to be
+  // thread-safe across distinct contexts, so one instance serves every
+  // worker thread.
+  std::vector<std::unique_ptr<Engine>> engines;
+  engines.reserve(cells.size());
+  for (const auto& cell : cells) {
+    engines.push_back(make_engine(cell.spec.engine, cell.fn));
   }
 
   // One route cache per cell, shared by all its trials (and worker
@@ -174,22 +71,15 @@ std::vector<CellResult> Runner::run(const std::vector<Cell>& cells) const {
 
   auto trial_results = util::parallel_map(
       jobs,
-      [&cells, &caches](const Job& job) {
+      [this, &cells, &engines, &caches](const Job& job) {
         const Cell& cell = cells[job.cell];
         const TrialContext ctx{cell.spec, job.trial,
                                util::job_seed(cell.spec.seed,
                                               static_cast<std::uint64_t>(
                                                   job.trial)),
-                               caches[job.cell]};
+                               caches[job.cell], telemetry_};
         const double wall_start = now_seconds();
-        TrialResult result;
-        if (cell.fn) {
-          result = cell.fn(ctx);
-        } else if (cell.spec.engine == Engine::kPacket) {
-          result = packet_trial(ctx);
-        } else {
-          result = fsim_trial(ctx);
-        }
+        TrialResult result = engines[job.cell]->run_trial(ctx);
         result.wall_s = now_seconds() - wall_start;
         return result;
       },

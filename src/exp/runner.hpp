@@ -2,45 +2,29 @@
 // fsim::run_sweep to both engines and to whole experiment grids.
 //
 // A bench queues cells (ExperimentSpec + optional custom trial function);
-// the runner flattens every (cell, trial) pair into one job list, fans the
-// jobs over OS threads via util::parallel_map, and reassembles CellResults
-// in submission order. Each trial is fully self-contained — its own
-// topology, simulator and Rng, seeded with util::job_seed(cell seed, trial
-// index) — so merged results are bit-identical for any --threads value;
+// the runner resolves each cell's EngineKind to an exp::Engine, flattens
+// every (cell, trial) pair into one job list, fans the jobs over OS
+// threads via util::parallel_map, and reassembles CellResults in
+// submission order. Each trial is fully self-contained — its own topology,
+// simulator and Rng, seeded with util::job_seed(cell seed, trial index) —
+// so merged results are bit-identical for any --threads value;
 // tests/exp_test.cpp locks the property in for both engines.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "exp/engine.hpp"
 #include "exp/report.hpp"
 #include "exp/spec.hpp"
 #include "routing/route_cache.hpp"
 
 namespace pnet::exp {
 
-/// What a trial function sees: the cell's spec, the trial index within the
-/// cell, and the deterministic per-trial seed every random choice of the
-/// trial must derive from. `route_cache` is the cell's shared compiled
-/// route store: every trial of a cell runs the same topology, so path
-/// computation is done once and reused across trials and worker threads
-/// (entries are pure functions of (net, query) — results stay bit-identical
-/// to private caching; see routing::RouteCache). Custom trial functions
-/// that mutate link fault state must build a private cache instead.
-struct TrialContext {
-  const ExperimentSpec& spec;
-  int trial;
-  std::uint64_t seed;
-  std::shared_ptr<routing::RouteCache> route_cache;
-};
-
-using TrialFn = std::function<TrialResult(const TrialContext&)>;
-
 /// One queued experiment cell. With no fn, the spec's engine must be
-/// kPacket or kFsim and the runner supplies the built-in trial body; with
-/// a fn, the function owns the trial (LP solves, fault timelines, cost
-/// models...) but still runs under the runner's seeding and fan-out.
+/// kPacket or kFsim and exp::make_engine supplies the built-in trial body;
+/// with a fn, the function owns the trial (LP solves, fault timelines,
+/// cost models...) but still runs under the runner's seeding and fan-out.
 struct Cell {
   ExperimentSpec spec;
   TrialFn fn;
@@ -54,6 +38,17 @@ class Runner {
 
   [[nodiscard]] int threads() const { return threads_; }
 
+  /// Per-trial instrumentation request forwarded to every cell's engine
+  /// via TrialContext::telemetry (off by default). Enabling the sampler
+  /// or trace does not disturb the determinism contract: sampler series
+  /// are pure functions of (spec, trial seed).
+  void set_telemetry(const telemetry::Config& config) {
+    telemetry_ = config;
+  }
+  [[nodiscard]] const telemetry::Config& telemetry() const {
+    return telemetry_;
+  }
+
   /// Runs every trial of every cell. Throws std::invalid_argument if any
   /// spec fails validation or a custom-engine cell lacks a function.
   [[nodiscard]] std::vector<CellResult> run(
@@ -63,12 +58,14 @@ class Runner {
   [[nodiscard]] CellResult run_cell(Cell cell) const;
 
   /// Built-in trial bodies, usable directly from custom functions that
-  /// want the standard run plus extra instrumentation.
+  /// want the standard run plus extra instrumentation. Thin wrappers over
+  /// PacketEngine / FluidEngine (exp/engine.hpp).
   static TrialResult packet_trial(const TrialContext& ctx);
   static TrialResult fsim_trial(const TrialContext& ctx);
 
  private:
   int threads_;
+  telemetry::Config telemetry_{};
 };
 
 }  // namespace pnet::exp

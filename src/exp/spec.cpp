@@ -2,11 +2,11 @@
 
 namespace pnet::exp {
 
-const char* to_string(Engine engine) {
+const char* to_string(EngineKind engine) {
   switch (engine) {
-    case Engine::kPacket: return "packet";
-    case Engine::kFsim: return "fsim";
-    case Engine::kCustom: return "custom";
+    case EngineKind::kPacket: return "packet";
+    case EngineKind::kFsim: return "fsim";
+    case EngineKind::kCustom: return "custom";
   }
   return "?";
 }
@@ -25,7 +25,7 @@ std::string ExperimentSpec::validate() const {
   if (trials < 1) return "spec.trials must be >= 1 (got " +
                          std::to_string(trials) + ")";
   if (deadline < 0) return "spec.deadline must be >= 0";
-  if (engine == Engine::kCustom) return "";  // the trial fn owns the rest
+  if (engine == EngineKind::kCustom) return "";  // the trial fn owns the rest
   if (topo.hosts < 2) return "spec.topo.hosts must be >= 2 (got " +
                              std::to_string(topo.hosts) + ")";
   if (topo.parallelism < 1) return "spec.topo.parallelism must be >= 1";
@@ -53,7 +53,7 @@ void ExperimentSpec::to_json(JsonWriter& w) const {
   w.field("seed", seed);
   w.field("trials", trials);
   if (deadline > 0) w.field("deadline_us", units::to_microseconds(deadline));
-  if (engine != Engine::kCustom) {
+  if (engine != EngineKind::kCustom) {
     w.key("topo").begin_object();
     w.field("kind", topo::to_string(topo.topo));
     w.field("type", topo::to_string(topo.type));

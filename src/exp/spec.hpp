@@ -20,16 +20,18 @@
 
 namespace pnet::exp {
 
-/// Which engine executes the cell's trials.
-///   kPacket — core::SimHarness over the packet simulator (src/sim);
-///   kFsim   — fsim::FluidSimulator (flow-level max-min rates, 100x+
-///             faster, fidelity envelope in DESIGN.md);
-///   kCustom — the cell supplies its own trial function (LP studies,
-///             fault-injection timelines, cost models...); the runner
-///             still owns seeding, fan-out, timing, and report assembly.
-enum class Engine : std::uint8_t { kPacket, kFsim, kCustom };
+/// Which engine executes the cell's trials — a factory key resolved by
+/// exp::make_engine into an exp::Engine implementation (see exp/engine.hpp).
+///   kPacket — PacketEngine: core::SimHarness over the packet sim (src/sim);
+///   kFsim   — FluidEngine: fsim::FluidSimulator (flow-level max-min rates,
+///             100x+ faster, fidelity envelope in DESIGN.md);
+///   kCustom — CustomEngine around a cell-supplied trial function (LP
+///             studies, fault-injection timelines, cost models...); the
+///             runner still owns seeding, fan-out, timing, and report
+///             assembly.
+enum class EngineKind : std::uint8_t { kPacket, kFsim, kCustom };
 
-[[nodiscard]] const char* to_string(Engine engine);
+[[nodiscard]] const char* to_string(EngineKind engine);
 
 /// Synthetic workload of the built-in packet/fsim engines: `rounds`
 /// pattern instances of fixed-size flows, each flow jittered uniformly in
@@ -57,7 +59,7 @@ struct ExperimentSpec {
   std::string name;
   topo::NetworkSpec topo;
   core::PolicyConfig policy;
-  Engine engine = Engine::kPacket;
+  EngineKind engine = EngineKind::kPacket;
   sim::SimConfig sim;
   WorkloadSpec workload;
   /// Base seed of the cell. Trial t runs with util::job_seed(seed, t), so

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "routing/ecmp.hpp"
 #include "routing/plane_paths.hpp"
@@ -189,11 +190,18 @@ void FluidSimulator::admit(Pending&& pending) {
   active.remaining_bytes = static_cast<double>(pending.spec.bytes);
   active.hops = pending.path(0).hops();
   active.sub_ids.reserve(pending.num_paths());
+  active.planes.reserve(pending.num_paths());
   for (std::size_t i = 0; i < pending.num_paths(); ++i) {
     active.sub_ids.push_back(alloc_.add(index_.to_global(pending.path(i))));
+    active.planes.push_back(pending.path(i).plane());
   }
   active_.push_back(std::move(active));
   rates_stale_ = true;
+  flows_started_counter_.inc();
+  if (telemetry_ != nullptr) {
+    PNET_TRACE_INSTANT(&telemetry_->trace, "flow_start", now_,
+                       static_cast<std::int64_t>(active_.size()));
+  }
 }
 
 void FluidSimulator::complete(std::size_t slot) {
@@ -212,6 +220,11 @@ void FluidSimulator::complete(std::size_t slot) {
   active_[slot] = std::move(active_.back());
   active_.pop_back();
   rates_stale_ = true;
+  flows_finished_counter_.inc();
+  if (telemetry_ != nullptr) {
+    PNET_TRACE_COMPLETE(&telemetry_->trace, "flow", result.start, result.end,
+                        result.subflows);
+  }
 }
 
 void FluidSimulator::drain(SimTime dt) {
@@ -272,6 +285,13 @@ void FluidSimulator::run_until(SimTime deadline) {
       t_next = std::min(t_next, std::max(pending_.front().spec.start, now_));
     }
     if (t_next == kNever) break;  // drained, or only starved flows remain
+    // Sample grid points become events, so rate buckets are exact: the
+    // drain below stops exactly at the grid point the sampler reads. Only
+    // while real work remains (t_next != kNever) — sampling must not keep
+    // a drained simulation alive.
+    if (telemetry_ != nullptr && telemetry_->sampler.started()) {
+      t_next = std::min(t_next, telemetry_->sampler.next_sample_at());
+    }
     if (t_next > deadline) {
       drain(deadline - now_);
       now_ = std::max(now_, deadline);
@@ -279,6 +299,7 @@ void FluidSimulator::run_until(SimTime deadline) {
     }
     drain(t_next - now_);
     now_ = t_next;
+    if (telemetry_ != nullptr) telemetry_->sampler.advance(now_);
   }
 }
 
@@ -312,6 +333,44 @@ double FluidSimulator::min_rate_bps() const {
     first = false;
   }
   return min;
+}
+
+double FluidSimulator::plane_rate_bps(int plane) const {
+  double total = 0.0;
+  for (const auto& active : active_) {
+    for (std::size_t i = 0; i < active.sub_ids.size(); ++i) {
+      if (active.planes[i] == plane) {
+        total += alloc_.rate_bps(active.sub_ids[i]);
+      }
+    }
+  }
+  return total;
+}
+
+void FluidSimulator::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    flows_started_counter_ = {};
+    flows_finished_counter_ = {};
+    return;
+  }
+  flows_started_counter_ = telemetry->registry.counter("flows_started");
+  flows_finished_counter_ = telemetry->registry.counter("flows_finished");
+  telemetry::Sampler& sampler = telemetry->sampler;
+  if (!sampler.enabled()) return;
+  sampler.add_series(
+      "goodput_bps", telemetry::Sampler::Kind::kRate,
+      [this] { return delivered_bytes_; }, 8.0);
+  sampler.add_series("active_flows", telemetry::Sampler::Kind::kGauge,
+                     [this] { return static_cast<double>(active_.size()); });
+  sampler.add_series("total_rate_bps", telemetry::Sampler::Kind::kGauge,
+                     [this] { return total_rate_bps(); });
+  for (int p = 0; p < net_.num_planes(); ++p) {
+    sampler.add_series("plane" + std::to_string(p) + "_util_bps",
+                       telemetry::Sampler::Kind::kGauge,
+                       [this, p] { return plane_rate_bps(p); });
+  }
+  sampler.start(now_);
 }
 
 }  // namespace pnet::fsim

@@ -29,6 +29,7 @@
 #include "lp/link_index.hpp"
 #include "routing/path.hpp"
 #include "routing/route_cache.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topo/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -137,6 +138,18 @@ class FluidSimulator {
   /// "events", feeding the experiment runner's events/sec metric.
   [[nodiscard]] std::uint64_t events() const { return events_; }
 
+  /// Allocated rate summed over subflows riding `plane` (the fluid analog
+  /// of the packet sim's per-plane link utilization).
+  [[nodiscard]] double plane_rate_bps(int plane) const;
+
+  /// Wires counters, the sampler, and flow trace events. Call before
+  /// add_flow/run — sampler series register here and the grid starts at
+  /// now(). The sampler advances at allocation-epoch boundaries (grid
+  /// points become events, so rate buckets are exact); sampling stops once
+  /// the simulation drains. `telemetry` must outlive the simulator; null
+  /// detaches (the default zero-cost path).
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
   [[nodiscard]] const MaxMinAllocator& allocator() const { return alloc_; }
   [[nodiscard]] const lp::LinkIndex& index() const { return index_; }
   /// Route-cache counters (hits/misses/compute time) for reports.
@@ -150,6 +163,8 @@ class FluidSimulator {
     double remaining_bytes = 0.0;
     double rate_bps = 0.0;
     std::vector<int> sub_ids;
+    /// Plane of each subflow, aligned with sub_ids (plane_rate_bps).
+    std::vector<int> planes;
     int hops = 0;
   };
   struct Pending {
@@ -194,6 +209,10 @@ class FluidSimulator {
   double delivered_bytes_ = 0.0;
   std::uint64_t events_ = 0;
   bool rates_stale_ = false;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  // Cached handles so the admit/complete hot paths skip name lookups.
+  telemetry::Registry::Counter flows_started_counter_;
+  telemetry::Registry::Counter flows_finished_counter_;
 };
 
 }  // namespace pnet::fsim

@@ -9,7 +9,7 @@ namespace pnet::sim {
 SimNetwork::SimNetwork(EventQueue& events, PacketPool& pool,
                        const topo::ParallelNetwork& net,
                        const SimConfig& config)
-    : net_(net), config_(config) {
+    : events_(events), net_(net), config_(config) {
   queues_.resize(static_cast<std::size_t>(net.num_planes()));
   pipes_.resize(static_cast<std::size_t>(net.num_planes()));
   for (int p = 0; p < net.num_planes(); ++p) {
@@ -79,6 +79,30 @@ std::uint64_t SimNetwork::total_ecn_marks() const {
   return total;
 }
 
+std::uint64_t SimNetwork::total_queued_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& plane : queues_) {
+    for (const auto& q : plane) total += q->queued_bytes();
+  }
+  return total;
+}
+
+std::uint64_t SimNetwork::max_queued_bytes() const {
+  std::uint64_t max = 0;
+  for (const auto& plane : queues_) {
+    for (const auto& q : plane) max = std::max(max, q->queued_bytes());
+  }
+  return max;
+}
+
+std::uint64_t SimNetwork::plane_forwarded_bytes(int plane) const {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_[static_cast<std::size_t>(plane)]) {
+    total += q->forwarded_bytes();
+  }
+  return total;
+}
+
 void SimNetwork::apply_link_state(int plane, LinkId link) {
   const auto p = static_cast<std::size_t>(plane);
   const bool down = cable_failed_[p][static_cast<std::size_t>(link.v)] != 0 ||
@@ -95,6 +119,10 @@ void SimNetwork::set_cable_failed(int plane, LinkId link, bool failed) {
   if (failed) ++cable_fail_transitions_;
   apply_link_state(plane, link);
   apply_link_state(plane, rev);
+  PNET_TRACE_INSTANT(trace_, failed ? "cable_fail" : "cable_recover",
+                     events_.now(),
+                     (static_cast<std::int64_t>(plane) << 32) |
+                         static_cast<std::uint32_t>(link.v));
 }
 
 bool SimNetwork::cable_failed(int plane, LinkId link) const {
@@ -109,6 +137,8 @@ void SimNetwork::set_plane_failed(int plane, bool failed) {
   if (failed) ++plane_fail_transitions_;
   const int links = net_.plane(plane).graph.num_links();
   for (int l = 0; l < links; ++l) apply_link_state(plane, LinkId{l});
+  PNET_TRACE_INSTANT(trace_, failed ? "plane_fail" : "plane_recover",
+                     events_.now(), plane);
 }
 
 void SimNetwork::set_cable_degraded(int plane, LinkId link, double loss_rate,
@@ -118,12 +148,18 @@ void SimNetwork::set_cable_degraded(int plane, LinkId link, double loss_rate,
     queue(plane, id).set_loss_rate(loss_rate);
     queue(plane, id).set_rate_scale(rate_scale);
   }
+  const bool degraded = loss_rate > 0.0 || rate_scale < 1.0;
+  PNET_TRACE_INSTANT(trace_, degraded ? "cable_degrade" : "cable_restore",
+                     events_.now(),
+                     (static_cast<std::int64_t>(plane) << 32) |
+                         static_cast<std::uint32_t>(link.v));
 }
 
 std::vector<double> FlowLogger::fct_us() const {
   std::vector<double> out;
   out.reserve(records_.size());
   for (const auto& r : records_) {
+    if (!r.completed) continue;
     out.push_back(units::to_microseconds(r.end - r.start));
   }
   return out;
@@ -143,13 +179,14 @@ int FlowLogger::total_timeouts() const {
 
 void FlowLogger::write_csv(std::ostream& out) const {
   out << "flow,src,dst,bytes,start_ps,end_ps,fct_us,hops,subflows,"
-         "retransmits,timeouts,repaths\n";
+         "retransmits,timeouts,repaths,delivered,completed\n";
   for (const auto& r : records_) {
     out << r.id.v << ',' << r.src.v << ',' << r.dst.v << ',' << r.bytes
         << ',' << r.start << ',' << r.end << ','
         << units::to_microseconds(r.end - r.start) << ',' << r.hops << ','
         << r.subflows << ',' << r.retransmits << ',' << r.timeouts << ','
-        << r.repaths << '\n';
+        << r.repaths << ',' << r.delivered_bytes << ','
+        << (r.completed ? 1 : 0) << '\n';
   }
 }
 
@@ -188,9 +225,13 @@ TcpSrc& FlowFactory::tcp_flow(HostId src, HostId dst,
                           start, s.completion_time(),
                           hops,  1,
                           s.retransmits(), s.timeouts(), s.repaths()};
+        record.delivered_bytes = bytes;
         logger_.record(record);
+        note_finished(record);
         if (cb) cb(record);
       });
+  tcp_info_.push_back(LaunchInfo{id, src, dst, bytes, start, hops, false});
+  note_started(tcp_info_.back());
   source.connect(fwd, start);
   return source;
 }
@@ -205,6 +246,11 @@ const Route* FlowFactory::repath(TcpFlowMeta& meta) {
       network_.make_route(network_.reverse_path(path), *meta.source);
   meta.sink->set_ack_route(rev);
   meta.plane = path.plane;
+  if (telemetry_ != nullptr) {
+    telemetry_->registry.counter("repaths").inc();
+    PNET_TRACE_INSTANT(&telemetry_->trace, "repath", events_.now(),
+                       meta.source->flow().v);
+  }
   return fwd;
 }
 
@@ -295,10 +341,73 @@ MptcpConnection& FlowFactory::mptcp_flow(HostId src, HostId dst,
                           start, c.completion_time(),
                           hops,  num_subflows,
                           c.total_retransmits(), c.total_timeouts(), 0};
+        record.delivered_bytes = bytes;
         logger_.record(record);
+        note_finished(record);
         if (cb) cb(record);
       });
+  mptcp_info_.push_back(LaunchInfo{id, src, dst, bytes, start, hops, false});
+  note_started(mptcp_info_.back());
   return connection;
+}
+
+void FlowFactory::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+}
+
+void FlowFactory::note_started(const LaunchInfo& info) {
+  if (telemetry_ == nullptr) return;
+  telemetry_->registry.counter("flows_started").inc();
+  PNET_TRACE_INSTANT(&telemetry_->trace, "flow_start", info.start, info.id.v);
+}
+
+void FlowFactory::note_finished(const FlowRecord& r) {
+  ++flows_finished_;
+  if (telemetry_ == nullptr) return;
+  telemetry_->registry.counter("flows_finished").inc();
+  PNET_TRACE_COMPLETE(&telemetry_->trace, "flow", r.start, r.end, r.id.v);
+}
+
+int FlowFactory::finalize(SimTime at) {
+  int count = 0;
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    LaunchInfo& info = tcp_info_[i];
+    const TcpSrc& s = *sources_[i];
+    if (info.finalized || s.complete()) continue;
+    info.finalized = true;
+    FlowRecord record{info.id, info.src,
+                      info.dst, info.bytes,
+                      info.start, at,
+                      info.hops, 1,
+                      s.retransmits(), s.timeouts(), s.repaths()};
+    record.delivered_bytes = s.acked_bytes();
+    record.completed = false;
+    logger_.record(record);
+    note_finished(record);
+    ++count;
+  }
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    LaunchInfo& info = mptcp_info_[i];
+    const MptcpConnection& c = *connections_[i];
+    if (info.finalized || c.complete()) continue;
+    info.finalized = true;
+    FlowRecord record{info.id, info.src,
+                      info.dst, info.bytes,
+                      info.start, at,
+                      info.hops,
+                      static_cast<int>(connection_planes_[i].size()),
+                      c.total_retransmits(), c.total_timeouts(), 0};
+    record.delivered_bytes = c.delivered_bytes();
+    record.completed = false;
+    logger_.record(record);
+    note_finished(record);
+    ++count;
+  }
+  if (count > 0 && telemetry_ != nullptr) {
+    telemetry_->registry.counter("finalized_flows").add(
+        static_cast<std::uint64_t>(count));
+  }
+  return count;
 }
 
 }  // namespace pnet::sim

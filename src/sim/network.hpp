@@ -14,6 +14,7 @@
 #include "sim/pipe.hpp"
 #include "sim/queue.hpp"
 #include "sim/tcp.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topo/parallel.hpp"
 
 namespace pnet::sim {
@@ -62,6 +63,19 @@ class SimNetwork {
   [[nodiscard]] std::uint64_t total_drops() const;
   /// Total ECN CE marks across every queue.
   [[nodiscard]] std::uint64_t total_ecn_marks() const;
+  /// Bytes currently buffered across every queue — the fabric-wide queue
+  /// depth gauge of the telemetry sampler.
+  [[nodiscard]] std::uint64_t total_queued_bytes() const;
+  /// The deepest single queue right now (incast hotspot indicator).
+  [[nodiscard]] std::uint64_t max_queued_bytes() const;
+  /// Cumulative wire bytes forwarded by `plane`'s queues — per-plane link
+  /// utilization, sampled as a rate by the telemetry layer.
+  [[nodiscard]] std::uint64_t plane_forwarded_bytes(int plane) const;
+
+  /// Wires fault-transition trace events (cable/plane fail, recover,
+  /// degrade) into `trace`; nullptr detaches. All fault entry points funnel
+  /// through this network, so this one hook covers every fabric fault.
+  void set_trace(telemetry::Trace* trace) { trace_ = trace; }
 
   /// Fails (or repairs) a full-duplex cable: both directed links drop all
   /// arriving packets. `link` may be either direction of the pair.
@@ -95,6 +109,7 @@ class SimNetwork {
  private:
   void apply_link_state(int plane, LinkId link);
 
+  EventQueue& events_;  // fault trace events stamp with the current time
   const topo::ParallelNetwork& net_;
   SimConfig config_;
   std::vector<std::vector<std::unique_ptr<Queue>>> queues_;  // [plane][link]
@@ -107,6 +122,7 @@ class SimNetwork {
   std::vector<char> plane_failed_;
   int cable_fail_transitions_ = 0;
   int plane_fail_transitions_ = 0;
+  telemetry::Trace* trace_ = nullptr;
 };
 
 /// One completed transport flow, as logged for analysis.
@@ -124,6 +140,12 @@ struct FlowRecord {
   int timeouts = 0;
   /// Times the flow was moved to a fresh path by the failover machinery.
   int repaths = 0;
+  /// Bytes actually delivered to the receiver. Equals `bytes` for completed
+  /// flows; the partial progress for flows finalized mid-transfer.
+  std::uint64_t delivered_bytes = 0;
+  /// False for records emitted by FlowFactory::finalize — the flow was
+  /// still active when the harness stopped.
+  bool completed = true;
 };
 
 class FlowLogger {
@@ -132,7 +154,8 @@ class FlowLogger {
   [[nodiscard]] const std::vector<FlowRecord>& records() const {
     return records_;
   }
-  /// Flow completion times in microseconds, one per record.
+  /// Flow completion times in microseconds, one per completed record
+  /// (finalized-incomplete flows have no FCT and are skipped).
   [[nodiscard]] std::vector<double> fct_us() const;
   [[nodiscard]] int total_retransmits() const;
   [[nodiscard]] int total_timeouts() const;
@@ -179,6 +202,22 @@ class FlowFactory {
   /// flight — the goodput numerator sampled by analysis::GoodputProbe.
   [[nodiscard]] std::uint64_t total_delivered_bytes() const;
 
+  /// Flows launched but not yet completed (the sampler's active-flow gauge).
+  [[nodiscard]] int active_flows() const {
+    return next_flow_id_ - flows_finished_;
+  }
+
+  /// Wires flow lifecycle counters ("flows_started", "flows_finished",
+  /// "repaths", "finalized_flows") and trace events ("flow_start" instants,
+  /// "flow" spans, "repath" instants) into `telemetry`; nullptr detaches.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
+  /// Logs partial FlowRecords (completed=false, end=at) for every flow
+  /// still active, so FlowLogger sees each launched flow exactly once.
+  /// Idempotent per flow; call once after the final run_until. Returns the
+  /// number of flows finalized.
+  int finalize(SimTime at);
+
   /// Single-path TCP flow; returns the source endpoint.
   TcpSrc& tcp_flow(HostId src, HostId dst, const routing::Path& path,
                    std::uint64_t bytes, SimTime start,
@@ -214,6 +253,22 @@ class FlowFactory {
  private:
   FlowId next_id() { return FlowId{next_flow_id_++}; }
 
+  /// Launch-time facts about one flow, kept so finalize() can synthesize a
+  /// partial record for flows that never complete. tcp_info_ aligns with
+  /// sources_, mptcp_info_ with connections_.
+  struct LaunchInfo {
+    FlowId id;
+    HostId src;
+    HostId dst;
+    std::uint64_t bytes = 0;
+    SimTime start = 0;
+    int hops = 0;
+    bool finalized = false;
+  };
+
+  void note_started(const LaunchInfo& info);
+  void note_finished(const FlowRecord& r);
+
   /// Repath bookkeeping for one single-path TCP flow: which plane it rides
   /// now, plus the endpoints to rewire when it moves.
   struct TcpFlowMeta {
@@ -233,7 +288,9 @@ class FlowFactory {
   SimNetwork& network_;
   FlowLogger& logger_;
   int next_flow_id_ = 0;
+  int flows_finished_ = 0;
   RepathProvider repath_provider_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 
   std::vector<std::unique_ptr<TcpSrc>> sources_;
   std::vector<std::unique_ptr<TcpSink>> sinks_;
@@ -241,6 +298,8 @@ class FlowFactory {
   std::vector<std::unique_ptr<TcpFlowMeta>> tcp_metas_;
   /// Per-connection subflow planes, aligned with connections_.
   std::vector<std::vector<int>> connection_planes_;
+  std::vector<LaunchInfo> tcp_info_;    // aligned with sources_
+  std::vector<LaunchInfo> mptcp_info_;  // aligned with connections_
 };
 
 }  // namespace pnet::sim

@@ -87,6 +87,7 @@ void Queue::do_next_event() {
     queued_bytes_ -= packet->size_bytes;
   }
   ++forwarded_;
+  forwarded_bytes_ += packet->size_bytes;
   if (ack_fifo_.empty() && fifo_.empty()) {
     busy_ = false;
   } else {

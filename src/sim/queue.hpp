@@ -70,6 +70,11 @@ class Queue : public EventSource, public PacketSink {
     return drops_overflow_;
   }
   [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  /// Wire bytes forwarded (data + ACKs, post-trim sizes) — the link
+  /// utilization numerator sampled by the telemetry layer.
+  [[nodiscard]] std::uint64_t forwarded_bytes() const {
+    return forwarded_bytes_;
+  }
   [[nodiscard]] std::uint64_t ecn_marks() const { return ecn_marks_; }
   [[nodiscard]] std::uint64_t trims() const { return trims_; }
   [[nodiscard]] double rate_bps() const { return rate_bps_; }
@@ -113,6 +118,7 @@ class Queue : public EventSource, public PacketSink {
   std::uint64_t drops_random_ = 0;
   std::uint64_t drops_overflow_ = 0;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t forwarded_bytes_ = 0;
 };
 
 }  // namespace pnet::sim

@@ -1,0 +1,42 @@
+// Drives a telemetry::Sampler off the packet simulator's event queue: one
+// self-rescheduling EventSource that fires at every sample grid point. The
+// driver only re-arms itself while other simulation work is pending, so an
+// otherwise-drained EventQueue::run() still terminates — sampling rides the
+// simulation, it never extends it.
+#pragma once
+
+#include "sim/event_queue.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace pnet::sim {
+
+class TelemetryDriver : public EventSource {
+ public:
+  TelemetryDriver(EventQueue& events, telemetry::Sampler& sampler)
+      : events_(events), sampler_(sampler) {}
+
+  /// Starts sampling at `at` (the first sample lands one interval later).
+  /// No-op when the sampler has no interval configured.
+  void start(SimTime at) {
+    sampler_.start(at);
+    schedule_next();
+  }
+
+  void do_next_event() override {
+    sampler_.advance(events_.now());
+    // The firing entry is already popped, so pending() counts everything
+    // else: re-arm only while real simulation work remains.
+    if (events_.pending() > 0) schedule_next();
+  }
+
+ private:
+  void schedule_next() {
+    const SimTime next = sampler_.next_sample_at();
+    if (next != telemetry::Sampler::kNoSample) events_.schedule_at(next, this);
+  }
+
+  EventQueue& events_;
+  telemetry::Sampler& sampler_;
+};
+
+}  // namespace pnet::sim

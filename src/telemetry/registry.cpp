@@ -1,0 +1,56 @@
+#include "telemetry/registry.hpp"
+
+namespace pnet::telemetry {
+
+std::size_t Registry::shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+Registry::Counter Registry::counter(std::string_view name) {
+  if (const auto it = counter_index_.find(name);
+      it != counter_index_.end()) {
+    return Counter(it->second->cells);
+  }
+  counters_.emplace_back();
+  CounterSlot& slot = counters_.back();
+  slot.name = std::string(name);
+  counter_index_.emplace(slot.name, &slot);
+  return Counter(slot.cells);
+}
+
+Registry::Gauge Registry::gauge(std::string_view name) {
+  if (const auto it = gauge_index_.find(name); it != gauge_index_.end()) {
+    return Gauge(&it->second->value);
+  }
+  gauges_.emplace_back();
+  GaugeSlot& slot = gauges_.back();
+  slot.name = std::string(name);
+  gauge_index_.emplace(slot.name, &slot);
+  return Gauge(&slot.value);
+}
+
+Registry::Snapshot& Registry::Snapshot::merge(const Snapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  return *this;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  for (const auto& slot : counters_) {
+    std::uint64_t total = 0;
+    for (const auto& cell : slot.cells) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    snap.counters[slot.name] = total;
+  }
+  for (const auto& slot : gauges_) {
+    snap.gauges[slot.name] = slot.value.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+}  // namespace pnet::telemetry

@@ -1,0 +1,117 @@
+// Cheap counters and gauges for simulation telemetry.
+//
+// A Registry interns named metrics once at wiring time and hands out small
+// handles the hot paths bump. Counters are sharded across cache-line-padded
+// atomic cells — concurrent trials (or a future multi-threaded engine) can
+// increment the same logical counter without bouncing one cache line — and
+// a deterministic snapshot/merge API folds shards back into name -> value
+// maps for reports. Gauges are single last-write-wins slots (simulation
+// state is single-threaded per trial; gauges record "current value", not a
+// sum, so sharding them would have no meaning).
+//
+// Thread-safety contract: counter()/gauge() registration is NOT thread-safe
+// (register during wiring, before traffic runs); Counter::add / Gauge::set
+// are safe from any thread; snapshot() gives exact totals once writer
+// threads are quiesced (relaxed atomics — no ordering is implied between
+// metrics).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace pnet::telemetry {
+
+class Registry {
+ public:
+  /// Shards per counter. 16 matches routing::RouteCache's shard count —
+  /// enough that a handful of worker threads rarely collide.
+  static constexpr std::size_t kShards = 16;
+
+  struct alignas(64) ShardCell {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  /// Copyable handle to one sharded counter. A default-constructed handle
+  /// is inert: add() on it is a no-op, so call sites need no null checks.
+  class Counter {
+   public:
+    Counter() = default;
+    void add(std::uint64_t delta) const {
+      if (cells_ == nullptr) return;
+      cells_[shard_index()].value.fetch_add(delta,
+                                            std::memory_order_relaxed);
+    }
+    void inc() const { add(1); }
+    [[nodiscard]] explicit operator bool() const {
+      return cells_ != nullptr;
+    }
+
+   private:
+    friend class Registry;
+    explicit Counter(ShardCell* cells) : cells_(cells) {}
+    ShardCell* cells_ = nullptr;
+  };
+
+  /// Copyable handle to one gauge slot (last write wins).
+  class Gauge {
+   public:
+    Gauge() = default;
+    void set(double v) const {
+      if (slot_ != nullptr) slot_->store(v, std::memory_order_relaxed);
+    }
+    [[nodiscard]] explicit operator bool() const { return slot_ != nullptr; }
+
+   private:
+    friend class Registry;
+    explicit Gauge(std::atomic<double>* slot) : slot_(slot) {}
+    std::atomic<double>* slot_ = nullptr;
+  };
+
+  /// Interns (or finds) the counter named `name`. Handles stay valid for
+  /// the registry's lifetime.
+  Counter counter(std::string_view name);
+  /// Interns (or finds) the gauge named `name`.
+  Gauge gauge(std::string_view name);
+
+  [[nodiscard]] std::size_t num_counters() const { return counters_.size(); }
+  [[nodiscard]] std::size_t num_gauges() const { return gauges_.size(); }
+
+  /// A point-in-time read of every metric, shards summed. std::map so
+  /// iteration (and hence any serialization) is deterministic by name.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+
+    /// Folds `other` in: counters add; gauges take the other's value when
+    /// present (right operand wins, which keeps merge associative).
+    Snapshot& merge(const Snapshot& other);
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  /// Which shard this thread writes. Threads are assigned round-robin on
+  /// first use, so up to kShards writers never share a cell.
+  static std::size_t shard_index();
+
+  struct CounterSlot {
+    std::string name;
+    ShardCell cells[kShards];
+  };
+  struct GaugeSlot {
+    std::string name;
+    std::atomic<double> value{0.0};
+  };
+
+  // Deques: slots must not move once handed out as handles.
+  std::deque<CounterSlot> counters_;
+  std::deque<GaugeSlot> gauges_;
+  std::map<std::string, CounterSlot*, std::less<>> counter_index_;
+  std::map<std::string, GaugeSlot*, std::less<>> gauge_index_;
+};
+
+}  // namespace pnet::telemetry

@@ -1,0 +1,80 @@
+#include "telemetry/sampler.hpp"
+
+#include <cassert>
+
+namespace pnet::telemetry {
+
+Sampler::Sampler(Config config) : config_(config) {
+  if (config_.capacity < 2) config_.capacity = 2;
+  config_.capacity &= ~std::size_t{1};  // pairwise merge needs even
+  interval_ = config_.interval;
+}
+
+std::size_t Sampler::add_series(std::string name, Kind kind, Probe probe,
+                                double scale) {
+  assert(!started_ && "register series before start()");
+  Series series;
+  series.name = std::move(name);
+  series.kind = kind;
+  series.probe = std::move(probe);
+  series.scale = scale;
+  series_.push_back(std::move(series));
+  return series_.size() - 1;
+}
+
+void Sampler::start(SimTime at) {
+  if (!enabled() || started_) return;
+  for (Series& series : series_) {
+    if (series.kind == Kind::kRate) series.last_raw = series.probe();
+    series.values.reserve(config_.capacity);
+  }
+  times_.reserve(config_.capacity);
+  next_ = at + interval_;
+  started_ = true;
+}
+
+void Sampler::advance(SimTime now) {
+  if (!started_) return;
+  while (next_ <= now) capture(next_);
+}
+
+void Sampler::capture(SimTime t) {
+  times_.push_back(t);
+  const double seconds = units::to_seconds(interval_);
+  for (Series& series : series_) {
+    double v = series.probe();
+    if (series.kind == Kind::kRate) {
+      const double delta = v - series.last_raw;
+      series.last_raw = v;
+      v = delta * series.scale / seconds;
+    }
+    series.values.push_back(v);
+  }
+  if (times_.size() >= config_.capacity) downsample();
+  next_ = t + interval_;
+}
+
+void Sampler::downsample() {
+  const std::size_t half = times_.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    times_[i] = times_[2 * i + 1];  // merged bucket ends where the pair did
+  }
+  times_.resize(half);
+  for (Series& series : series_) {
+    auto& v = series.values;
+    for (std::size_t i = 0; i < half; ++i) {
+      v[i] = (v[2 * i] + v[2 * i + 1]) / 2.0;
+    }
+    v.resize(half);
+  }
+  interval_ *= 2;
+}
+
+const std::vector<double>* Sampler::find(std::string_view name) const {
+  for (const Series& series : series_) {
+    if (series.name == name) return &series.values;
+  }
+  return nullptr;
+}
+
+}  // namespace pnet::telemetry

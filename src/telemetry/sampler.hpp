@@ -1,0 +1,120 @@
+// Periodic time-series capture with bounded memory.
+//
+// A Sampler owns one shared sampling grid (every `interval` of simulated
+// time from start()) and any number of named series over it. Two kinds:
+//   kGauge — the probe's value at the grid point (queue depth, active
+//            flows, an allocator rate);
+//   kRate  — the probe is a cumulative counter; the series holds
+//            delta * scale / interval_seconds per grid bucket (goodput in
+//            bits/s from a delivered-bytes counter with scale = 8).
+//
+// Memory is bounded by pairwise downsampling: when the buffers reach
+// `capacity` points, adjacent pairs merge (bucket value = pair mean, bucket
+// end = the later end) and the grid interval doubles, so a run of any
+// length costs O(capacity) per series and the series always covers the
+// whole run. Mean-preserving for gauges; integral-preserving for rates
+// (equal-width buckets make the pair mean the merged bucket's true rate).
+//
+// Who advances the grid: the packet engine schedules a
+// sim::TelemetryDriver on the EventQueue; fsim advances inside its
+// allocation-epoch loop (grid points become epoch boundaries, so rates are
+// exact). Everything here is deterministic — a pure function of the probe
+// values at grid points — which is what lets sampler series ride in the
+// bit-identical part of experiment reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pnet::telemetry {
+
+class Sampler {
+ public:
+  /// Returned by next_sample_at() when disabled or not started.
+  static constexpr SimTime kNoSample = std::numeric_limits<SimTime>::max();
+
+  struct Config {
+    /// Grid spacing; <= 0 disables the sampler entirely.
+    SimTime interval = 0;
+    /// Points per series before pairwise downsampling halves the buffers
+    /// (rounded down to even, minimum 2).
+    std::size_t capacity = 512;
+  };
+
+  enum class Kind : std::uint8_t { kGauge, kRate };
+
+  /// Reads one probe value; called only at grid points, on the simulation
+  /// thread.
+  using Probe = std::function<double()>;
+
+  // (Two constructors instead of one defaulted argument: a nested class's
+  // member initializers are not usable in a default argument until the
+  // enclosing class is complete.)
+  Sampler() : Sampler(Config{}) {}
+  explicit Sampler(Config config);
+
+  [[nodiscard]] bool enabled() const { return config_.interval > 0; }
+  [[nodiscard]] bool started() const { return started_; }
+
+  /// Registers a series; call before start(). `scale` multiplies the
+  /// per-second delta of kRate series (8.0 turns bytes into bits/s) and is
+  /// ignored for gauges. Returns the series index.
+  std::size_t add_series(std::string name, Kind kind, Probe probe,
+                         double scale = 1.0);
+
+  /// Baselines rate series and arms the grid: the first capture happens at
+  /// `at` + interval.
+  void start(SimTime at);
+
+  /// The next grid point, or kNoSample when disabled/not started.
+  [[nodiscard]] SimTime next_sample_at() const {
+    return started_ ? next_ : kNoSample;
+  }
+
+  /// Captures every grid point <= `now` (one bucket per point, in order).
+  void advance(SimTime now);
+
+  /// Bucket end times, shared by all series. Bucket i covers
+  /// (times()[i] - interval(), times()[i]].
+  [[nodiscard]] const std::vector<SimTime>& times() const { return times_; }
+  /// Current grid spacing: config interval x 2^(downsampling rounds).
+  [[nodiscard]] SimTime interval() const { return interval_; }
+  [[nodiscard]] std::size_t num_series() const { return series_.size(); }
+  [[nodiscard]] const std::string& name(std::size_t i) const {
+    return series_[i].name;
+  }
+  [[nodiscard]] Kind kind(std::size_t i) const { return series_[i].kind; }
+  [[nodiscard]] const std::vector<double>& values(std::size_t i) const {
+    return series_[i].values;
+  }
+  /// The series named `name`, or nullptr.
+  [[nodiscard]] const std::vector<double>* find(std::string_view name) const;
+
+ private:
+  void capture(SimTime t);
+  void downsample();
+
+  struct Series {
+    std::string name;
+    Kind kind = Kind::kGauge;
+    Probe probe;
+    double scale = 1.0;
+    double last_raw = 0.0;  // kRate: probe value at the previous grid point
+    std::vector<double> values;
+  };
+
+  Config config_;
+  SimTime interval_ = 0;
+  bool started_ = false;
+  SimTime next_ = 0;
+  std::vector<SimTime> times_;
+  std::vector<Series> series_;
+};
+
+}  // namespace pnet::telemetry

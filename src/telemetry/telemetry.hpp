@@ -1,0 +1,50 @@
+// Umbrella header and the per-run telemetry bundle.
+//
+// One Telemetry object travels with one simulation run (one SimHarness or
+// FluidSimulator): a Registry of counters/gauges, a Sampler of time series
+// on a shared grid, and a Trace of span/instant events. Engines create it
+// from a Config (typically parsed from --sample-every / --trace flags by
+// bench/common.hpp), wire it through the simulators, and fold the results
+// into the experiment report (exp::fold_telemetry).
+//
+// Everything degrades to near-zero cost when off: a null Telemetry pointer
+// skips all wiring, the PNET_TRACE_* macros test a pointer (or compile
+// out), and sampling only costs anything at grid points.
+#pragma once
+
+#include "telemetry/registry.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace.hpp"
+
+namespace pnet::telemetry {
+
+/// What to collect. Default-constructed = everything off.
+struct Config {
+  /// Sampler grid spacing in simulated time; <= 0 disables sampling.
+  SimTime sample_every = 0;
+  /// Sampler points per series before downsampling halves the buffers.
+  std::size_t sample_capacity = 512;
+  /// Record trace events.
+  bool trace = false;
+
+  [[nodiscard]] bool enabled() const { return sample_every > 0 || trace; }
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(const Config& config = {})
+      : config(config),
+        sampler({config.sample_every, config.sample_capacity}),
+        trace(config.trace) {}
+
+  // Not copyable/movable: handles and probes point into the components.
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  const Config config;
+  Registry registry;
+  Sampler sampler;
+  Trace trace;
+};
+
+}  // namespace pnet::telemetry

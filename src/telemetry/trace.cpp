@@ -1,0 +1,222 @@
+#include "telemetry/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace pnet::telemetry {
+
+namespace {
+
+/// Picoseconds -> the trace_event microsecond unit, as an exact decimal
+/// ("12.000345") — integer arithmetic, so exports are byte-deterministic.
+void append_us(std::string& out, SimTime ps) {
+  const bool negative = ps < 0;
+  const std::uint64_t abs =
+      negative ? 0ull - static_cast<std::uint64_t>(ps)
+               : static_cast<std::uint64_t>(ps);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%llu.%06llu", negative ? "-" : "",
+                static_cast<unsigned long long>(abs / 1'000'000ull),
+                static_cast<unsigned long long>(abs % 1'000'000ull));
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+// Little-endian fixed-width serialization, independent of host layout.
+template <class T>
+void put(std::string& out, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out += static_cast<char>((static_cast<std::uint64_t>(v) >> (8 * i)) &
+                             0xFF);
+  }
+}
+
+template <class T>
+bool get(std::string_view& in, T& v) {
+  if (in.size() < sizeof(T)) return false;
+  std::uint64_t raw = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    raw |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[i]))
+           << (8 * i);
+  }
+  v = static_cast<T>(raw);
+  in.remove_prefix(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t Trace::intern(std::string_view name) {
+  if (const auto it = name_ids_.find(std::string(name));
+      it != name_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+void Trace::instant(std::string_view name, SimTime ts) {
+  if (!enabled_) return;
+  events_.push_back({intern(name), Phase::kInstant, false, ts, 0, 0});
+}
+
+void Trace::instant(std::string_view name, SimTime ts, std::int64_t arg) {
+  if (!enabled_) return;
+  events_.push_back({intern(name), Phase::kInstant, true, ts, 0, arg});
+}
+
+void Trace::complete(std::string_view name, SimTime start, SimTime end) {
+  if (!enabled_) return;
+  events_.push_back(
+      {intern(name), Phase::kComplete, false, start, end - start, 0});
+}
+
+void Trace::complete(std::string_view name, SimTime start, SimTime end,
+                     std::int64_t arg) {
+  if (!enabled_) return;
+  events_.push_back(
+      {intern(name), Phase::kComplete, true, start, end - start, arg});
+}
+
+void Trace::append(const Trace& other) {
+  for (const Event& event : other.events_) {
+    Event copy = event;
+    copy.name = intern(other.names_[event.name]);
+    events_.push_back(copy);
+  }
+}
+
+void Trace::append_chrome_json(std::string& out, int pid, int tid,
+                               bool& first) const {
+  for (const Event& event : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, names_[event.name]);
+    out += ",\"ph\":\"";
+    out += static_cast<char>(event.phase);
+    out += "\",\"ts\":";
+    append_us(out, event.ts);
+    if (event.phase == Phase::kComplete) {
+      out += ",\"dur\":";
+      append_us(out, event.dur);
+    }
+    out += ",\"pid\":";
+    append_int(out, pid);
+    out += ",\"tid\":";
+    append_int(out, tid);
+    if (event.phase == Phase::kInstant) out += ",\"s\":\"t\"";
+    if (event.has_arg) {
+      out += ",\"args\":{\"v\":";
+      append_int(out, event.arg);
+      out += "}";
+    }
+    out += "}";
+  }
+}
+
+std::string Trace::chrome_json() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  append_chrome_json(out, 0, 0, first);
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void append_chrome_process_name(std::string& out, int pid,
+                                std::string_view name, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+  append_int(out, pid);
+  out += ",\"tid\":0,\"args\":{\"name\":";
+  append_json_string(out, name);
+  out += "}}";
+}
+
+void Trace::append_binary(std::string& out) const {
+  put<std::uint32_t>(out, kBinaryMagic);
+  put<std::uint32_t>(out, kBinaryVersion);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(names_.size()));
+  for (const std::string& name : names_) {
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(name.size()));
+    out += name;
+  }
+  put<std::uint64_t>(out, static_cast<std::uint64_t>(events_.size()));
+  for (const Event& event : events_) {
+    put<std::uint32_t>(out, event.name);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(event.phase));
+    put<std::uint8_t>(out, event.has_arg ? 1 : 0);
+    put<std::int64_t>(out, event.ts);
+    put<std::int64_t>(out, event.dur);
+    put<std::int64_t>(out, event.arg);
+  }
+}
+
+bool Trace::parse_binary(std::string_view in, Trace& out) {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t num_names = 0;
+  if (!get(in, magic) || magic != kBinaryMagic) return false;
+  if (!get(in, version) || version != kBinaryVersion) return false;
+  if (!get(in, num_names)) return false;
+  std::vector<std::string> names;
+  names.reserve(num_names);
+  for (std::uint32_t i = 0; i < num_names; ++i) {
+    std::uint32_t len = 0;
+    if (!get(in, len) || in.size() < len) return false;
+    names.emplace_back(in.substr(0, len));
+    in.remove_prefix(len);
+  }
+  std::uint64_t num_events = 0;
+  if (!get(in, num_events)) return false;
+  for (std::uint64_t i = 0; i < num_events; ++i) {
+    std::uint32_t name = 0;
+    std::uint8_t phase = 0;
+    std::uint8_t has_arg = 0;
+    std::int64_t ts = 0;
+    std::int64_t dur = 0;
+    std::int64_t arg = 0;
+    if (!get(in, name) || !get(in, phase) || !get(in, has_arg) ||
+        !get(in, ts) || !get(in, dur) || !get(in, arg)) {
+      return false;
+    }
+    if (name >= names.size()) return false;
+    out.events_.push_back({out.intern(names[name]),
+                           static_cast<Phase>(phase), has_arg != 0, ts, dur,
+                           arg});
+  }
+  return in.empty();
+}
+
+}  // namespace pnet::telemetry

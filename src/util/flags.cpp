@@ -37,7 +37,8 @@ std::set<std::string, std::less<>> keys_in_usage(std::string_view text) {
 bool is_common_flag(std::string_view key) {
   return key == "help" || key == "scale" || key == "trials" ||
          key == "threads" || key == "json" || key == "json-timing" ||
-         key == "require-complete" || key == "engine";
+         key == "require-complete" || key == "engine" || key == "trace" ||
+         key == "sample-every";
 }
 
 }  // namespace
@@ -116,7 +117,12 @@ void Flags::handle_usage(std::string_view usage) const {
         "  --json=PATH       write the structured JSON report to PATH\n"
         "  --json-timing=0   omit wall-clock fields from the JSON, making\n"
         "                    reports bit-identical across thread counts\n"
-        "  --require-complete  exit 1 if any flows are left unfinished\n");
+        "  --require-complete  exit 1 if any flows are left unfinished\n"
+        "  --sample-every=MS telemetry sampling interval in simulated\n"
+        "                    milliseconds (0 = off); series land in the\n"
+        "                    report's telemetry block\n"
+        "  --trace=PATH      export Chrome trace_event JSON of every trial\n"
+        "                    (.bin suffix: compact binary format)\n");
     std::exit(0);
   }
   const auto unknown = unknown_flags(usage);

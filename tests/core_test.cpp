@@ -323,7 +323,7 @@ TEST(Harness, EndToEndFlowThroughStarter) {
   spec.type = topo::NetworkType::kParallelHomogeneous;
   PolicyConfig policy;
   policy.policy = RoutingPolicy::kRoundRobin;
-  SimHarness harness(spec, policy);
+  SimHarness harness({.spec = spec, .policy = policy});
 
   int completions = 0;
   harness.starter()(HostId{0}, HostId{15}, 50'000, 0,
@@ -348,7 +348,7 @@ TEST(Harness, MultipathStarterLaunchesMptcp) {
   PolicyConfig policy;
   policy.policy = RoutingPolicy::kKspMultipath;
   policy.k = 4;
-  SimHarness harness(spec, policy);
+  SimHarness harness({.spec = spec, .policy = policy});
   harness.starter()(HostId{0}, HostId{15}, 1'000'000, 0, {});
   harness.run();
   ASSERT_EQ(harness.logger().records().size(), 1u);

@@ -26,7 +26,7 @@ TEST(CrossValidation, TcpGoodputTracksLpPrediction) {
   policy.policy = core::RoutingPolicy::kShortestPlane;
   sim::SimConfig sim_config;
   sim_config.queue_buffer_bytes = 400 * 1500;
-  core::SimHarness h(spec, policy, sim_config);
+  core::SimHarness h({.spec = spec, .policy = policy, .sim_config = sim_config});
 
   Rng rng(4);
   const auto perm = rng.derangement(h.net().num_hosts());
@@ -73,7 +73,7 @@ core::SimHarness open_loop_harness() {
   spec.hosts = 16;
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;
-  return core::SimHarness(spec, policy);
+  return core::SimHarness({.spec = spec, .policy = policy});
 }
 
 TEST(OpenLoop, InjectsConfiguredNumberOfFlows) {
@@ -152,7 +152,7 @@ TEST(AckPriority, AcksBypassStandingDataQueues) {
     policy.policy = core::RoutingPolicy::kShortestPlane;
     sim::SimConfig sim_config;
     sim_config.priority_acks = priority;
-    core::SimHarness h(spec, policy, sim_config);
+    core::SimHarness h({.spec = spec, .policy = policy, .sim_config = sim_config});
     // Bulk flow from host 15 back toward host 0: its DATA shares links
     // with the RPC's ACK path.
     h.starter()(HostId{15}, HostId{0}, 1'000'000'000, 0, {});
@@ -180,7 +180,7 @@ TEST(AckPriority, DoesNotChangeDeliveredBytes) {
     policy.policy = core::RoutingPolicy::kShortestPlane;
     sim::SimConfig sim_config;
     sim_config.priority_acks = priority;
-    core::SimHarness h(spec, policy, sim_config);
+    core::SimHarness h({.spec = spec, .policy = policy, .sim_config = sim_config});
     h.starter()(HostId{0}, HostId{15}, 5'000'000, 0, {});
     h.run();
     ASSERT_EQ(h.logger().records().size(), 1u);

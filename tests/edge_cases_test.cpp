@@ -48,7 +48,7 @@ core::SimHarness tiny_harness() {
   spec.hosts = 16;
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;
-  return core::SimHarness(spec, policy);
+  return core::SimHarness({.spec = spec, .policy = policy});
 }
 
 class TinyFlowSizes : public ::testing::TestWithParam<std::uint64_t> {};
@@ -222,7 +222,7 @@ TEST(HadoopEdge, SingleMapperSingleReducer) {
   spec.hosts = 16;
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;
-  core::SimHarness h(spec, policy);
+  core::SimHarness h({.spec = spec, .policy = policy});
   workload::HadoopJob::Config config;
   config.num_mappers = 1;
   config.num_reducers = 1;
@@ -242,7 +242,7 @@ TEST(HadoopEdge, StagesRunInOrderWithBarriers) {
   spec.hosts = 16;
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;
-  core::SimHarness h(spec, policy);
+  core::SimHarness h({.spec = spec, .policy = policy});
   workload::HadoopJob::Config config;
   config.num_mappers = 2;
   config.num_reducers = 2;

@@ -23,7 +23,7 @@ namespace {
 ExperimentSpec small_packet_spec(const std::string& name) {
   ExperimentSpec spec;
   spec.name = name;
-  spec.engine = Engine::kPacket;
+  spec.engine = EngineKind::kPacket;
   spec.topo.topo = topo::TopoKind::kFatTree;
   spec.topo.type = topo::NetworkType::kParallelHomogeneous;
   spec.topo.hosts = 8;
@@ -68,7 +68,7 @@ TEST(ExperimentSpec, RejectsBadFields) {
 TEST(ExperimentSpec, CustomEngineSkipsEngineFieldChecks) {
   ExperimentSpec spec;
   spec.name = "custom";
-  spec.engine = Engine::kCustom;
+  spec.engine = EngineKind::kCustom;
   spec.topo.hosts = 0;  // would fail for the built-in engines
   EXPECT_EQ(spec.validate(), "");
 }
@@ -81,7 +81,7 @@ TEST(Runner, ThrowsOnInvalidSpecAndMissingCustomFn) {
 
   ExperimentSpec custom;
   custom.name = "no-fn";
-  custom.engine = Engine::kCustom;
+  custom.engine = EngineKind::kCustom;
   EXPECT_THROW(runner.run_cell({custom, {}}), std::invalid_argument);
 }
 
@@ -151,7 +151,7 @@ TEST(Runner, PacketEngineReportIsByteIdenticalAcrossThreadsAndRuns) {
 
 TEST(Runner, FsimEngineReportIsByteIdenticalAcrossThreadsAndRuns) {
   auto spec = small_packet_spec("fsim-cell");
-  spec.engine = Engine::kFsim;
+  spec.engine = EngineKind::kFsim;
   spec.trials = 4;
   spec.workload.rounds = 2;
   const std::vector<Cell> cells = {{spec, {}}};
@@ -163,10 +163,10 @@ TEST(Runner, FsimEngineReportIsByteIdenticalAcrossThreadsAndRuns) {
 TEST(Runner, MixedCellsMergeInSubmissionOrder) {
   auto packet = small_packet_spec("a-packet");
   auto fsim = small_packet_spec("b-fsim");
-  fsim.engine = Engine::kFsim;
+  fsim.engine = EngineKind::kFsim;
   ExperimentSpec custom;
   custom.name = "c-custom";
-  custom.engine = Engine::kCustom;
+  custom.engine = EngineKind::kCustom;
   custom.trials = 2;
   custom.seed = 11;
   const TrialFn fn = [](const TrialContext& ctx) {
@@ -189,7 +189,7 @@ TEST(Runner, MixedCellsMergeInSubmissionOrder) {
 TEST(Runner, CustomTrialsSeePerTrialJobSeeds) {
   ExperimentSpec spec;
   spec.name = "seeded";
-  spec.engine = Engine::kCustom;
+  spec.engine = EngineKind::kCustom;
   spec.seed = 42;
   spec.trials = 3;
   std::atomic<int> calls{0};
@@ -208,6 +208,67 @@ TEST(Runner, CustomTrialsSeePerTrialJobSeeds) {
   for (int t = 0; t < 3; ++t) {
     EXPECT_DOUBLE_EQ(cell.trials[t].metrics.at("trial"), t);
   }
+}
+
+// ------------------------------------------------------ engine interface
+
+TEST(Engine, MakeEngineResolvesEveryKind) {
+  EXPECT_NE(make_engine(EngineKind::kPacket), nullptr);
+  EXPECT_NE(make_engine(EngineKind::kFsim), nullptr);
+  EXPECT_NE(make_engine(EngineKind::kCustom,
+                        [](const TrialContext&) { return TrialResult{}; }),
+            nullptr);
+  EXPECT_THROW(make_engine(EngineKind::kCustom), std::invalid_argument);
+  // A fn overrides a built-in kind (the historical Cell{spec, fn} rule).
+  auto wrapped = make_engine(EngineKind::kPacket, [](const TrialContext&) {
+    TrialResult r;
+    r.metrics["wrapped"] = 1.0;
+    return r;
+  });
+  const auto spec = small_packet_spec("wrapped");
+  const auto cell = wrapped->run(spec, {});
+  ASSERT_EQ(cell.trials.size(), 2u);
+  EXPECT_DOUBLE_EQ(cell.trials[0].metrics.at("wrapped"), 1.0);
+}
+
+TEST(Engine, DirectRunMatchesRunnerDispatch) {
+  // Engine::run (sequential) and the Runner's threaded fan-out must agree
+  // for both built-in engines: same trials, same deterministic payloads.
+  for (const auto kind : {EngineKind::kPacket, EngineKind::kFsim}) {
+    auto spec = small_packet_spec(std::string("direct-") + to_string(kind));
+    spec.engine = kind;
+    spec.trials = 3;
+    const auto direct = make_engine(kind)->run(spec, {});
+    const auto via_runner = Runner(3).run_cell({spec, {}});
+    ASSERT_EQ(direct.trials.size(), via_runner.trials.size());
+    for (std::size_t t = 0; t < direct.trials.size(); ++t) {
+      EXPECT_EQ(direct.trials[t].fct_us, via_runner.trials[t].fct_us);
+      EXPECT_EQ(direct.trials[t].metrics, via_runner.trials[t].metrics);
+      EXPECT_EQ(direct.trials[t].flows_finished,
+                via_runner.trials[t].flows_finished);
+    }
+  }
+}
+
+TEST(Engine, TelemetryContextYieldsFoldedSeriesAndTrace) {
+  auto spec = small_packet_spec("instrumented");
+  spec.trials = 1;
+  EngineContext ctx;
+  ctx.telemetry = {.sample_every = 100 * units::kMicrosecond,
+                   .trace = true};
+  const auto cell = PacketEngine().run(spec, ctx);
+  ASSERT_EQ(cell.trials.size(), 1u);
+  const auto& trial = cell.trials[0];
+  EXPECT_NE(trial.samples.find("tm/t_us"), trial.samples.end());
+  EXPECT_NE(trial.samples.find("tm/goodput_bps"), trial.samples.end());
+  EXPECT_NE(trial.metrics.find("tm/flows_started"), trial.metrics.end());
+  ASSERT_NE(trial.trace, nullptr);
+  EXPECT_GT(trial.trace->size(), 0u);
+
+  // Disabled context = no telemetry keys, no trace (the zero-cost path).
+  const auto plain = PacketEngine().run(spec, {});
+  EXPECT_TRUE(plain.trials[0].samples.empty());
+  EXPECT_EQ(plain.trials[0].trace, nullptr);
 }
 
 // ------------------------------------------------- unfinished accounting

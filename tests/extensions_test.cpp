@@ -112,7 +112,7 @@ core::SimHarness make_parallel_harness(core::RoutingPolicy policy_kind,
   core::PolicyConfig policy;
   policy.policy = policy_kind;
   policy.k = k;
-  return core::SimHarness(spec, policy);
+  return core::SimHarness({.spec = spec, .policy = policy});
 }
 
 TEST(Failures, FailedQueueDropsEverything) {
@@ -199,7 +199,7 @@ core::SimHarness make_dctcp_harness(bool dctcp) {
     sim_config.ecn_threshold_bytes = 20 * 1500;  // ~20% of the buffer
     sim_config.tcp.dctcp = true;
   }
-  return core::SimHarness(spec, policy, sim_config);
+  return core::SimHarness({.spec = spec, .policy = policy, .sim_config = sim_config});
 }
 
 TEST(Dctcp, MarksAndKeepsQueuesShort) {
@@ -288,7 +288,7 @@ TEST(Isolation, TenantsOnDisjointPlanesDoNotInterfere) {
     core::PolicyConfig policy_a;
     policy_a.policy = core::RoutingPolicy::kRoundRobin;
     policy_a.allowed_planes = {0};
-    core::SimHarness h(spec, policy_a);
+    core::SimHarness h({.spec = spec, .policy = policy_a});
 
     core::PolicyConfig policy_b;
     policy_b.policy = core::RoutingPolicy::kRoundRobin;

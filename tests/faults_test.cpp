@@ -24,7 +24,7 @@ core::SimHarness make_harness(core::RoutingPolicy policy_kind, int k = 2) {
   core::PolicyConfig policy;
   policy.policy = policy_kind;
   policy.k = k;
-  return core::SimHarness(spec, policy);
+  return core::SimHarness({.spec = spec, .policy = policy});
 }
 
 void degrade_whole_plane(core::SimHarness& h, int plane, double loss_rate,

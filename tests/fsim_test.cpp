@@ -316,7 +316,7 @@ void expect_fct_tracks_packet_sim(
   core::PolicyConfig policy;
   sim::SimConfig sim_config;
   sim_config.queue_buffer_bytes = 400 * 1500;  // bulk-transfer buffers
-  core::SimHarness harness(spec, policy, sim_config);
+  core::SimHarness harness({.spec = spec, .policy = policy, .sim_config = sim_config});
   std::vector<double> packet_fcts;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     harness.factory().tcp_flow(

@@ -63,7 +63,7 @@ core::SimHarness rr_harness(int planes) {
   spec.parallelism = planes;
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kRoundRobin;
-  return core::SimHarness(spec, policy);
+  return core::SimHarness({.spec = spec, .policy = policy});
 }
 
 TEST(PlaneStatsTest, CountsForwardedPacketsPerPlane) {

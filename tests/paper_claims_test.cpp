@@ -126,7 +126,7 @@ TEST(PaperClaims, HeterogeneousCutsRpcMedian) {
   auto median_rpc = [&](topo::NetworkType type) {
     core::PolicyConfig policy;
     policy.policy = core::RoutingPolicy::kShortestPlane;
-    core::SimHarness h(jf_spec(type, 4, 96), policy);
+    core::SimHarness h({.spec = jf_spec(type, 4, 96), .policy = policy});
     workload::ClosedLoopApp::Config config;
     config.response_bytes = 1500;
     config.rounds_per_worker = 30;
@@ -155,7 +155,7 @@ TEST(PaperClaims, HighBandwidthBarelyHelpsMtuRpcs) {
   auto median_rpc = [&](topo::NetworkType type) {
     core::PolicyConfig policy;
     policy.policy = core::RoutingPolicy::kShortestPlane;
-    core::SimHarness h(jf_spec(type, 4, 96), policy);
+    core::SimHarness h({.spec = jf_spec(type, 4, 96), .policy = policy});
     workload::ClosedLoopApp::Config config;
     config.response_bytes = 1500;
     config.rounds_per_worker = 20;
@@ -183,7 +183,7 @@ TEST(PaperClaims, ConcurrentRpcTailExplodesOnlyOnSerial) {
   auto p99 = [&](topo::NetworkType type) {
     core::PolicyConfig policy;
     policy.policy = core::RoutingPolicy::kShortestPlane;
-    core::SimHarness h(jf_spec(type, 4, 48), policy);
+    core::SimHarness h({.spec = jf_spec(type, 4, 48), .policy = policy});
     workload::ClosedLoopApp::Config config;
     config.concurrent_per_host = 8;
     config.response_bytes = 1500;

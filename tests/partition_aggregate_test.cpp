@@ -22,7 +22,7 @@ core::SimHarness make_harness(topo::NetworkType type, int planes,
     sim_config.ecn_threshold_bytes = 20 * 1500;
     sim_config.tcp.dctcp = true;
   }
-  return core::SimHarness(spec, policy, sim_config);
+  return core::SimHarness({.spec = spec, .policy = policy, .sim_config = sim_config});
 }
 
 TEST(PartitionAggregate, CompletesAllQueries) {

@@ -217,7 +217,7 @@ TEST(MptcpDetails, StaggeredJoinReproducesShortFlowPenalty) {
     policy.k = 4;
     sim::SimConfig sim_config;
     sim_config.tcp.mptcp_staggered_join = staggered;
-    pnet::core::SimHarness h(spec, policy, sim_config);
+    pnet::core::SimHarness h({.spec = spec, .policy = policy, .sim_config = sim_config});
     h.starter()(HostId{0}, HostId{15}, 45'000, 0, {});  // 30 packets
     h.run();
     return h.logger().fct_us().front();
@@ -239,7 +239,7 @@ TEST(MptcpDetails, StaggeredJoinBarelyAffectsBulkFlows) {
     policy.k = 2;
     sim::SimConfig sim_config;
     sim_config.tcp.mptcp_staggered_join = staggered;
-    pnet::core::SimHarness h(spec, policy, sim_config);
+    pnet::core::SimHarness h({.spec = spec, .policy = policy, .sim_config = sim_config});
     h.starter()(HostId{0}, HostId{15}, 50'000'000, 0, {});
     h.run();
     return h.logger().fct_us().front();

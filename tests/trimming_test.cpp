@@ -84,7 +84,7 @@ core::SimHarness make_harness(bool trim, std::uint64_t buffer_pkts = 16) {
   SimConfig config;
   config.queue_buffer_bytes = buffer_pkts * 1500;
   config.trim_to_header = trim;
-  return core::SimHarness(spec, policy, config);
+  return core::SimHarness({.spec = spec, .policy = policy, .sim_config = config});
 }
 
 TEST(Trimming, FlowCompletesThroughBrutalBuffers) {

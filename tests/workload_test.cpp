@@ -129,7 +129,7 @@ core::SimHarness make_harness(int planes = 1,
   spec.type = type;
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;
-  return core::SimHarness(spec, policy);
+  return core::SimHarness({.spec = spec, .policy = policy});
 }
 
 TEST(ClosedLoop, CompletesConfiguredRounds) {
@@ -228,7 +228,7 @@ TEST(Hadoop, MoreBandwidthFinishesFaster) {
     spec.type = type;
     core::PolicyConfig policy;
     policy.policy = core::RoutingPolicy::kRoundRobin;
-    core::SimHarness h(spec, policy);
+    core::SimHarness h({.spec = spec, .policy = policy});
     HadoopJob::Config config;
     config.num_mappers = 4;
     config.num_reducers = 4;
