@@ -19,9 +19,21 @@
 // fabric, not flow arrivals), so the cells report no started/finished
 // flow counts.
 //
+// With --inject-trial-faults the bench doubles as the resilience layer's
+// end-to-end exercise: three extra cells host a trial that throws once
+// (healed by --retries), a trial that always throws, and a trial that
+// hangs until the --trial-timeout watchdog fires — so the committed JSON
+// sample carries a populated `errors` block with deterministic taxonomy
+// entries next to the healthy timeline cells.
+//
 // Usage: bench_fault_recovery [--hosts=16] [--seed=1] [--fail-rate=0.05]
 //                             [--flap-period=20] [--detect-delay=1]
+//                             [--inject-trial-faults]
 // Run with --help for flag semantics.
+#include <atomic>
+#include <chrono>
+#include <memory>
+
 #include "analysis/recovery.hpp"
 #include "common.hpp"
 #include "core/health_monitor.hpp"
@@ -142,6 +154,61 @@ exp::TrialResult run_network(topo::NetworkType type, const Scenario& sc,
   return r;
 }
 
+/// The --inject-trial-faults cells: one flaky trial healed by --retries,
+/// one deterministic failure, one hang caught by --trial-timeout. Error
+/// `what` strings carry no wall-clock values, so the resulting report
+/// (with --json-timing=0) stays byte-identical across runs and threads.
+void add_injected_fault_cells(bench::Experiment& experiment,
+                              std::uint64_t seed) {
+  const auto cell_spec = [seed](const char* name) {
+    exp::ExperimentSpec spec;
+    spec.name = std::string("inject/") + name;
+    spec.engine = exp::EngineKind::kCustom;
+    spec.seed = seed;
+    return spec;
+  };
+  const auto healthy = [](const exp::TrialContext& ctx) {
+    exp::TrialResult r;
+    r.flows_started = 1;
+    r.flows_finished = 1;
+    r.metrics["seed_lo"] = static_cast<double>(ctx.seed & 0xFFFF);
+    return r;
+  };
+
+  // Throws on its first attempt only: with --retries >= 1 the rerun (same
+  // seed) succeeds, so this cell proves the retry path and contributes a
+  // clean trial to the report.
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  experiment.add(cell_spec("flaky-retried"),
+                 [=](const exp::TrialContext& ctx) {
+                   if (attempts->fetch_add(1) == 0) {
+                     throw std::runtime_error(
+                         "injected transient fault (first attempt)");
+                   }
+                   return healthy(ctx);
+                 });
+
+  // Always throws: lands in the errors block as kind=exception even with
+  // retries (every attempt fails the same way).
+  experiment.add(cell_spec("always-throws"),
+                 [](const exp::TrialContext&) -> exp::TrialResult {
+                   throw std::runtime_error("injected permanent fault");
+                 });
+
+  // Spins until the per-trial watchdog fires: lands as kind=timeout. The
+  // wall cap keeps the bench finite if run without --trial-timeout.
+  experiment.add(cell_spec("hangs-until-timeout"),
+                 [=](const exp::TrialContext& ctx) {
+                   const auto start = std::chrono::steady_clock::now();
+                   while (!ctx.cancel.cancelled() &&
+                          std::chrono::steady_clock::now() - start <
+                              std::chrono::seconds(10)) {
+                   }
+                   exp::throw_if_cancelled(ctx.cancel);
+                   return healthy(ctx);  // no watchdog armed: wall cap hit
+                 });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,7 +228,11 @@ int main(int argc, char** argv) {
       "                    milliseconds (default 20)\n"
       "  --detect-delay=MS link-status propagation delay before hosts react\n"
       "                    to a plane transition; 0 = instantaneous oracle\n"
-      "                    (default 1). The sweep at the end varies this.\n");
+      "                    (default 1). The sweep at the end varies this.\n"
+      "  --inject-trial-faults  add three fault-injection cells (a flaky\n"
+      "                    trial healed by --retries, a permanent throw,\n"
+      "                    and a hang caught by --trial-timeout) so the\n"
+      "                    JSON report exercises the errors block\n");
 
   Scenario sc;
   sc.paper_scale = flags.paper_scale();
@@ -204,6 +275,8 @@ int main(int argc, char** argv) {
           static_cast<SimTime>(delay_ms * units::kMillisecond), ctx);
     });
   }
+  const bool inject = flags.get_bool("inject-trial-faults", false);
+  if (inject) add_injected_fault_cells(experiment, seed);
   const auto results = experiment.run();
 
   std::printf("plane 0 down %.0f-%.0f ms; %d cables at %.0f%% loss "
@@ -252,6 +325,21 @@ int main(int argc, char** argv) {
                   1);
   }
   sweep.print();
+
+  if (inject) {
+    TextTable injected("Injected-fault cells (resilience exercise)",
+                       {"cell", "ok trials", "errors", "first error"});
+    for (std::size_t i = std::size(types) + std::size(sweep_delays_ms);
+         i < results.size(); ++i) {
+      const auto& cell = results[i];
+      injected.add_row(
+          {cell.spec.name, std::to_string(cell.trials.size()),
+           std::to_string(cell.errors.size()),
+           cell.errors.empty() ? "-"
+                               : exp::to_string(cell.errors.front().kind)});
+    }
+    injected.print();
+  }
 
   std::printf(
       "The P-Nets lose ~1/4 of their goodput for about the detection delay\n"

@@ -21,6 +21,7 @@
 #include "lp/mcf.hpp"
 #include "routing/ecmp.hpp"
 #include "routing/plane_paths.hpp"
+#include "util/audit.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -174,9 +175,11 @@ class WallClock {
 
 /// The adapter every bench runs its cells through. Reads the common
 /// runner flags (--trials, --threads, --json, --json-timing,
-/// --require-complete, --trace, --sample-every), queues cells, fans them
-/// out through exp::Runner, and on finish() writes the structured JSON
-/// report (and the --trace export) and enforces --require-complete.
+/// --require-complete, --trace, --sample-every, plus the resilience
+/// knobs --trial-timeout, --run-deadline, --retries, --checkpoint,
+/// --audit), queues cells, fans them out through exp::Runner, and on
+/// finish() writes the structured JSON report (and the --trace export),
+/// reports trial errors, and enforces --require-complete.
 ///
 /// Typical shape:
 ///   Experiment experiment(flags, "fig9");
@@ -200,6 +203,12 @@ class Experiment {
         flags.get_double("sample-every", 0.0) * units::kMillisecond);
     cfg.trace = !trace_path_.empty();
     runner_.set_telemetry(cfg);
+    runner_.set_trial_timeout(flags.get_double("trial-timeout", 0.0));
+    runner_.set_run_deadline(flags.get_double("run-deadline", 0.0));
+    runner_.set_retries(flags.get_int("retries", 0));
+    runner_.set_checkpoint(flags.get("checkpoint", ""));
+    runner_.set_audit(flags.get_bool("audit", false) ||
+                      util::Audit::env_enabled());
   }
 
   /// The bench's trial count: --trials when given, else `def`.
@@ -236,10 +245,10 @@ class Experiment {
   }
 
   /// Bench epilogue: writes the --json report (runtime block included
-  /// unless --json-timing=0), warns about unfinished flows, and returns
-  /// the process exit code — nonzero when --require-complete is set and
-  /// any simulated flow was left unfinished, or the report could not be
-  /// written.
+  /// unless --json-timing=0), warns about unfinished flows and failed
+  /// trials, and returns the process exit code — nonzero when
+  /// --require-complete is set and any flow was left unfinished or any
+  /// trial errored, or the report could not be written.
   [[nodiscard]] int finish() const {
     bool ok = true;
     if (!json_path_.empty()) {
@@ -248,14 +257,34 @@ class Experiment {
     if (!trace_path_.empty()) {
       ok = report_.write_trace(trace_path_) && ok;
     }
+    bool incomplete = false;
     const std::uint64_t unfinished = report_.total_unfinished_flows();
     if (unfinished > 0) {
+      incomplete = true;
       std::fprintf(stderr, "%s: %llu flow(s) unfinished%s\n",
                    report_.bench().c_str(),
                    static_cast<unsigned long long>(unfinished),
                    require_complete_ ? " (--require-complete: failing)" : "");
-      if (require_complete_) return 1;
     }
+    if (report_.total_trial_errors() > 0) {
+      incomplete = true;
+      for (const auto& cell : report_.cells()) {
+        for (const auto& error : cell.errors) {
+          std::fprintf(stderr, "%s: cell '%s' trial %d failed (%s): %s\n",
+                       report_.bench().c_str(), cell.spec.name.c_str(),
+                       error.trial, exp::to_string(error.kind),
+                       error.what.c_str());
+        }
+      }
+      if (require_complete_) {
+        std::fprintf(stderr, "%s: %llu trial error(s) "
+                     "(--require-complete: failing)\n",
+                     report_.bench().c_str(),
+                     static_cast<unsigned long long>(
+                         report_.total_trial_errors()));
+      }
+    }
+    if (incomplete && require_complete_) return 1;
     return ok ? 0 : 1;
   }
 

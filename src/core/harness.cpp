@@ -12,6 +12,18 @@ SimHarness::SimHarness(const Options& options)
       starter_(selector_.make_starter(factory_)),
       telemetry_(options.telemetry) {
   if (telemetry_ != nullptr) wire_telemetry(options.sample_route_cache);
+  if (options.cancel != nullptr) events_.set_cancel(options.cancel);
+  audit_ = options.audit;
+  if (audit_ == nullptr && util::Audit::env_enabled()) {
+    // Env opt-in without runner plumbing (unit tests, examples): fail fast
+    // so the breach aborts the test at the violation site.
+    owned_audit_ = std::make_unique<util::Audit>(/*fail_fast=*/true);
+    audit_ = owned_audit_.get();
+  }
+  if (audit_ != nullptr) {
+    events_.set_audit(audit_);
+    network_.set_audit(audit_);
+  }
 }
 
 void SimHarness::wire_telemetry(bool sample_route_cache) {

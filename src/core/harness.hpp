@@ -12,6 +12,8 @@
 #include "sim/telemetry_driver.hpp"
 #include "telemetry/telemetry.hpp"
 #include "topo/parallel.hpp"
+#include "util/audit.hpp"
+#include "util/cancel.hpp"
 #include "workload/apps.hpp"
 
 namespace pnet::core {
@@ -37,6 +39,14 @@ class SimHarness {
     /// interleaving, which would break sampler determinism — only enable
     /// this with a private (per-harness) cache.
     bool sample_route_cache = false;
+    /// Cooperative-cancellation token polled by the event loop; run()/
+    /// run_until() return early once it fires. Must outlive the harness.
+    const util::CancelToken* cancel = nullptr;
+    /// Invariant auditor wired through the event queue and every queue in
+    /// the network (collected violations; see util::Audit). When null and
+    /// PNET_AUDIT=1 is set, the harness owns a private fail-fast auditor so
+    /// direct users (unit tests, examples) get audited too.
+    util::Audit* audit = nullptr;
   };
 
   explicit SimHarness(const Options& options);
@@ -73,8 +83,24 @@ class SimHarness {
   /// Logs partial FlowRecords for flows still active — run_until stops the
   /// clock, it does not complete in-flight transfers, so without this the
   /// FlowLogger silently under-reports launched flows. Call once after the
-  /// final run/run_until; returns the number of flows finalized.
-  int finalize(SimTime at) { return factory_.finalize(at); }
+  /// final run/run_until; returns the number of flows finalized. Also runs
+  /// the end-of-trial conservation sweep when an auditor is attached —
+  /// this must work after a cancelled run too, so partial results still
+  /// get both their flow records and their audit.
+  int finalize(SimTime at) {
+    const int n = factory_.finalize(at);
+    audit_check();
+    return n;
+  }
+
+  /// The attached auditor — options.audit, or the private fail-fast one
+  /// created under PNET_AUDIT=1; nullptr when auditing is off.
+  [[nodiscard]] util::Audit* audit() { return audit_; }
+
+  /// Conservation sweep over every queue; no-op without an auditor.
+  void audit_check() {
+    if (audit_ != nullptr) network_.audit_check(*audit_);
+  }
 
  private:
   void wire_telemetry(bool sample_route_cache);
@@ -89,6 +115,8 @@ class SimHarness {
   workload::FlowStarter starter_;
   telemetry::Telemetry* telemetry_ = nullptr;
   std::unique_ptr<sim::TelemetryDriver> driver_;
+  util::Audit* audit_ = nullptr;
+  std::unique_ptr<util::Audit> owned_audit_;  // the PNET_AUDIT=1 fallback
 };
 
 }  // namespace pnet::core

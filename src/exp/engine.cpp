@@ -33,6 +33,15 @@ SimTime jittered(SimTime base, SimTime jitter, Rng& rng) {
 
 }  // namespace
 
+void throw_if_cancelled(const util::CancelToken& cancel) {
+  if (!cancel.cancelled()) return;
+  if (cancel.reason() == util::CancelToken::Reason::kDeadline) {
+    throw TrialCancelled(TrialErrorKind::kTimeout,
+                         "trial wall-clock budget expired");
+  }
+  throw TrialCancelled(TrialErrorKind::kCancelled, "run cancelled");
+}
+
 CellResult Engine::run(const ExperimentSpec& spec, const EngineContext& ctx) {
   CellResult cell;
   cell.spec = spec;
@@ -41,7 +50,8 @@ CellResult Engine::run(const ExperimentSpec& spec, const EngineContext& ctx) {
     const TrialContext trial{spec, t,
                              util::job_seed(spec.seed,
                                             static_cast<std::uint64_t>(t)),
-                             ctx.route_cache, ctx.telemetry};
+                             ctx.route_cache, ctx.telemetry, ctx.cancel,
+                             ctx.audit};
     cell.trials.push_back(run_trial(trial));
   }
   return cell;
@@ -52,13 +62,21 @@ TrialResult PacketEngine::run_trial(const TrialContext& ctx) {
   const WorkloadSpec& wl = spec.workload;
   TrialResult r;
   auto telemetry = make_telemetry(ctx.telemetry);
+  util::Audit audit;  // collecting; only wired when ctx.audit
+  if (ctx.audit && telemetry != nullptr) {
+    audit.set_counter(telemetry->registry.counter("audit_violations"));
+  }
   core::SimHarness harness({.spec = spec.topo,
                             .policy = spec.policy,
                             .sim_config = spec.sim,
                             .route_cache = ctx.route_cache,
-                            .telemetry = telemetry.get()});
+                            .telemetry = telemetry.get(),
+                            .cancel = ctx.cancel.is_armed() ? &ctx.cancel
+                                                         : nullptr,
+                            .audit = ctx.audit ? &audit : nullptr});
   Rng rng(ctx.seed);
   for (int round = 0; round < wl.rounds; ++round) {
+    if (ctx.cancel.cancelled()) break;
     const SimTime base =
         wl.round_gap > 0 ? round * wl.round_gap : harness.events().now();
     for (const auto& [src, dst] :
@@ -88,7 +106,13 @@ TrialResult PacketEngine::run_trial(const TrialContext& ctx) {
       harness.run();
     }
   }
+  // Finalize before any throw: a cancelled trial must still log its
+  // partial flow records (and run the conservation sweep) — the records
+  // stay reachable through the harness for direct callers even though the
+  // runner discards this TrialResult.
   harness.finalize(harness.events().now());
+  throw_if_cancelled(ctx.cancel);
+  if (ctx.audit) audit.check();  // raises InvariantViolation on breaches
   r.delivered_bytes =
       static_cast<double>(harness.factory().total_delivered_bytes());
   r.sim_seconds = units::to_seconds(harness.events().now());
@@ -104,6 +128,9 @@ TrialResult FluidEngine::run_trial(const TrialContext& ctx) {
   const auto net = topo::build_network(spec.topo);
   TrialResult r;
   Rng rng(ctx.seed);
+  util::Audit audit;  // collecting; only wired when ctx.audit
+  const util::CancelToken* cancel =
+      ctx.cancel.is_armed() ? &ctx.cancel : nullptr;
 
   auto finish = [&r](fsim::FluidSimulator& fluid) {
     for (double fct : fluid.fct_us()) r.fct_us.push_back(fct);
@@ -118,8 +145,13 @@ TrialResult FluidEngine::run_trial(const TrialContext& ctx) {
     // its allocator state) — the only shape where a single sample grid /
     // trace covers the trial, so telemetry attaches here.
     auto telemetry = make_telemetry(ctx.telemetry);
+    if (ctx.audit && telemetry != nullptr) {
+      audit.set_counter(telemetry->registry.counter("audit_violations"));
+    }
     fsim::FluidSimulator fluid(net, config, ctx.route_cache);
     fluid.set_telemetry(telemetry.get());
+    if (cancel != nullptr) fluid.set_cancel(cancel);
+    if (ctx.audit) fluid.set_audit(&audit);
     for (int round = 0; round < wl.rounds; ++round) {
       const SimTime base = round * wl.round_gap;
       for (const auto& [src, dst] : pattern_pairs(wl, net, rng)) {
@@ -140,7 +172,10 @@ TrialResult FluidEngine::run_trial(const TrialContext& ctx) {
     // engine's drained-queue equivalent. Simulated clocks restart per
     // round, so no cross-round telemetry is collected.
     for (int round = 0; round < wl.rounds; ++round) {
+      if (ctx.cancel.cancelled()) break;
       fsim::FluidSimulator fluid(net, config, ctx.route_cache);
+      if (cancel != nullptr) fluid.set_cancel(cancel);
+      if (ctx.audit) fluid.set_audit(&audit);
       for (const auto& [src, dst] : pattern_pairs(wl, net, rng)) {
         ++r.flows_started;
         fluid.add_flow({src, dst, wl.flow_bytes,
@@ -154,6 +189,8 @@ TrialResult FluidEngine::run_trial(const TrialContext& ctx) {
       finish(fluid);
     }
   }
+  throw_if_cancelled(ctx.cancel);
+  if (ctx.audit) audit.check();  // raises InvariantViolation on breaches
   return r;
 }
 

@@ -22,6 +22,8 @@
 #include "exp/spec.hpp"
 #include "routing/route_cache.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/audit.hpp"
+#include "util/cancel.hpp"
 
 namespace pnet::exp {
 
@@ -42,6 +44,15 @@ struct TrialContext {
   /// Disabled by default; custom trial bodies are free to honour it via
   /// make_telemetry/fold_telemetry like the built-in engines do.
   telemetry::Config telemetry{};
+  /// Cooperative-cancellation token for this trial. Inert by default; the
+  /// runner arms it with the --trial-timeout / run-deadline watchdogs.
+  /// Built-in engines poll it and throw TrialCancelled; custom trial
+  /// bodies should poll `cancel.cancelled()` in their long loops (or call
+  /// throw_if_cancelled) to honour timeouts.
+  util::CancelToken cancel{};
+  /// When true, built-in engines attach an invariant auditor and raise
+  /// util::InvariantViolation at end of trial on any breach.
+  bool audit = false;
 };
 
 using TrialFn = std::function<TrialResult(const TrialContext&)>;
@@ -51,6 +62,10 @@ struct EngineContext {
   /// Null = the engine builds a private cache per cell.
   std::shared_ptr<routing::RouteCache> route_cache{};
   telemetry::Config telemetry{};
+  /// Shared across every trial of the cell (no per-trial watchdog here;
+  /// that is the runner's job — this covers direct Engine::run callers).
+  util::CancelToken cancel{};
+  bool audit = false;
 };
 
 /// Execution strategy for one experiment cell's trials.
@@ -102,6 +117,13 @@ class CustomEngine final : public Engine {
 /// Throws std::invalid_argument for kCustom without a fn.
 [[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind,
                                                   TrialFn fn = {});
+
+/// Throws TrialCancelled when `cancel` has fired — Reason::kDeadline maps
+/// to TrialErrorKind::kTimeout (the per-trial watchdog), anything else to
+/// kCancelled (run deadline / external cancel). The messages carry no
+/// wall-clock values, keeping error reports deterministic. No-op
+/// otherwise; custom trial bodies can call this at loop boundaries.
+void throw_if_cancelled(const util::CancelToken& cancel);
 
 /// Builds the per-trial telemetry block a TrialContext asks for, or null
 /// when instrumentation is disabled (the zero-overhead path).

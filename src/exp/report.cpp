@@ -6,6 +6,16 @@
 
 namespace pnet::exp {
 
+const char* to_string(TrialErrorKind kind) {
+  switch (kind) {
+    case TrialErrorKind::kException: return "exception";
+    case TrialErrorKind::kTimeout: return "timeout";
+    case TrialErrorKind::kCancelled: return "cancelled";
+    case TrialErrorKind::kInvariant: return "invariant";
+  }
+  return "?";
+}
+
 Summary summarize(const std::vector<double>& samples) {
   Summary s;
   if (samples.empty()) return s;
@@ -94,6 +104,12 @@ double CellResult::events_per_sec() const {
 std::uint64_t Report::total_unfinished_flows() const {
   std::uint64_t n = 0;
   for (const auto& cell : cells_) n += cell.unfinished_flows();
+  return n;
+}
+
+std::uint64_t Report::total_trial_errors() const {
+  std::uint64_t n = 0;
+  for (const auto& cell : cells_) n += cell.errors.size();
   return n;
 }
 
@@ -212,6 +228,23 @@ void cell_to_json(JsonWriter& w, const CellResult& cell, bool with_runtime) {
     w.end_object();  // telemetry
   }
 
+  // Errors block: failed trials in trial order. Deterministic (the `what`
+  // strings carry no wall-clock values), so it lives outside the runtime
+  // block; emitted only when non-empty so clean reports are unchanged.
+  if (!cell.errors.empty()) {
+    w.key("errors").begin_array();
+    for (const auto& error : cell.errors) {
+      w.begin_object();
+      w.field("kind", to_string(error.kind));
+      w.field("what", error.what);
+      w.field("cell", error.cell);
+      w.field("trial", error.trial);
+      w.field("seed", error.seed);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
   if (with_runtime) {
     w.key("runtime").begin_object();
     w.field("wall_s", cell.wall_s());
@@ -245,6 +278,10 @@ std::string Report::to_json(bool with_runtime) const {
   w.field("schema_version", kReportSchemaVersion);
   w.field("bench", bench_);
   w.field("unfinished_flows", total_unfinished_flows());
+  // Only when non-zero, so clean-run reports keep their exact bytes.
+  if (total_trial_errors() > 0) {
+    w.field("trial_errors", total_trial_errors());
+  }
   w.key("cells").begin_array();
   for (const auto& cell : cells_) cell_to_json(w, cell, with_runtime);
   w.end_array();

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,48 @@ struct Summary {
 };
 
 [[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+/// Why a trial produced no result. The taxonomy is part of the report
+/// schema (serialized as strings, see to_string) and of the retry policy:
+/// kException and kTimeout are retriable (environmental), kInvariant is
+/// not (deterministic — the same seed breaks the same law again), and
+/// kCancelled means the whole run's deadline fired, so retrying is moot.
+enum class TrialErrorKind : std::uint8_t {
+  /// The trial function threw a std::exception (or anything else).
+  kException,
+  /// The per-trial wall-clock budget (--trial-timeout) expired.
+  kTimeout,
+  /// The run-level deadline or an external cancel stopped the trial.
+  kCancelled,
+  /// The invariant auditor found a broken conservation law.
+  kInvariant,
+};
+
+[[nodiscard]] const char* to_string(TrialErrorKind kind);
+
+/// One failed trial, as reported in the cell's `errors` block. `what`
+/// must be deterministic (no wall-clock values) so error-bearing reports
+/// still diff byte-identically across runs and --threads values.
+struct TrialError {
+  TrialErrorKind kind = TrialErrorKind::kException;
+  std::string what;
+  int cell = 0;
+  int trial = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Thrown out of an engine when the trial's CancelToken fired mid-run;
+/// carries which taxonomy kind the token's reason maps to (kTimeout for
+/// the per-trial watchdog, kCancelled for the run deadline).
+class TrialCancelled : public std::runtime_error {
+ public:
+  TrialCancelled(TrialErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  [[nodiscard]] TrialErrorKind kind() const { return kind_; }
+
+ private:
+  TrialErrorKind kind_;
+};
 
 /// What one trial of one cell produced. Custom trial functions fill in
 /// whatever applies; the built-in engines fill everything. `wall_s` and
@@ -79,6 +122,11 @@ struct TrialResult {
 struct CellResult {
   ExperimentSpec spec;
   std::vector<TrialResult> trials;
+  /// Trials that produced no result, in trial order. Healthy trials stay
+  /// in `trials` (still in trial order), so merged metrics cover exactly
+  /// the surviving work. Serialized as the cell's `errors` JSON block —
+  /// emitted only when non-empty, so clean-run reports are unchanged.
+  std::vector<TrialError> errors;
   /// Cell-level non-deterministic extras (e.g. the shared route cache's
   /// hit/miss/compute-time counters, which aggregate across trials).
   /// Reported only in the cell's runtime block.
@@ -122,6 +170,8 @@ class Report {
   [[nodiscard]] const std::string& bench() const { return bench_; }
 
   [[nodiscard]] std::uint64_t total_unfinished_flows() const;
+  /// Failed trials across every cell (--require-complete's other check).
+  [[nodiscard]] std::uint64_t total_trial_errors() const;
 
   /// Elapsed wall-clock and thread count of the runner invocation(s), for
   /// the run-level runtime block.

@@ -1,8 +1,12 @@
 #include "exp/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
+#include "exp/checkpoint.hpp"
+#include "util/audit.hpp"
+#include "util/cancel.hpp"
 #include "util/parallel.hpp"
 
 namespace pnet::exp {
@@ -69,19 +73,121 @@ std::vector<CellResult> Runner::run(const std::vector<Cell>& cells) const {
     caches.push_back(std::make_shared<routing::RouteCache>());
   }
 
-  auto trial_results = util::parallel_map(
+  // Checkpoint–resume: load the journal (if any) and key each cell by its
+  // spec hash. Lookups happen inside the worker lambda; records append as
+  // trials finish, so a kill at any point loses at most in-flight work.
+  std::unique_ptr<Checkpoint> checkpoint;
+  std::vector<std::uint64_t> spec_hashes(cells.size(), 0);
+  if (!checkpoint_.empty()) {
+    checkpoint = std::make_unique<Checkpoint>(checkpoint_);
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      spec_hashes[c] = Checkpoint::hash_spec(cells[c].spec);
+    }
+  }
+
+  // Watchdog deadlines, fixed at run() entry. The run deadline cancels
+  // (kCancelled — the sweep is over); the per-trial budget times out
+  // (kTimeout — that one trial was slow). CancelToken::set_deadline keeps
+  // the earlier of the two, with its reason.
+  const bool run_deadline_armed = run_deadline_s_ > 0.0;
+  const util::CancelToken::Clock::time_point run_deadline_at =
+      util::CancelToken::Clock::now() +
+      std::chrono::duration_cast<util::CancelToken::Clock::duration>(
+          std::chrono::duration<double>(
+              run_deadline_armed ? run_deadline_s_ : 0.0));
+
+  // A trial either produced a result or a taxonomy-classified error —
+  // never an escaped exception, so one bad trial cannot abort the sweep.
+  struct Outcome {
+    TrialResult result;
+    TrialError error;
+    bool failed = false;
+  };
+
+  auto outcomes = util::parallel_map(
       jobs,
-      [this, &cells, &engines, &caches](const Job& job) {
+      [this, &cells, &engines, &caches, &checkpoint, &spec_hashes,
+       run_deadline_armed, run_deadline_at](const Job& job) {
         const Cell& cell = cells[job.cell];
-        const TrialContext ctx{cell.spec, job.trial,
-                               util::job_seed(cell.spec.seed,
-                                              static_cast<std::uint64_t>(
-                                                  job.trial)),
-                               caches[job.cell], telemetry_};
-        const double wall_start = now_seconds();
-        TrialResult result = engines[job.cell]->run_trial(ctx);
-        result.wall_s = now_seconds() - wall_start;
-        return result;
+        const std::uint64_t seed = util::job_seed(
+            cell.spec.seed, static_cast<std::uint64_t>(job.trial));
+        Outcome out;
+        out.error.cell = static_cast<int>(job.cell);
+        out.error.trial = job.trial;
+        out.error.seed = seed;
+
+        if (checkpoint != nullptr) {
+          const TrialResult* done =
+              checkpoint->find(spec_hashes[job.cell], job.trial);
+          if (done != nullptr) {
+            out.result = *done;  // resumed: skip the work entirely
+            return out;
+          }
+        }
+        if (run_deadline_armed &&
+            util::CancelToken::Clock::now() >= run_deadline_at) {
+          out.failed = true;
+          out.error.kind = TrialErrorKind::kCancelled;
+          out.error.what = "run deadline expired before trial started";
+          return out;
+        }
+
+        const int attempts = 1 + std::max(0, retries_);
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+          util::CancelToken token;
+          if (trial_timeout_s_ > 0.0 || run_deadline_armed) {
+            token = util::CancelToken::armed();
+            if (trial_timeout_s_ > 0.0) {
+              token.set_deadline(
+                  util::CancelToken::Clock::now() +
+                      std::chrono::duration_cast<
+                          util::CancelToken::Clock::duration>(
+                          std::chrono::duration<double>(trial_timeout_s_)),
+                  util::CancelToken::Reason::kDeadline);
+            }
+            if (run_deadline_armed) {
+              token.set_deadline(run_deadline_at,
+                                 util::CancelToken::Reason::kCancelled);
+            }
+          }
+          const TrialContext ctx{cell.spec, job.trial, seed,
+                                 caches[job.cell], telemetry_, token,
+                                 audit_};
+          try {
+            const double wall_start = now_seconds();
+            out.result = engines[job.cell]->run_trial(ctx);
+            out.result.wall_s = now_seconds() - wall_start;
+            if (attempt > 0) {
+              // Runtime block only: which attempt finally succeeded.
+              out.result.runtime["retries"] = attempt;
+            }
+            out.failed = false;
+            if (checkpoint != nullptr) {
+              checkpoint->record(spec_hashes[job.cell], job.trial,
+                                 out.result);
+            }
+            return out;
+          } catch (const TrialCancelled& e) {
+            out.failed = true;
+            out.error.kind = e.kind();
+            out.error.what = e.what();
+            if (e.kind() == TrialErrorKind::kCancelled) break;  // run over
+          } catch (const util::InvariantViolation& e) {
+            out.failed = true;
+            out.error.kind = TrialErrorKind::kInvariant;
+            out.error.what = e.what();
+            break;  // deterministic: the same seed breaks the same law
+          } catch (const std::exception& e) {
+            out.failed = true;
+            out.error.kind = TrialErrorKind::kException;
+            out.error.what = e.what();
+          } catch (...) {
+            out.failed = true;
+            out.error.kind = TrialErrorKind::kException;
+            out.error.what = "unknown exception";
+          }
+        }
+        return out;
       },
       threads_);
 
@@ -90,8 +196,16 @@ std::vector<CellResult> Runner::run(const std::vector<Cell>& cells) const {
     results[c].spec = cells[c].spec;
     results[c].trials.reserve(static_cast<std::size_t>(cells[c].spec.trials));
   }
+  // Job order is trial order within each cell, so both the surviving
+  // trials and the errors land in deterministic (trial) order regardless
+  // of thread interleaving.
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    results[jobs[j].cell].trials.push_back(std::move(trial_results[j]));
+    auto& cell_result = results[jobs[j].cell];
+    if (outcomes[j].failed) {
+      cell_result.errors.push_back(std::move(outcomes[j].error));
+    } else {
+      cell_result.trials.push_back(std::move(outcomes[j].result));
+    }
   }
   for (std::size_t c = 0; c < cells.size(); ++c) {
     const routing::RouteCacheStats stats = caches[c]->stats();

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exp/engine.hpp"
@@ -49,8 +50,42 @@ class Runner {
     return telemetry_;
   }
 
+  /// Per-trial wall-clock budget in seconds; <= 0 (default) disables the
+  /// watchdog. A trial past its budget is cancelled cooperatively and
+  /// filed as TrialError{kTimeout} (retried when retries() > 0).
+  void set_trial_timeout(double seconds) { trial_timeout_s_ = seconds; }
+  [[nodiscard]] double trial_timeout() const { return trial_timeout_s_; }
+
+  /// Whole-run wall-clock deadline in seconds from run() entry; <= 0
+  /// (default) disables. Trials cut off by it are TrialError{kCancelled}
+  /// and never retried (the run is over).
+  void set_run_deadline(double seconds) { run_deadline_s_ = seconds; }
+  [[nodiscard]] double run_deadline() const { return run_deadline_s_; }
+
+  /// Re-run budget for failed trials, with the same seed (determinism
+  /// contract intact: a retry that succeeds produces the exact result the
+  /// first attempt should have). Only kException and kTimeout retry —
+  /// kInvariant is deterministic and kCancelled means the run is over.
+  void set_retries(int retries) { retries_ = retries; }
+  [[nodiscard]] int retries() const { return retries_; }
+
+  /// Journals completed (cell, trial) results to `path` and, when the
+  /// file already holds entries for these specs, resumes by skipping the
+  /// finished work. Empty (default) disables. See exp/checkpoint.hpp.
+  void set_checkpoint(std::string path) { checkpoint_ = std::move(path); }
+  [[nodiscard]] const std::string& checkpoint() const { return checkpoint_; }
+
+  /// Attaches the invariant auditor to every built-in trial; breaches
+  /// surface as TrialError{kInvariant} (never retried).
+  void set_audit(bool audit) { audit_ = audit; }
+  [[nodiscard]] bool audit() const { return audit_; }
+
   /// Runs every trial of every cell. Throws std::invalid_argument if any
   /// spec fails validation or a custom-engine cell lacks a function.
+  /// Per-trial failures do NOT throw: they are isolated into the owning
+  /// cell's CellResult::errors (in trial order), healthy trials keep
+  /// merging deterministically, and the caller decides whether a partial
+  /// cell is fatal (bench --require-complete does).
   [[nodiscard]] std::vector<CellResult> run(
       const std::vector<Cell>& cells) const;
 
@@ -66,6 +101,11 @@ class Runner {
  private:
   int threads_;
   telemetry::Config telemetry_{};
+  double trial_timeout_s_ = 0.0;
+  double run_deadline_s_ = 0.0;
+  int retries_ = 0;
+  std::string checkpoint_;
+  bool audit_ = false;
 };
 
 }  // namespace pnet::exp

@@ -242,18 +242,37 @@ void FluidSimulator::settle() {
   if (alloc_.dirty()) {
     alloc_.solve();
     rates_stale_ = true;
+    // An abandoned (cancelled) solve leaves mixed-epoch rates; skip the
+    // feasibility audit — the trial is being torn down, not continued.
+    if (audit_ != nullptr && !(cancel_ != nullptr && cancel_->cancelled())) {
+      alloc_.audit_check(*audit_);
+    }
   }
   if (!rates_stale_) return;
   for (auto& active : active_) {
     double rate = 0.0;
     for (int id : active.sub_ids) rate += alloc_.rate_bps(id);
     active.rate_bps = rate;
+    if (audit_ != nullptr) {
+      audit_->note_check();
+      if (active.remaining_bytes < 0.0) {
+        audit_->fail("fluid residual negative: " +
+                     std::to_string(active.remaining_bytes) + " bytes");
+      }
+    }
   }
   rates_stale_ = false;
 }
 
 void FluidSimulator::run_until(SimTime deadline) {
   while (true) {
+    // Cancellation poll: fsim events are coarse (admissions, completions,
+    // sample grid points), so a strided check per loop iteration bounds
+    // cancel latency without showing up in profiles.
+    if (cancel_ != nullptr && (loop_iters_++ & 63) == 0 &&
+        cancel_->cancelled()) {
+      break;
+    }
     // Completions first (anything drained to zero by the last advance),
     // then arrivals due now, then a rate re-solve over the new flow set.
     for (std::size_t slot = 0; slot < active_.size();) {

@@ -150,6 +150,19 @@ class FluidSimulator {
   /// detaches (the default zero-cost path).
   void set_telemetry(telemetry::Telemetry* telemetry);
 
+  /// Attaches a cooperative-cancellation token: run()/run_until() return
+  /// early (partially drained) once it fires, and the max-min water-fill
+  /// abandons its solve. Must outlive the simulator; nullptr detaches.
+  void set_cancel(const util::CancelToken* cancel) {
+    cancel_ = cancel;
+    alloc_.set_cancel(cancel);
+  }
+
+  /// Attaches an invariant auditor: every re-solve is checked for
+  /// allocation feasibility (link load <= capacity, rates >= 0) and every
+  /// active flow for a non-negative fluid residual. nullptr detaches.
+  void set_audit(util::Audit* audit) { audit_ = audit; }
+
   [[nodiscard]] const MaxMinAllocator& allocator() const { return alloc_; }
   [[nodiscard]] const lp::LinkIndex& index() const { return index_; }
   /// Route-cache counters (hits/misses/compute time) for reports.
@@ -210,6 +223,9 @@ class FluidSimulator {
   std::uint64_t events_ = 0;
   bool rates_stale_ = false;
   telemetry::Telemetry* telemetry_ = nullptr;
+  const util::CancelToken* cancel_ = nullptr;
+  util::Audit* audit_ = nullptr;
+  std::uint64_t loop_iters_ = 0;  // run_until cancel-poll stride counter
   // Cached handles so the admit/complete hot paths skip name lookups.
   telemetry::Registry::Counter flows_started_counter_;
   telemetry::Registry::Counter flows_finished_counter_;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <string>
 
 namespace pnet::fsim {
 
@@ -112,7 +113,11 @@ void MaxMinAllocator::solve() {
   // The level is monotonically non-decreasing across rounds, so a single
   // saturated-slot snapshot per round is sufficient.
   std::vector<int>& scan = saturated_;  // reused scratch
+  std::uint64_t rounds = 0;
   while (remaining > 0) {
+    if (cancel_ != nullptr && (rounds++ & 15) == 0 && cancel_->cancelled()) {
+      break;  // partial rates are fine: the trial is being abandoned
+    }
     double level = std::numeric_limits<double>::infinity();
     for (std::size_t s = 0; s < nslots; ++s) {
       if (slot_unfrozen_[s] <= 0) continue;
@@ -154,6 +159,32 @@ void MaxMinAllocator::solve() {
 
   for (std::size_t s = 0; s < nslots; ++s) {
     slot_of_link_[static_cast<std::size_t>(slot_links_[s])] = -1;
+  }
+}
+
+void MaxMinAllocator::audit_check(util::Audit& audit) {
+  if (dirty_) return;  // rates are declared stale until the next solve()
+  audit.note_check();
+  audit_load_.assign(capacity_.size(), 0.0);
+  for (int id : live_ids_) {
+    const auto& sub = subflows_[static_cast<std::size_t>(id)];
+    if (sub.rate_bps < 0.0) {
+      audit.fail("max-min rate negative: subflow " + std::to_string(id) +
+                 " rate=" + std::to_string(sub.rate_bps) + " bps");
+    }
+    for (int link : sub.links) {
+      audit_load_[static_cast<std::size_t>(link)] += sub.rate_bps;
+    }
+  }
+  for (std::size_t l = 0; l < capacity_.size(); ++l) {
+    // Relative epsilon absorbs water-fill rounding; the absolute floor
+    // covers zero-capacity links.
+    const double tolerance = capacity_[l] * 1e-6 + 1e-3;
+    if (audit_load_[l] > capacity_[l] + tolerance) {
+      audit.fail("max-min allocation above capacity on link " +
+                 std::to_string(l) + ": " + std::to_string(audit_load_[l]) +
+                 " > " + std::to_string(capacity_[l]) + " bps");
+    }
   }
 }
 

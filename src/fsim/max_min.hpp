@@ -21,6 +21,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/audit.hpp"
+#include "util/cancel.hpp"
+
 namespace pnet::fsim {
 
 class MaxMinAllocator {
@@ -52,6 +55,16 @@ class MaxMinAllocator {
   [[nodiscard]] std::int64_t full_solves() const { return full_solves_; }
   [[nodiscard]] std::int64_t fast_paths() const { return fast_paths_; }
 
+  /// Attaches a cooperative-cancellation token: solve() abandons its
+  /// water-fill (leaving partial rates — the simulation is being torn
+  /// down, not continued) once it fires. Polled every 16 fill rounds.
+  void set_cancel(const util::CancelToken* cancel) { cancel_ = cancel; }
+
+  /// Asserts the allocation is feasible: every subflow rate >= 0 and the
+  /// summed rates on every link <= capacity within epsilon. Call after a
+  /// solve(); a dirty allocator is skipped (rates are declared stale).
+  void audit_check(util::Audit& audit);
+
  private:
   struct Subflow {
     std::vector<int> links;
@@ -67,6 +80,7 @@ class MaxMinAllocator {
   bool dirty_ = false;
   std::int64_t full_solves_ = 0;
   std::int64_t fast_paths_ = 0;
+  const util::CancelToken* cancel_ = nullptr;
 
   // Solve scratch, persistent so steady-state re-solves do not allocate.
   std::vector<int> slot_of_link_;  // link id -> dense slot (-1 idle)
@@ -78,6 +92,7 @@ class MaxMinAllocator {
   std::vector<int> slot_offset_;
   std::vector<char> frozen_;
   std::vector<int> saturated_;     // per-round bottleneck slots
+  std::vector<double> audit_load_; // audit_check scratch: per-link rate sum
 };
 
 }  // namespace pnet::fsim

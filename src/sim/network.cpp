@@ -95,6 +95,22 @@ std::uint64_t SimNetwork::max_queued_bytes() const {
   return max;
 }
 
+void SimNetwork::set_audit(util::Audit* audit) {
+  for (auto& plane : queues_) {
+    for (auto& q : plane) q->set_audit(audit);
+  }
+}
+
+void SimNetwork::audit_check(util::Audit& audit) const {
+  for (std::size_t p = 0; p < queues_.size(); ++p) {
+    for (std::size_t l = 0; l < queues_[p].size(); ++l) {
+      queues_[p][l]->audit_check(audit, "queue[plane=" + std::to_string(p) +
+                                            ",link=" + std::to_string(l) +
+                                            "]");
+    }
+  }
+}
+
 std::uint64_t SimNetwork::plane_forwarded_bytes(int plane) const {
   std::uint64_t total = 0;
   for (const auto& q : queues_[static_cast<std::size_t>(plane)]) {

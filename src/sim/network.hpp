@@ -77,6 +77,12 @@ class SimNetwork {
   /// through this network, so this one hook covers every fabric fault.
   void set_trace(telemetry::Trace* trace) { trace_ = trace; }
 
+  /// Attaches an invariant auditor to every queue (per-enqueue occupancy
+  /// checks); nullptr detaches.
+  void set_audit(util::Audit* audit);
+  /// End-of-trial conservation sweep: audit_check on every queue.
+  void audit_check(util::Audit& audit) const;
+
   /// Fails (or repairs) a full-duplex cable: both directed links drop all
   /// arriving packets. `link` may be either direction of the pair.
   /// Idempotent — repeating the same state is a no-op — and independent of

@@ -11,6 +11,7 @@ void Queue::drop(Packet& packet, std::uint64_t& cause_counter) {
 }
 
 void Queue::receive(Packet& packet) {
+  ++received_;
   if (failed_) {
     drop(packet, drops_failed_);
     return;
@@ -54,9 +55,38 @@ void Queue::receive(Packet& packet) {
     queued_bytes_ += packet.size_bytes;
   }
 
+  if (audit_ != nullptr) {
+    audit_->note_check();
+    if (queued_bytes_ > buffer_bytes_ || ack_queued_bytes_ > buffer_bytes_) {
+      audit_->fail("queue occupancy above capacity: data=" +
+                   std::to_string(queued_bytes_) + "B prio=" +
+                   std::to_string(ack_queued_bytes_) + "B cap=" +
+                   std::to_string(buffer_bytes_) + "B");
+    }
+  }
+
   if (!busy_) {
     busy_ = true;
     start_service();
+  }
+}
+
+void Queue::audit_check(util::Audit& audit, const std::string& label) const {
+  audit.note_check();
+  const std::uint64_t buffered =
+      fifo_.size() + ack_fifo_.size() + (in_service_ != nullptr ? 1 : 0);
+  if (received_ != forwarded_ + drops_ + buffered) {
+    audit.fail(label + ": packet conservation broken: received=" +
+               std::to_string(received_) + " != forwarded=" +
+               std::to_string(forwarded_) + " + dropped=" +
+               std::to_string(drops_) + " + buffered=" +
+               std::to_string(buffered));
+  }
+  if (queued_bytes_ > buffer_bytes_ || ack_queued_bytes_ > buffer_bytes_) {
+    audit.fail(label + ": occupancy above capacity: data=" +
+               std::to_string(queued_bytes_) + "B prio=" +
+               std::to_string(ack_queued_bytes_) + "B cap=" +
+               std::to_string(buffer_bytes_) + "B");
   }
 }
 

@@ -6,9 +6,11 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
+#include <string>
 
 #include "sim/event_queue.hpp"
 #include "sim/packet.hpp"
+#include "util/audit.hpp"
 #include "util/rng.hpp"
 
 namespace pnet::sim {
@@ -78,6 +80,17 @@ class Queue : public EventSource, public PacketSink {
   [[nodiscard]] std::uint64_t ecn_marks() const { return ecn_marks_; }
   [[nodiscard]] std::uint64_t trims() const { return trims_; }
   [[nodiscard]] double rate_bps() const { return rate_bps_; }
+  /// Packets handed to receive() — the conservation-law numerator.
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+  /// Attaches an invariant auditor: occupancy is checked against capacity
+  /// on every enqueue. Pass nullptr to detach.
+  void set_audit(util::Audit* audit) { audit_ = audit; }
+
+  /// End-of-trial conservation check: every packet received must be
+  /// forwarded, dropped, or still buffered (in a fifo or on the wire).
+  /// `label` names the queue in violation messages.
+  void audit_check(util::Audit& audit, const std::string& label) const;
 
  private:
   EventQueue& events_;
@@ -119,6 +132,8 @@ class Queue : public EventSource, public PacketSink {
   std::uint64_t drops_overflow_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t forwarded_bytes_ = 0;
+  std::uint64_t received_ = 0;
+  util::Audit* audit_ = nullptr;
 };
 
 }  // namespace pnet::sim

@@ -1,0 +1,38 @@
+#include "util/audit.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace pnet::util {
+
+bool Audit::env_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("PNET_AUDIT");
+    if (v == nullptr) return false;
+    const std::string s(v);
+    return !(s.empty() || s == "0" || s == "false");
+  }();
+  return enabled;
+}
+
+void Audit::fail(std::string what) {
+  counter_.inc();
+  if (fail_fast_) throw InvariantViolation(what);
+  violations_.push_back(std::move(what));
+}
+
+std::string Audit::summary(std::size_t max_items) const {
+  std::string out = std::to_string(violations_.size());
+  out += violations_.size() == 1 ? " invariant violation: "
+                                 : " invariant violations: ";
+  const std::size_t shown =
+      violations_.size() < max_items ? violations_.size() : max_items;
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i != 0) out += "; ";
+    out += violations_[i];
+  }
+  if (shown < violations_.size()) out += "; ...";
+  return out;
+}
+
+}  // namespace pnet::util

@@ -1,0 +1,84 @@
+// Simulation invariant auditor: an opt-in collector of conservation-law
+// violations, threaded through both engines.
+//
+// The simulators' hot paths are rewritten PR after PR (arena allocation,
+// event batching, sharded loops are all on the roadmap); the auditor is
+// the safety net that keeps those rewrites honest. When attached, the
+// engines assert their conservation laws — packets received by a queue =
+// forwarded + dropped + still buffered, queue occupancy within [0,
+// capacity], event timestamps monotone, fluid link allocation <= capacity
+// within epsilon, per-flow residual bytes never negative — and every
+// breach lands here as a violation string instead of silent corruption.
+//
+// Two modes:
+//  * collecting (default): `fail()` records; the engine checks `ok()` at
+//    the end of the trial and raises one InvariantViolation carrying the
+//    summary, which exp::Runner files as TrialError{kInvariant}.
+//  * fail-fast: `fail()` throws immediately. Used by the PNET_AUDIT=1
+//    environment opt-in, where code built without runner plumbing (unit
+//    tests driving SimHarness directly) should abort the test on the spot.
+//
+// Detached (`Audit* == nullptr`) costs one predictable null test per
+// check site — measured within the telemetry subsystem's <1% budget.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace pnet::util {
+
+/// Raised for a broken simulation invariant; exp::Runner maps it to
+/// TrialError{kInvariant}.
+class InvariantViolation : public std::runtime_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class Audit {
+ public:
+  explicit Audit(bool fail_fast = false) : fail_fast_(fail_fast) {}
+
+  /// True when the process opted in via PNET_AUDIT=1 (any value but "0" /
+  /// "false" / empty counts). Cached after the first call.
+  [[nodiscard]] static bool env_enabled();
+
+  /// Records one violation; throws InvariantViolation instead when the
+  /// auditor is fail-fast. Also bumps the attached telemetry counter.
+  void fail(std::string what);
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  /// "<n> invariant violation(s): first; second; ..." capped at
+  /// `max_items` entries, for exception messages and error reports.
+  [[nodiscard]] std::string summary(std::size_t max_items = 3) const;
+
+  /// Throws InvariantViolation(summary()) when any violation is recorded.
+  void check() const {
+    if (!ok()) throw InvariantViolation(summary());
+  }
+
+  /// Counts checks audited (diagnostics: proves the audit actually ran).
+  void note_check() { ++checks_; }
+  [[nodiscard]] std::uint64_t checks() const { return checks_; }
+
+  /// Violations also increment this telemetry counter when set, so audit
+  /// breaches surface in the report's telemetry block alongside the
+  /// TrialError.
+  void set_counter(telemetry::Registry::Counter counter) {
+    counter_ = counter;
+  }
+
+ private:
+  bool fail_fast_;
+  std::vector<std::string> violations_;
+  std::uint64_t checks_ = 0;
+  telemetry::Registry::Counter counter_{};
+};
+
+}  // namespace pnet::util

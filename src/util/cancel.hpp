@@ -1,0 +1,97 @@
+// Cooperative cancellation for long-running simulation loops.
+//
+// A CancelToken is a copyable handle onto shared cancellation state: an
+// atomic reason flag plus an optional wall-clock deadline. Producers
+// (the experiment runner's per-trial watchdog, a future pnet-serve query
+// front end) arm a token and hand copies down the stack; consumers (the
+// packet sim's EventQueue, fsim's event loop, the max-min water-fill)
+// poll `cancelled()` at an event-count stride and unwind cooperatively.
+//
+// Cost model: a default-constructed token is inert — `cancelled()` is a
+// null-pointer test, so threading tokens through hot loops is free when
+// nobody asked for cancellation. An armed token costs one relaxed atomic
+// load per poll, plus a steady_clock read when a deadline is set; callers
+// are expected to poll at a stride (e.g. every 1024 events, see
+// sim::EventQueue::kCancelStride) so neither shows up in profiles.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace pnet::util {
+
+class CancelToken {
+ public:
+  /// Why the token fired. kDeadline is a per-trial watchdog expiry (the
+  /// runner maps it to a timeout error); kCancelled is an explicit cancel
+  /// or a whole-run deadline.
+  enum class Reason : std::uint8_t { kNone = 0, kCancelled = 1,
+                                     kDeadline = 2 };
+
+  using Clock = std::chrono::steady_clock;
+
+  /// Inert token: never cancels, polls are a null test.
+  CancelToken() = default;
+
+  /// A live token that can be cancelled / given a deadline.
+  [[nodiscard]] static CancelToken armed() {
+    CancelToken token;
+    token.state_ = std::make_shared<State>();
+    return token;
+  }
+
+  [[nodiscard]] bool is_armed() const { return state_ != nullptr; }
+
+  /// Requests cancellation. Thread-safe; no-op on an inert token.
+  void cancel(Reason reason = Reason::kCancelled) const {
+    if (state_ == nullptr) return;
+    std::uint8_t expected = 0;
+    state_->reason.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(reason),
+        std::memory_order_relaxed);
+  }
+
+  /// Arms a wall-clock deadline; when it passes, polls report `reason`.
+  /// An earlier existing deadline wins (set-once-per-source semantics are
+  /// the caller's job; the runner computes min(trial, run) up front).
+  void set_deadline(Clock::time_point deadline,
+                    Reason reason = Reason::kDeadline) {
+    if (state_ == nullptr) return;
+    if (state_->has_deadline && state_->deadline <= deadline) return;
+    state_->deadline = deadline;
+    state_->deadline_reason = reason;
+    state_->has_deadline = true;
+  }
+
+  /// True once cancelled or past the deadline. The deadline transition is
+  /// latched into the reason flag so later polls are atomic-load only.
+  [[nodiscard]] bool cancelled() const {
+    if (state_ == nullptr) return false;
+    if (state_->reason.load(std::memory_order_relaxed) != 0) return true;
+    if (state_->has_deadline && Clock::now() >= state_->deadline) {
+      cancel(state_->deadline_reason);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] Reason reason() const {
+    if (state_ == nullptr) return Reason::kNone;
+    return static_cast<Reason>(
+        state_->reason.load(std::memory_order_relaxed));
+  }
+
+ private:
+  struct State {
+    std::atomic<std::uint8_t> reason{0};
+    Clock::time_point deadline{};
+    Reason deadline_reason = Reason::kDeadline;
+    bool has_deadline = false;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace pnet::util

@@ -38,13 +38,25 @@ bool is_common_flag(std::string_view key) {
   return key == "help" || key == "scale" || key == "trials" ||
          key == "threads" || key == "json" || key == "json-timing" ||
          key == "require-complete" || key == "engine" || key == "trace" ||
-         key == "sample-every";
+         key == "sample-every" || key == "trial-timeout" ||
+         key == "run-deadline" || key == "retries" || key == "checkpoint" ||
+         key == "audit";
 }
 
 }  // namespace
 
 Flags::Flags(int argc, char** argv) {
   if (argc > 0) program_ = argv[0];
+  // A repeated flag is rejected, not last-wins: silently dropping the
+  // first value turns an editing slip ("--trials=2 ... --trials=8" left in
+  // a script) into a wrong experiment.
+  const auto put = [this](std::string key, std::string value) {
+    if (!values_.emplace(key, std::move(value)).second) {
+      std::fprintf(stderr, "%s: duplicate flag --%s\n", program_.c_str(),
+                   key.c_str());
+      std::exit(2);
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
     if (!arg.starts_with("--")) {
@@ -55,13 +67,13 @@ Flags::Flags(int argc, char** argv) {
     arg.remove_prefix(2);
     const auto eq = arg.find('=');
     if (eq != std::string_view::npos) {
-      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      put(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
     } else if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
       // "--key value": the next token is the value.
-      values_[std::string(arg)] = argv[i + 1];
+      put(std::string(arg), argv[i + 1]);
       ++i;
     } else {
-      values_[std::string(arg)] = "1";
+      put(std::string(arg), "1");
     }
   }
 }
@@ -122,7 +134,19 @@ void Flags::handle_usage(std::string_view usage) const {
         "                    milliseconds (0 = off); series land in the\n"
         "                    report's telemetry block\n"
         "  --trace=PATH      export Chrome trace_event JSON of every trial\n"
-        "                    (.bin suffix: compact binary format)\n");
+        "                    (.bin suffix: compact binary format)\n"
+        "  --trial-timeout=S per-trial wall-clock budget in seconds; a\n"
+        "                    trial past it is cancelled and reported as a\n"
+        "                    timeout error (0 = off)\n"
+        "  --run-deadline=S  whole-run wall-clock deadline in seconds;\n"
+        "                    remaining trials report as cancelled (0 = off)\n"
+        "  --retries=N       re-run a thrown or timed-out trial up to N\n"
+        "                    times with the same seed\n"
+        "  --checkpoint=PATH journal finished trials to PATH and resume a\n"
+        "                    killed sweep by skipping completed work\n"
+        "  --audit           assert simulation conservation laws each\n"
+        "                    trial (also env PNET_AUDIT=1); violations\n"
+        "                    report as invariant errors\n");
     std::exit(0);
   }
   const auto unknown = unknown_flags(usage);

@@ -20,7 +20,8 @@ class Flags {
  public:
   /// Parses argv. Accepts "--key=value", "--key value" (the next argv
   /// token, when it does not itself start with "--"), and bare "--key"
-  /// (value "1").
+  /// (value "1"). A flag given more than once aborts with exit code 2
+  /// naming the flag — last-wins would silently discard a value.
   Flags(int argc, char** argv);
 
   [[nodiscard]] std::string get(const std::string& key,
@@ -39,7 +40,8 @@ class Flags {
   /// Flags that were parsed but appear neither as "--key" in `usage` nor in
   /// the common set every bench accepts (--help, --scale, and the
   /// experiment-runner flags --trials/--threads/--json/--json-timing/
-  /// --require-complete/--engine). The testable core of handle_usage.
+  /// --require-complete/--engine/--trial-timeout/--run-deadline/--retries/
+  /// --checkpoint/--audit). The testable core of handle_usage.
   [[nodiscard]] std::vector<std::string> unknown_flags(
       std::string_view usage) const;
 

@@ -241,6 +241,19 @@ TEST(FlagsUsageDeathTest, BarePositionalArgumentFailsFast) {
               "expected --key=value or --key value");
 }
 
+TEST(FlagsUsageDeathTest, DuplicateFlagAbortsNamingTheFlag) {
+  // Last-wins would silently discard a value; the parser must name the
+  // offending flag instead.
+  EXPECT_EXIT(make_flags({"prog", "--hosts=4", "--hosts=8"}),
+              testing::ExitedWithCode(2), "duplicate flag --hosts");
+  // Both spellings count as the same flag.
+  EXPECT_EXIT(make_flags({"prog", "--hosts", "4", "--hosts=8"}),
+              testing::ExitedWithCode(2), "duplicate flag --hosts");
+  // A bare boolean repeated is rejected too.
+  EXPECT_EXIT(make_flags({"prog", "--verbose", "--verbose"}),
+              testing::ExitedWithCode(2), "duplicate flag --verbose");
+}
+
 TEST(Flags, PaperScaleFlag) {
   EXPECT_TRUE(make_flags({"prog", "--scale=paper"}).paper_scale());
   EXPECT_FALSE(make_flags({"prog"}).paper_scale());
