@@ -148,13 +148,17 @@ using EngineKind = exp::EngineKind;
 using exp::to_string;
 using exp::to_fsim_config;
 
-inline EngineKind parse_engine(const Flags& flags) {
-  const auto value = flags.get("engine", "packet");
+inline EngineKind parse_engine_or(const Flags& flags, EngineKind def) {
+  const auto value = flags.get("engine", exp::to_string(def));
   if (value == "packet") return EngineKind::kPacket;
   if (value == "fsim") return EngineKind::kFsim;
   std::fprintf(stderr, "%s: --engine must be 'packet' or 'fsim', got '%s'\n",
                flags.program().c_str(), value.c_str());
   std::exit(2);
+}
+
+inline EngineKind parse_engine(const Flags& flags) {
+  return parse_engine_or(flags, EngineKind::kPacket);
 }
 
 /// Wall-clock stopwatch for engine speedup comparisons.

@@ -51,13 +51,6 @@ class SimHarness {
 
   explicit SimHarness(const Options& options);
 
-  [[deprecated("use SimHarness(Options) with designated initializers")]]
-  SimHarness(const topo::NetworkSpec& spec, const PolicyConfig& policy,
-             const sim::SimConfig& sim_config = {},
-             std::shared_ptr<routing::RouteCache> route_cache = nullptr)
-      : SimHarness(Options{spec, policy, sim_config, std::move(route_cache),
-                           nullptr, false}) {}
-
   [[nodiscard]] const topo::ParallelNetwork& net() const { return net_; }
   [[nodiscard]] sim::EventQueue& events() { return events_; }
   [[nodiscard]] sim::SimNetwork& network() { return network_; }

@@ -119,16 +119,7 @@ bool decode_trial(const std::string& line, std::uint64_t& spec_hash,
 }
 
 std::uint64_t Checkpoint::hash_spec(const ExperimentSpec& spec) {
-  JsonWriter w;
-  spec.to_json(w);
-  // FNV-1a 64 over the canonical spec JSON: any parameter change changes
-  // the key, so stale journals cannot leak results across experiments.
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const char c : w.str()) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ULL;
-  }
-  return h;
+  return spec.hash();
 }
 
 Checkpoint::Checkpoint(std::string path) : path_(std::move(path)) {

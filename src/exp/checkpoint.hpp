@@ -6,10 +6,11 @@
 // the forerunner of pnet-serve's result cache.
 //
 // Keying: entries are addressed by (spec hash, trial), where the spec hash
-// is FNV-1a over the spec's canonical JSON. Any spec change (topology,
-// workload, seed, engine...) changes the hash, so a stale journal can
-// never smuggle results into a different experiment; unrelated entries
-// are simply ignored. Trial *results* are encoded with shortest-round-trip
+// is exp::ExperimentSpec::hash() — FNV-1a over the spec's canonical JSON,
+// the same key the pnet-serve result cache uses. Any spec change
+// (topology, workload, seed, engine...) changes the hash, so a stale
+// journal can never smuggle results into a different experiment; unrelated
+// entries are simply ignored. Trial *results* are encoded with shortest-round-trip
 // doubles, so a resumed report is byte-identical to an uninterrupted run
 // (traces excepted — they are not journaled; resumed trials lose them).
 //
@@ -49,7 +50,8 @@ class Checkpoint {
   Checkpoint(const Checkpoint&) = delete;
   Checkpoint& operator=(const Checkpoint&) = delete;
 
-  /// FNV-1a over the spec's canonical JSON — the journal key.
+  /// The journal key: ExperimentSpec::hash(). Kept as a named alias so
+  /// journal-key call sites read as checkpoint code.
   [[nodiscard]] static std::uint64_t hash_spec(const ExperimentSpec& spec);
 
   /// The journaled result for (spec_hash, trial), or nullptr. Stable for

@@ -93,6 +93,14 @@ void ExperimentSpec::to_json(JsonWriter& w) const {
   w.end_object();
 }
 
+std::string ExperimentSpec::canonical_json() const {
+  JsonWriter w;
+  to_json(w);
+  return w.str();
+}
+
+std::uint64_t ExperimentSpec::hash() const { return fnv1a(canonical_json()); }
+
 fsim::FsimConfig to_fsim_config(const core::PolicyConfig& policy,
                                 std::uint64_t flow_bytes) {
   fsim::FsimConfig config;

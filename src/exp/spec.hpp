@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "core/path_selector.hpp"
 #include "exp/json.hpp"
@@ -77,7 +78,30 @@ struct ExperimentSpec {
 
   /// Serializes the spec (deterministically) into an open JSON object.
   void to_json(JsonWriter& w) const;
+
+  /// The spec's canonical form: to_json rendered standalone. Two specs are
+  /// the same experiment iff their canonical JSON is byte-identical — the
+  /// single source of truth behind hash(), the checkpoint journal, and the
+  /// pnet-serve result cache.
+  [[nodiscard]] std::string canonical_json() const;
+
+  /// FNV-1a 64 over canonical_json(). Any parameter change (topology,
+  /// workload, seed, engine...) changes the hash, so keyed stores
+  /// (checkpoints, serve caches) can never alias distinct experiments
+  /// short of a 64-bit collision.
+  [[nodiscard]] std::uint64_t hash() const;
 };
+
+/// FNV-1a 64 — the repository's canonical content hash (checkpoint keys,
+/// serve cache keys, warm route-cache keys all use it over canonical JSON).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
 
 /// The fluid-engine scheme matching a packet-sim routing policy, so a
 /// cell's --engine=fsim run models the same path choices its packet run

@@ -1,0 +1,57 @@
+#include "serve/cache.hpp"
+
+#include <utility>
+
+namespace pnet::serve {
+
+std::shared_ptr<const std::string> ResultCache::find(std::uint64_t hash) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(hash);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->body;
+}
+
+void ResultCache::insert(std::uint64_t hash,
+                         std::shared_ptr<const std::string> body) {
+  if (body == nullptr) return;
+  const std::size_t size = body->size();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (size > max_bytes_) return;  // would evict everything and still not fit
+  if (const auto it = index_.find(hash); it != index_.end()) {
+    // Replace (identical bytes by determinism, but stay correct anyway).
+    bytes_ -= it->second->body->size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{hash, std::move(body)});
+  index_[hash] = lru_.begin();
+  bytes_ += size;
+  ++insertions_;
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.body->size();
+    index_.erase(victim.hash);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = index_.size();
+  s.bytes = bytes_;
+  s.max_bytes = max_bytes_;
+  return s;
+}
+
+}  // namespace pnet::serve

@@ -1,0 +1,77 @@
+// Spec-hash result cache for pnet-serve.
+//
+// Completed query responses are cacheable because the whole experiment
+// stack is deterministic: a response body is a pure function of the spec's
+// canonical JSON, so keying finished bodies by exp::ExperimentSpec::hash()
+// (the checkpoint journal's key) serves repeat queries without touching an
+// engine — and guarantees the served bytes are identical to a fresh run.
+//
+// Memory is bounded, not just entry-counted: the cache tracks the byte
+// size of every stored body and evicts least-recently-used entries once
+// the budget is exceeded (a hot spec sweeping a large all-to-all grid must
+// not pin the server's memory forever). Bodies are shared_ptr<const
+// string>, so an evicted body stays alive for any client still writing it.
+//
+// Thread-safety: one mutex; all operations are O(1) map/list splices. The
+// in-flight dedup layer (identical concurrent specs coalescing onto one
+// execution) lives in serve::Service, not here — the cache only ever sees
+// finished bodies.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace pnet::serve {
+
+class ResultCache {
+ public:
+  /// `max_bytes` caps the sum of stored body sizes; 0 disables caching
+  /// entirely (every find misses, inserts are dropped).
+  explicit ResultCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached body for `hash`, or nullptr. A hit refreshes the entry's
+  /// LRU position.
+  [[nodiscard]] std::shared_ptr<const std::string> find(std::uint64_t hash);
+
+  /// Stores `body` under `hash` (replacing any previous body) and evicts
+  /// LRU entries until the byte budget holds. A body larger than the whole
+  /// budget is not stored.
+  void insert(std::uint64_t hash, std::shared_ptr<const std::string> body);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    std::size_t max_bytes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::shared_ptr<const std::string> body;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace pnet::serve

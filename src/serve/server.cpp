@@ -1,0 +1,232 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace pnet::serve {
+
+namespace {
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; its loss
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+int make_unix_listener(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(AF_UNIX) failed");
+  // Reclaim a stale path only if nothing answers on it — refuse to steal a
+  // live daemon's socket.
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+    ::close(fd);
+    throw std::runtime_error("another server is live on " + path);
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd, 64) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("cannot listen on " + path + ": " + why);
+  }
+  return fd;
+}
+
+int make_tcp_listener(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(AF_INET) failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd, 64) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("cannot listen on 127.0.0.1:" +
+                             std::to_string(port) + ": " + why);
+  }
+  return fd;
+}
+
+}  // namespace
+
+Server::Server(Service& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.max_line_bytes == 0) {
+    options_.max_line_bytes = service_.options().max_request_bytes + 4096;
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) throw std::runtime_error("pipe() failed");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  if (!options_.unix_path.empty()) {
+    unix_listener_ = make_unix_listener(options_.unix_path);
+  }
+  if (options_.tcp_port != 0) {
+    tcp_listener_ = make_tcp_listener(options_.tcp_port);
+  }
+  if (unix_listener_ < 0 && tcp_listener_ < 0) {
+    throw std::runtime_error("server has no listeners configured");
+  }
+}
+
+Server::~Server() {
+  request_stop();
+  close_listeners();
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+void Server::request_stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (wake_write_ >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+  }
+}
+
+void Server::close_listeners() {
+  if (unix_listener_ >= 0) {
+    ::close(unix_listener_);
+    unix_listener_ = -1;
+  }
+  if (tcp_listener_ >= 0) {
+    ::close(tcp_listener_);
+    tcp_listener_ = -1;
+  }
+}
+
+void Server::run() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[3];
+    nfds_t n = 0;
+    fds[n++] = {wake_read_, POLLIN, 0};
+    if (unix_listener_ >= 0) fds[n++] = {unix_listener_, POLLIN, 0};
+    if (tcp_listener_ >= 0) fds[n++] = {tcp_listener_, POLLIN, 0};
+    const int ready = ::poll(fds, n, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (nfds_t i = 0; i < n; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      if (fds[i].fd == wake_read_) {
+        char drain[16];
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_read_, drain, sizeof(drain));
+        // The wake pipe is exclusively a stop channel (a signal handler
+        // writes it directly, without going through request_stop()).
+        stopping_.store(true, std::memory_order_relaxed);
+        continue;
+      }
+      accept_on(fds[i].fd);
+    }
+  }
+  // Graceful shutdown: stop accepting, finish in-flight + queued work,
+  // then unblock idle readers so their threads exit.
+  close_listeners();
+  service_.drain();
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+}
+
+void Server::accept_on(int listener) {
+  const int fd = ::accept(listener, nullptr, nullptr);
+  if (fd < 0) return;
+  const std::lock_guard<std::mutex> lock(conn_mutex_);
+  if (stopping_.load(std::memory_order_relaxed)) {
+    ::close(fd);
+    return;
+  }
+  conn_fds_.push_back(fd);
+  conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+}
+
+void Server::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      // EOF: a non-empty remainder is one last unterminated request —
+      // the `printf | nc` case.
+      if (!buffer.empty()) write_all(fd, service_.handle_line(buffer) + "\n");
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos; nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (!line.empty()) write_all(fd, service_.handle_line(line) + "\n");
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > options_.max_line_bytes) {
+      write_all(fd, make_error_body(
+                        {kErrOversized,
+                         "request line exceeds " +
+                             std::to_string(options_.max_line_bytes) +
+                             " bytes",
+                         false}) +
+                        "\n");
+      open = false;
+    }
+  }
+  ::close(fd);
+  const std::lock_guard<std::mutex> lock(conn_mutex_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+}
+
+}  // namespace pnet::serve

@@ -1,0 +1,88 @@
+// serve::Server — the socket front end of pnet-serve.
+//
+// Listens on a Unix-domain socket (the default transport: local clients,
+// filesystem permissions) and/or a TCP port, speaks newline-delimited
+// JSON: one request line in, one response line out, connections stay open
+// for pipelining. EOF with a non-empty remainder is processed as a final
+// request, so `printf '<spec json>' | nc -U /tmp/pnet.sock` works without
+// a trailing newline.
+//
+// Each accepted connection gets a reader thread that feeds
+// Service::handle_line (which does its own queueing/backpressure — the
+// reader thread blocks while its query runs, which is exactly the
+// per-connection flow control we want). Oversized lines are answered with
+// a structured error and the connection is closed: the framing is byte
+// bounded, a hostile client cannot buffer unbounded garbage.
+//
+// Shutdown (SIGTERM/SIGINT, via a self-pipe so the handler stays
+// async-signal-safe) is the graceful-drain path: stop accepting, let
+// Service::drain() finish queued + active queries (new ones bounce with a
+// retryable "draining" error), nudge idle readers with shutdown(2), join,
+// unlink the socket path. No in-flight response is ever lost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace pnet::serve {
+
+struct ServerOptions {
+  /// Unix-domain listening path; empty disables the unix listener.
+  std::string unix_path = "/tmp/pnet.sock";
+  /// TCP listening port on 127.0.0.1; 0 disables the TCP listener.
+  int tcp_port = 0;
+  /// Longest accepted request line; longer gets a structured error and a
+  /// closed connection. Defaults to the service's max_request_bytes + slack
+  /// when 0.
+  std::size_t max_line_bytes = 0;
+};
+
+class Server {
+ public:
+  /// Binds the listeners (throws std::runtime_error on bind failure —
+  /// e.g. the unix path is taken by a live daemon).
+  Server(Service& service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept loop; blocks until request_stop() (or a signal wired to it via
+  /// notify_fd()). Returns after the graceful drain completes.
+  void run();
+
+  /// Thread-safe / signal-safe-adjacent stop request: wakes the accept
+  /// loop. The actual drain happens on the run() thread.
+  void request_stop();
+
+  /// Write end of the self-pipe; a signal handler writes one byte here to
+  /// stop the server (async-signal-safe).
+  [[nodiscard]] int notify_fd() const { return wake_write_; }
+
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  void accept_on(int listener);
+  void serve_connection(int fd);
+  void close_listeners();
+
+  Service& service_;
+  ServerOptions options_;
+  int unix_listener_ = -1;
+  int tcp_listener_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace pnet::serve

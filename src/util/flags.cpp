@@ -6,6 +6,8 @@
 #include <set>
 #include <string_view>
 
+#include "util/version.hpp"
+
 namespace pnet {
 
 namespace {
@@ -35,7 +37,8 @@ std::set<std::string, std::less<>> keys_in_usage(std::string_view text) {
 /// Flags every bench accepts regardless of its own usage text: the shared
 /// knobs of bench::print_header and the experiment-runner adapters.
 bool is_common_flag(std::string_view key) {
-  return key == "help" || key == "scale" || key == "trials" ||
+  return key == "help" || key == "version" || key == "scale" ||
+         key == "trials" ||
          key == "threads" || key == "json" || key == "json-timing" ||
          key == "require-complete" || key == "engine" || key == "trace" ||
          key == "sample-every" || key == "trial-timeout" ||
@@ -46,7 +49,14 @@ bool is_common_flag(std::string_view key) {
 }  // namespace
 
 Flags::Flags(int argc, char** argv) {
-  if (argc > 0) program_ = argv[0];
+  if (argc > 0) {
+    // Usage and error messages name the binary, not its build path —
+    // "bench_fig9: unrecognized flag", not "/home/ci/build/bench/...".
+    std::string_view path(argv[0]);
+    const auto slash = path.find_last_of('/');
+    program_ = std::string(
+        slash == std::string_view::npos ? path : path.substr(slash + 1));
+  }
   // A repeated flag is rejected, not last-wins: silently dropping the
   // first value turns an editing slip ("--trials=2 ... --trials=8" left in
   // a script) into a wrong experiment.
@@ -117,11 +127,17 @@ std::vector<std::string> Flags::unknown_flags(std::string_view usage) const {
 }
 
 void Flags::handle_usage(std::string_view usage) const {
+  if (has("version")) {
+    std::printf("%s %s\n", program_.c_str(), kVersion);
+    std::exit(0);
+  }
   if (has("help")) {
+    std::printf("usage: %s [--flag[=value] ...]\n", program_.c_str());
     std::fwrite(usage.data(), 1, usage.size(), stdout);
     if (!usage.empty() && usage.back() != '\n') std::fputc('\n', stdout);
     std::printf(
         "  --help            print this usage text\n"
+        "  --version         print the binary name and version, then exit\n"
         "  --scale=paper     paper-scale run (or env PNET_SCALE=paper)\n"
         "  --trials=N        trials per experiment cell (seeded per trial)\n"
         "  --threads=N       experiment-runner worker threads (0 = all "

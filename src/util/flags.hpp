@@ -38,21 +38,24 @@ class Flags {
   [[nodiscard]] bool paper_scale() const;
 
   /// Flags that were parsed but appear neither as "--key" in `usage` nor in
-  /// the common set every bench accepts (--help, --scale, and the
+  /// the common set every bench accepts (--help, --version, --scale, and the
   /// experiment-runner flags --trials/--threads/--json/--json-timing/
   /// --require-complete/--engine/--trial-timeout/--run-deadline/--retries/
   /// --checkpoint/--audit). The testable core of handle_usage.
   [[nodiscard]] std::vector<std::string> unknown_flags(
       std::string_view usage) const;
 
-  /// Shared --help / typo handling, reached by every bench through
-  /// bench::print_header. If --help was passed: prints `usage` plus the
-  /// common-flag epilogue and exits 0. Otherwise any flag unknown_flags()
-  /// reports aborts with exit code 2 listing the offenders, so a
-  /// misspelled parameter can never silently fall back to its default.
+  /// Shared --help / --version / typo handling, reached by every bench
+  /// through bench::print_header (and by pnet-serve directly). If --version
+  /// was passed: prints "<binary> <version>" (util/version.hpp) and exits 0.
+  /// If --help was passed: prints a "usage: <binary>" header, `usage`, and
+  /// the common-flag epilogue, then exits 0. Otherwise any flag
+  /// unknown_flags() reports aborts with exit code 2 listing the offenders,
+  /// so a misspelled parameter can never silently fall back to its default.
   void handle_usage(std::string_view usage) const;
 
-  /// Name of the binary, for usage messages.
+  /// Basename of the binary (argv[0] stripped of its directory), for usage
+  /// and error messages.
   [[nodiscard]] const std::string& program() const { return program_; }
 
  private:

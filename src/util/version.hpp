@@ -1,0 +1,10 @@
+// Single version string for every pnet binary (benches, pnet-serve,
+// examples). Bumped when a release-worthy milestone lands; surfaced by the
+// shared --version flag in util::Flags::handle_usage.
+#pragma once
+
+namespace pnet {
+
+inline constexpr const char kVersion[] = "0.7.0";
+
+}  // namespace pnet

@@ -259,6 +259,32 @@ TEST(Flags, PaperScaleFlag) {
   EXPECT_FALSE(make_flags({"prog"}).paper_scale());
 }
 
+TEST(Flags, ProgramIsArgvBasename) {
+  // Usage and error messages must name the binary, not its full path.
+  EXPECT_EQ(make_flags({"/build/bench/bench_fig9"}).program(), "bench_fig9");
+  EXPECT_EQ(make_flags({"./pnet-serve"}).program(), "pnet-serve");
+  EXPECT_EQ(make_flags({"prog"}).program(), "prog");
+}
+
+TEST(FlagsUsageDeathTest, VersionExitsZero) {
+  // (--version prints "<binary> <version>" on stdout; EXPECT_EXIT can only
+  // match stderr, so assert the exit code.)
+  EXPECT_EXIT(make_flags({"/x/y/mytool", "--version"}).handle_usage(""),
+              testing::ExitedWithCode(0), "");
+}
+
+TEST(FlagsUsageDeathTest, HelpExitsZero) {
+  EXPECT_EXIT(
+      make_flags({"/x/y/mytool", "--help"}).handle_usage("  --foo N\n"),
+      testing::ExitedWithCode(0), "");
+}
+
+TEST(FlagsUsageDeathTest, UnknownFlagNamesTheBinaryBasename) {
+  EXPECT_EXIT(
+      make_flags({"/x/y/mytool", "--tyop=1"}).handle_usage("  --foo N\n"),
+      testing::ExitedWithCode(2), "mytool: unrecognized flag --tyop");
+}
+
 constexpr const char* kUsage =
     "demo: a test binary\n"
     "  --hosts=N     hosts\n"
