@@ -11,6 +11,12 @@ SimHarness::SimHarness(const Options& options)
       selector_(net_, options.policy, options.route_cache),
       starter_(selector_.make_starter(factory_)),
       telemetry_(options.telemetry) {
+  // Reserve the event heap up front (links dominate the steady-state
+  // pending set: one in-service completion per queue, one delivery wake-up
+  // per pipe) and arm regrowth tracking; FlowFactory grows the reservation
+  // as endpoints appear. audit_check() treats any regrowth as a violation.
+  events_.reserve(2 * network_.total_links() +
+                  static_cast<std::size_t>(net_.num_hosts()) + 64);
   if (telemetry_ != nullptr) wire_telemetry(options.sample_route_cache);
   if (options.cancel != nullptr) events_.set_cancel(options.cancel);
   audit_ = options.audit;

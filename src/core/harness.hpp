@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/path_selector.hpp"
 #include "sim/event_queue.hpp"
@@ -90,9 +91,19 @@ class SimHarness {
   /// created under PNET_AUDIT=1; nullptr when auditing is off.
   [[nodiscard]] util::Audit* audit() { return audit_; }
 
-  /// Conservation sweep over every queue; no-op without an auditor.
+  /// Conservation sweep over every queue, plus the steady-state allocation
+  /// invariant: the event heap must never have regrown past the
+  /// reservation made in the constructor. No-op without an auditor.
   void audit_check() {
-    if (audit_ != nullptr) network_.audit_check(*audit_);
+    if (audit_ == nullptr) return;
+    network_.audit_check(*audit_);
+    audit_->note_check();
+    if (events_.reserved() && events_.regrowths() > 0) {
+      audit_->fail("event heap regrew " +
+                   std::to_string(events_.regrowths()) +
+                   " times past its reservation (capacity now " +
+                   std::to_string(events_.capacity()) + " entries)");
+    }
   }
 
  private:

@@ -117,6 +117,14 @@ TrialResult PacketEngine::run_trial(const TrialContext& ctx) {
       static_cast<double>(harness.factory().total_delivered_bytes());
   r.sim_seconds = units::to_seconds(harness.events().now());
   r.events = harness.events().dispatched();
+  // Misconfiguration telltale (out-of-range loss/rate-scale settings were
+  // clamped); emitted only when nonzero so clean-run report bytes stay
+  // byte-identical to pre-clamping builds.
+  if (const std::uint64_t clamped =
+          harness.network().total_config_clamped();
+      clamped > 0) {
+    r.metrics["config_clamped"] = static_cast<double>(clamped);
+  }
   fold_telemetry(telemetry, r);
   return r;
 }

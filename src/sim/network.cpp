@@ -12,6 +12,16 @@ SimNetwork::SimNetwork(EventQueue& events, PacketPool& pool,
     : events_(events), net_(net), config_(config) {
   queues_.resize(static_cast<std::size_t>(net.num_planes()));
   pipes_.resize(static_cast<std::size_t>(net.num_planes()));
+  // Size the dense counter array up front: queues keep raw pointers into
+  // it, so it must never reallocate after this.
+  stats_offset_.reserve(static_cast<std::size_t>(net.num_planes()) + 1);
+  stats_offset_.push_back(0);
+  for (int p = 0; p < net.num_planes(); ++p) {
+    stats_offset_.push_back(
+        stats_offset_.back() +
+        static_cast<std::size_t>(net.plane(p).graph.num_links()));
+  }
+  queue_stats_.resize(stats_offset_.back());
   for (int p = 0; p < net.num_planes(); ++p) {
     const topo::Graph& g = net.plane(p).graph;
     auto& qs = queues_[static_cast<std::size_t>(p)];
@@ -20,11 +30,14 @@ SimNetwork::SimNetwork(EventQueue& events, PacketPool& pool,
     ps.reserve(static_cast<std::size_t>(g.num_links()));
     for (int l = 0; l < g.num_links(); ++l) {
       const topo::Link& link = g.link(LinkId{l});
+      QueueStats* stats =
+          &queue_stats_[stats_offset_[static_cast<std::size_t>(p)] +
+                        static_cast<std::size_t>(l)];
       qs.push_back(std::make_unique<Queue>(events, pool, link.rate_bps,
                                            config.queue_buffer_bytes,
                                            config.ecn_threshold_bytes,
                                            config.priority_acks,
-                                           config.trim_to_header));
+                                           config.trim_to_header, stats));
       // Per-queue loss streams are seeded from the (plane, link) identity
       // so degraded-link drops are independent across ports yet replay
       // bit-identically from the same fault plan.
@@ -40,16 +53,14 @@ SimNetwork::SimNetwork(EventQueue& events, PacketPool& pool,
 
 const Route* SimNetwork::make_route(const routing::Path& path,
                                     PacketSink& endpoint) {
-  auto route = std::make_unique<Route>();
-  route->sinks.reserve(path.links.size() * 2 + 1);
+  route_scratch_.clear();
+  route_scratch_.reserve(path.links.size() * 2 + 1);
   for (LinkId id : path.links) {
-    route->sinks.push_back(&queue(path.plane, id));
-    route->sinks.push_back(&pipe(path.plane, id));
+    route_scratch_.push_back(&queue(path.plane, id));
+    route_scratch_.push_back(&pipe(path.plane, id));
   }
-  route->sinks.push_back(&endpoint);
-  route->hop_count = path.hops();
-  routes_.push_back(std::move(route));
-  return routes_.back().get();
+  route_scratch_.push_back(&endpoint);
+  return routes_.intern(route_scratch_, path.hops());
 }
 
 routing::Path SimNetwork::reverse_path(const routing::Path& path) const {
@@ -65,34 +76,36 @@ routing::Path SimNetwork::reverse_path(const routing::Path& path) const {
 
 std::uint64_t SimNetwork::total_drops() const {
   std::uint64_t total = 0;
-  for (const auto& plane : queues_) {
-    for (const auto& q : plane) total += q->drops();
-  }
+  for (const QueueStats& s : queue_stats_) total += s.drops;
   return total;
 }
 
 std::uint64_t SimNetwork::total_ecn_marks() const {
   std::uint64_t total = 0;
-  for (const auto& plane : queues_) {
-    for (const auto& q : plane) total += q->ecn_marks();
-  }
+  for (const QueueStats& s : queue_stats_) total += s.ecn_marks;
   return total;
 }
 
 std::uint64_t SimNetwork::total_queued_bytes() const {
   std::uint64_t total = 0;
-  for (const auto& plane : queues_) {
-    for (const auto& q : plane) total += q->queued_bytes();
+  for (const QueueStats& s : queue_stats_) {
+    total += s.queued_bytes + s.ack_queued_bytes;
   }
   return total;
 }
 
 std::uint64_t SimNetwork::max_queued_bytes() const {
   std::uint64_t max = 0;
-  for (const auto& plane : queues_) {
-    for (const auto& q : plane) max = std::max(max, q->queued_bytes());
+  for (const QueueStats& s : queue_stats_) {
+    max = std::max(max, s.queued_bytes + s.ack_queued_bytes);
   }
   return max;
+}
+
+std::uint64_t SimNetwork::total_config_clamped() const {
+  std::uint64_t total = 0;
+  for (const QueueStats& s : queue_stats_) total += s.config_clamped;
+  return total;
 }
 
 void SimNetwork::set_audit(util::Audit* audit) {
@@ -112,9 +125,10 @@ void SimNetwork::audit_check(util::Audit& audit) const {
 }
 
 std::uint64_t SimNetwork::plane_forwarded_bytes(int plane) const {
+  const auto p = static_cast<std::size_t>(plane);
   std::uint64_t total = 0;
-  for (const auto& q : queues_[static_cast<std::size_t>(plane)]) {
-    total += q->forwarded_bytes();
+  for (std::size_t i = stats_offset_[p]; i < stats_offset_[p + 1]; ++i) {
+    total += queue_stats_[i].forwarded_bytes;
   }
   return total;
 }
@@ -206,9 +220,23 @@ void FlowLogger::write_csv(std::ostream& out) const {
   }
 }
 
+void FlowFactory::reserve_events(int new_endpoints) {
+  endpoints_ += static_cast<std::size_t>(new_endpoints);
+  // Bound on simultaneously pending events: one in-service completion per
+  // queue, one delivery wake-up per pipe (2 * links), a start event plus a
+  // short stack of stale RTO wake-ups per transport endpoint (arm_rto
+  // leaves superseded wake-ups in the heap until they fire), and slack for
+  // the telemetry driver, fault injector, and workload apps.
+  events_.request_capacity(
+      2 * network_.total_links() +
+      static_cast<std::size_t>(network_.net().num_hosts()) +
+      16 * endpoints_ + 64);
+}
+
 TcpSrc& FlowFactory::tcp_flow(HostId src, HostId dst,
                               const routing::Path& path, std::uint64_t bytes,
                               SimTime start, FlowCallback on_complete) {
+  reserve_events(1);
   const FlowId id = next_id();
   sources_.push_back(std::make_unique<TcpSrc>(events_, pool_, id,
                                               network_.config().tcp));
@@ -313,6 +341,7 @@ MptcpConnection& FlowFactory::mptcp_flow(HostId src, HostId dst,
                                          std::uint64_t bytes, SimTime start,
                                          FlowCallback on_complete,
                                          Coupling coupling) {
+  reserve_events(static_cast<int>(paths.size()));
   const FlowId id = next_id();
   connections_.push_back(std::make_unique<MptcpConnection>(
       events_, pool_, id, network_.config().tcp, bytes, coupling));

@@ -13,6 +13,7 @@
 #include "sim/mptcp.hpp"
 #include "sim/pipe.hpp"
 #include "sim/queue.hpp"
+#include "sim/route_arena.hpp"
 #include "sim/tcp.hpp"
 #include "telemetry/telemetry.hpp"
 #include "topo/parallel.hpp"
@@ -52,9 +53,13 @@ class SimNetwork {
                   [static_cast<std::size_t>(link.v)];
   }
 
-  /// Builds a forwarding chain along `path`, ending at `endpoint`.
-  /// The returned route is owned by this network (stable address).
+  /// Builds a forwarding chain along `path`, ending at `endpoint`, interned
+  /// into this network's route arena (stable address; identical chains
+  /// share one Route).
   const Route* make_route(const routing::Path& path, PacketSink& endpoint);
+
+  /// The arena backing make_route (allocation diagnostics).
+  [[nodiscard]] const RouteArena& routes() const { return routes_; }
 
   /// The reverse of `path` (ACK direction), using each link's duplex twin.
   [[nodiscard]] routing::Path reverse_path(const routing::Path& path) const;
@@ -71,6 +76,19 @@ class SimNetwork {
   /// Cumulative wire bytes forwarded by `plane`'s queues — per-plane link
   /// utilization, sampled as a rate by the telemetry layer.
   [[nodiscard]] std::uint64_t plane_forwarded_bytes(int plane) const;
+  /// Out-of-range queue configuration calls clamped (see
+  /// Queue::set_loss_rate / set_rate_scale) across every queue.
+  [[nodiscard]] std::uint64_t total_config_clamped() const;
+
+  /// Directed links across all planes (== number of queues/pipes).
+  [[nodiscard]] std::size_t total_links() const {
+    return queue_stats_.size();
+  }
+  /// The dense per-queue counter blocks, one slot per directed link in
+  /// plane order (the struct-of-arrays behind every total_* accessor).
+  [[nodiscard]] const std::vector<QueueStats>& queue_stats() const {
+    return queue_stats_;
+  }
 
   /// Wires fault-transition trace events (cable/plane fail, recover,
   /// degrade) into `trace`; nullptr detaches. All fault entry points funnel
@@ -120,7 +138,14 @@ class SimNetwork {
   SimConfig config_;
   std::vector<std::vector<std::unique_ptr<Queue>>> queues_;  // [plane][link]
   std::vector<std::vector<std::unique_ptr<Pipe>>> pipes_;
-  std::vector<std::unique_ptr<Route>> routes_;
+  /// Dense per-queue counters in plane-major link order; sized once in the
+  /// constructor (queues hold raw pointers into it) and never resized.
+  std::vector<QueueStats> queue_stats_;
+  /// queue_stats_ index of plane p's first link (num_planes + 1 entries).
+  std::vector<std::size_t> stats_offset_;
+  RouteArena routes_;
+  /// Reused chain-building scratch for make_route.
+  std::vector<PacketSink*> route_scratch_;
   /// Failure overlays: a queue is failed iff its cable flag or its plane
   /// flag is set. Cable flags are kept per directed link (both directions
   /// of a duplex pair always move together).
@@ -259,6 +284,11 @@ class FlowFactory {
  private:
   FlowId next_id() { return FlowId{next_flow_id_++}; }
 
+  /// Grows the event heap's reservation ahead of demand as transport
+  /// endpoints are created, so the steady state stays allocation-free
+  /// (SimHarness::audit_check treats heap regrowth as a violation).
+  void reserve_events(int new_endpoints);
+
   /// Launch-time facts about one flow, kept so finalize() can synthesize a
   /// partial record for flows that never complete. tcp_info_ aligns with
   /// sources_, mptcp_info_ with connections_.
@@ -293,6 +323,9 @@ class FlowFactory {
   PacketPool& pool_;
   SimNetwork& network_;
   FlowLogger& logger_;
+  /// Transport endpoints created so far (TcpSrc + MPTCP subflows), the
+  /// scaling term of reserve_events' pending-event bound.
+  std::size_t endpoints_ = 0;
   int next_flow_id_ = 0;
   int flows_finished_ = 0;
   RepathProvider repath_provider_;

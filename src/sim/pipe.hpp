@@ -1,10 +1,8 @@
 // Fixed-delay propagation pipe: the speed-of-light component of a link.
 // Infinite capacity; packets entering `latency` apart leave `latency` apart,
-// so the internal buffer is naturally FIFO.
+// so the internal buffer is naturally FIFO — an intrusive list threaded
+// through Packet::next, with the delivery deadline parked in Packet::due.
 #pragma once
-
-#include <deque>
-#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/packet.hpp"
@@ -17,29 +15,30 @@ class Pipe : public EventSource, public PacketSink {
       : events_(events), latency_(latency) {}
 
   void receive(Packet& packet) override {
-    const SimTime deliver_at = events_.now() + latency_;
-    in_flight_.emplace_back(deliver_at, &packet);
-    if (in_flight_.size() == 1) events_.schedule_at(deliver_at, this);
+    packet.due = events_.now() + latency_;
+    const bool was_idle = in_flight_.empty();
+    in_flight_.push_back(&packet);
+    if (was_idle) events_.schedule_at(packet.due, this);
   }
 
   void do_next_event() override {
     // Deliver everything due now (multiple packets can share an instant).
-    while (!in_flight_.empty() && in_flight_.front().first <= events_.now()) {
-      Packet* packet = in_flight_.front().second;
-      in_flight_.pop_front();
+    while (!in_flight_.empty() && in_flight_.front()->due <= events_.now()) {
+      Packet* packet = in_flight_.pop_front();
       packet->forward();
     }
     if (!in_flight_.empty()) {
-      events_.schedule_at(in_flight_.front().first, this);
+      events_.schedule_at(in_flight_.front()->due, this);
     }
   }
 
   [[nodiscard]] SimTime latency() const { return latency_; }
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_.size(); }
 
  private:
   EventQueue& events_;
   SimTime latency_;
-  std::deque<std::pair<SimTime, Packet*>> in_flight_;
+  PacketList in_flight_;
 };
 
 }  // namespace pnet::sim

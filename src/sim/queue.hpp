@@ -3,9 +3,7 @@
 // host->ToR links, a switch port otherwise).
 #pragma once
 
-#include <cassert>
 #include <cstdint>
-#include <deque>
 #include <string>
 
 #include "sim/event_queue.hpp"
@@ -15,18 +13,48 @@
 
 namespace pnet::sim {
 
+/// Per-queue occupancy and counter block. SimNetwork owns one dense
+/// struct-of-arrays vector of these (one slot per directed link in plane
+/// order), so telemetry totals walk a contiguous array instead of chasing
+/// Queue objects; a standalone Queue (tests, micro benches) falls back to
+/// an internal block. Plain uint64 fields — the sim is single-threaded per
+/// trial, snapshots happen between events.
+struct QueueStats {
+  std::uint64_t queued_bytes = 0;      // data fifo, incl. in-service data
+  std::uint64_t ack_queued_bytes = 0;  // priority fifo, incl. in-service
+  std::uint64_t drops = 0;
+  std::uint64_t drops_failed = 0;
+  std::uint64_t drops_random = 0;
+  std::uint64_t drops_overflow = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t forwarded_bytes = 0;
+  std::uint64_t received = 0;
+  std::uint64_t ecn_marks = 0;
+  std::uint64_t trims = 0;
+  /// Out-of-range set_loss_rate/set_rate_scale arguments clamped into
+  /// range (misconfiguration telltale — see those setters).
+  std::uint64_t config_clamped = 0;
+};
+
 class Queue : public EventSource, public PacketSink {
  public:
   /// Trimmed headers are this many wire bytes.
   static constexpr std::uint32_t kHeaderBytes = 64;
+  /// Floor for set_rate_scale clamping: a link renegotiated a million
+  /// times down is still a link, and serialization delays stay finite.
+  static constexpr double kMinRateScale = 1e-6;
 
+  /// `stats` points the queue at an externally owned counter block
+  /// (SimNetwork's dense array); nullptr keeps counters in the queue.
   Queue(EventQueue& events, PacketPool& pool, double rate_bps,
         std::uint64_t buffer_bytes, std::uint64_t ecn_threshold_bytes = 0,
-        bool priority_acks = false, bool trim_to_header = false)
+        bool priority_acks = false, bool trim_to_header = false,
+        QueueStats* stats = nullptr)
       : events_(events), pool_(pool), rate_bps_(rate_bps),
         buffer_bytes_(buffer_bytes),
         ecn_threshold_bytes_(ecn_threshold_bytes),
-        priority_acks_(priority_acks), trim_to_header_(trim_to_header) {}
+        priority_acks_(priority_acks), trim_to_header_(trim_to_header),
+        s_(stats != nullptr ? stats : &own_stats_) {}
 
   /// Enqueues or tail-drops; starts serializing when idle. When the link is
   /// failed, every packet is dropped (a dead cable). With an ECN threshold
@@ -43,8 +71,16 @@ class Queue : public EventSource, public PacketSink {
   /// Degraded link: arriving packets (data and ACKs alike — a flaky cable
   /// corrupts everything) are dropped with probability `rate`. 1.0 is
   /// behaviourally identical to set_failed(true); 0 restores the link.
+  /// Out-of-range (or NaN) rates are clamped into [0, 1] and counted in
+  /// config_clamped rather than left as Release-mode UB.
   void set_loss_rate(double rate) {
-    assert(rate >= 0.0 && rate <= 1.0);
+    if (!(rate >= 0.0)) {  // negative or NaN
+      rate = 0.0;
+      ++s_->config_clamped;
+    } else if (rate > 1.0) {
+      rate = 1.0;
+      ++s_->config_clamped;
+    }
     loss_rate_ = rate;
   }
   [[nodiscard]] double loss_rate() const { return loss_rate_; }
@@ -53,35 +89,48 @@ class Queue : public EventSource, public PacketSink {
 
   /// Degraded link, service-rate mode: serialize at `scale` x the nominal
   /// rate (a transceiver renegotiated down). The packet already on the wire
-  /// keeps its old departure time; `scale` must be positive.
+  /// keeps its old departure time. Non-positive (or NaN) scales are clamped
+  /// to kMinRateScale and counted in config_clamped.
   void set_rate_scale(double scale) {
-    assert(scale > 0.0);
+    if (!(scale >= kMinRateScale)) {  // zero, negative or NaN
+      scale = kMinRateScale;
+      ++s_->config_clamped;
+    }
     rate_scale_ = scale;
+    memo_bytes_ = kNoMemo;  // effective rate changed: recompute delays
   }
   [[nodiscard]] double rate_scale() const { return rate_scale_; }
 
   [[nodiscard]] std::uint64_t queued_bytes() const {
-    return queued_bytes_ + ack_queued_bytes_;
+    return s_->queued_bytes + s_->ack_queued_bytes;
   }
-  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t drops() const { return s_->drops; }
   // Per-cause drop counters (drops() is their sum): dead cable, random
   // degraded-link loss, and buffer overflow.
-  [[nodiscard]] std::uint64_t drops_failed() const { return drops_failed_; }
-  [[nodiscard]] std::uint64_t drops_random() const { return drops_random_; }
-  [[nodiscard]] std::uint64_t drops_overflow() const {
-    return drops_overflow_;
+  [[nodiscard]] std::uint64_t drops_failed() const {
+    return s_->drops_failed;
   }
-  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t drops_random() const {
+    return s_->drops_random;
+  }
+  [[nodiscard]] std::uint64_t drops_overflow() const {
+    return s_->drops_overflow;
+  }
+  [[nodiscard]] std::uint64_t forwarded() const { return s_->forwarded; }
   /// Wire bytes forwarded (data + ACKs, post-trim sizes) — the link
   /// utilization numerator sampled by the telemetry layer.
   [[nodiscard]] std::uint64_t forwarded_bytes() const {
-    return forwarded_bytes_;
+    return s_->forwarded_bytes;
   }
-  [[nodiscard]] std::uint64_t ecn_marks() const { return ecn_marks_; }
-  [[nodiscard]] std::uint64_t trims() const { return trims_; }
+  [[nodiscard]] std::uint64_t ecn_marks() const { return s_->ecn_marks; }
+  [[nodiscard]] std::uint64_t trims() const { return s_->trims; }
   [[nodiscard]] double rate_bps() const { return rate_bps_; }
   /// Packets handed to receive() — the conservation-law numerator.
-  [[nodiscard]] std::uint64_t received() const { return received_; }
+  [[nodiscard]] std::uint64_t received() const { return s_->received; }
+  /// Clamped configuration calls (see set_loss_rate/set_rate_scale).
+  [[nodiscard]] std::uint64_t config_clamped() const {
+    return s_->config_clamped;
+  }
 
   /// Attaches an invariant auditor: occupancy is checked against capacity
   /// on every enqueue. Pass nullptr to detach.
@@ -110,29 +159,32 @@ class Queue : public EventSource, public PacketSink {
   double loss_rate_ = 0.0;
   double rate_scale_ = 1.0;
   Rng loss_rng_{0xDE6BADEDULL};
-  std::uint64_t ecn_marks_ = 0;
-  std::uint64_t trims_ = 0;
+
+  /// One-entry serialization-delay memo: traffic is dominated by runs of
+  /// same-size packets (MSS data, fixed-size ACKs), so caching the last
+  /// (size -> delay) pair skips the double division in the common case.
+  /// The cached value is the exact serialization_delay() result —
+  /// schedules are bit-identical with or without a hit. Invalidated by
+  /// set_rate_scale (rate_bps_ is fixed after construction).
+  static constexpr std::uint64_t kNoMemo = ~0ULL;
+  std::uint64_t memo_bytes_ = kNoMemo;
+  SimTime memo_delay_ = 0;
 
   void drop(Packet& packet, std::uint64_t& cause_counter);
   void start_service();
 
-  std::deque<Packet*> fifo_;
+  /// Intrusive FIFOs threaded through Packet::next — enqueue/dequeue
+  /// never touch the allocator.
+  PacketList fifo_;
   /// Priority queue for ACKs (when priority_acks_) and trimmed headers
   /// (when trim_to_header_); budgeted separately from the data buffer, as
   /// a real NDP header queue is.
-  std::deque<Packet*> ack_fifo_;
+  PacketList ack_fifo_;
   Packet* in_service_ = nullptr;     // committed to the wire
   bool in_service_priority_ = false; // which budget it came from
-  std::uint64_t queued_bytes_ = 0;     // data fifo, incl. in-service data
-  std::uint64_t ack_queued_bytes_ = 0; // priority fifo, incl. in-service
   bool busy_ = false;
-  std::uint64_t drops_ = 0;
-  std::uint64_t drops_failed_ = 0;
-  std::uint64_t drops_random_ = 0;
-  std::uint64_t drops_overflow_ = 0;
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t forwarded_bytes_ = 0;
-  std::uint64_t received_ = 0;
+  QueueStats own_stats_;  // fallback when no external block is given
+  QueueStats* s_;
   util::Audit* audit_ = nullptr;
 };
 

@@ -1,0 +1,72 @@
+#include "sim/route_arena.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace pnet::sim {
+
+namespace {
+
+std::uint64_t chain_hash(std::span<PacketSink* const> sinks, int hop_count) {
+  std::uint64_t h = mix64(0x9E3779B97F4A7C15ULL ^
+                          static_cast<std::uint64_t>(hop_count));
+  for (PacketSink* sink : sinks) {
+    h = mix64(h ^ reinterpret_cast<std::uintptr_t>(sink));
+  }
+  return h;
+}
+
+}  // namespace
+
+const Route* RouteArena::intern(std::span<PacketSink* const> sinks,
+                                int hop_count) {
+  auto& bucket = dedup_[chain_hash(sinks, hop_count)];
+  for (const Route* route : bucket) {
+    if (route->hop_count == hop_count &&
+        std::equal(route->sinks.begin(), route->sinks.end(), sinks.begin(),
+                   sinks.end())) {
+      ++dedup_hits_;
+      return route;
+    }
+  }
+  PacketSink** storage = alloc_sinks(sinks.size());
+  std::copy(sinks.begin(), sinks.end(), storage);
+  Route* route = alloc_route();
+  route->sinks = std::span<PacketSink* const>(storage, sinks.size());
+  route->hop_count = hop_count;
+  bucket.push_back(route);
+  ++num_routes_;
+  sinks_stored_ += sinks.size();
+  return route;
+}
+
+PacketSink** RouteArena::alloc_sinks(std::size_t count) {
+  if (count > kSinkChunk) {
+    // Oversize chain: dedicated exact-size slab, spliced in *before* the
+    // current slab so the bump state below stays untouched.
+    auto slab = std::make_unique<PacketSink*[]>(count);
+    PacketSink** out = slab.get();
+    sink_chunks_.insert(sink_chunks_.empty() ? sink_chunks_.end()
+                                             : sink_chunks_.end() - 1,
+                        std::move(slab));
+    return out;
+  }
+  if (sink_used_ + count > kSinkChunk) {
+    sink_chunks_.push_back(std::make_unique<PacketSink*[]>(kSinkChunk));
+    sink_used_ = 0;
+  }
+  PacketSink** out = sink_chunks_.back().get() + sink_used_;
+  sink_used_ += count;
+  return out;
+}
+
+Route* RouteArena::alloc_route() {
+  if (route_used_ == kRouteChunk) {
+    route_chunks_.push_back(std::make_unique<Route[]>(kRouteChunk));
+    route_used_ = 0;
+  }
+  return &route_chunks_.back()[route_used_++];
+}
+
+}  // namespace pnet::sim

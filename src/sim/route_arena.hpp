@@ -1,0 +1,68 @@
+// Compiled route storage: one chunked arena of PacketSink* spans shared by
+// every route in a SimNetwork — the sim-layer twin of routing::RouteTable's
+// PathRef/PathView split.
+//
+// make_route used to heap-allocate a Route (itself holding a heap
+// vector<PacketSink*>) per flow direction and per repath; at fat-tree scale
+// that is hundreds of thousands of small allocations whose contents are
+// overwhelmingly duplicates (every flow pair between the same hosts on the
+// same plane shares a chain). The arena interns instead: sink chains live in
+// fixed-size slabs that never move, Route headers live in their own slabs
+// (stable addresses — transports hold `const Route*` across their whole
+// lifetime), and identical chains are deduplicated on intern. Append-only:
+// routes are never evicted while the network lives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace pnet::sim {
+
+class RouteArena {
+ public:
+  /// Interns a forwarding chain (deduplicating by content) and returns a
+  /// stable pointer, valid for the arena's lifetime. Not thread safe; the
+  /// sim is single-threaded per trial.
+  const Route* intern(std::span<PacketSink* const> sinks, int hop_count);
+
+  /// Distinct routes stored (post-dedup).
+  [[nodiscard]] std::size_t num_routes() const { return num_routes_; }
+  /// Intern calls answered from the dedup index instead of new storage.
+  [[nodiscard]] std::size_t dedup_hits() const { return dedup_hits_; }
+  /// Sink pointers actually stored (post-dedup, excluding slab padding).
+  [[nodiscard]] std::size_t sinks_stored() const { return sinks_stored_; }
+  /// Bytes of arena storage allocated (whole slabs).
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return sink_chunks_.size() * kSinkChunk * sizeof(PacketSink*) +
+           route_chunks_.size() * kRouteChunk * sizeof(Route);
+  }
+
+ private:
+  /// 4096 sink pointers (32 KiB) per slab; a chain never spans two slabs.
+  /// Chains longer than a slab (unseen in practice: a chain is
+  /// 2*hops+1 entries) get a dedicated exact-size slab.
+  static constexpr std::size_t kSinkChunk = std::size_t{1} << 12;
+  /// 1024 Route headers per slab.
+  static constexpr std::size_t kRouteChunk = std::size_t{1} << 10;
+
+  PacketSink** alloc_sinks(std::size_t count);
+  Route* alloc_route();
+
+  std::vector<std::unique_ptr<PacketSink*[]>> sink_chunks_;
+  std::size_t sink_used_ = kSinkChunk;  // used slots in the newest slab
+  std::vector<std::unique_ptr<Route[]>> route_chunks_;
+  std::size_t route_used_ = kRouteChunk;
+  std::size_t num_routes_ = 0;
+  std::size_t dedup_hits_ = 0;
+  std::size_t sinks_stored_ = 0;
+  /// Content hash -> routes with that hash (chained for collisions).
+  std::unordered_map<std::uint64_t, std::vector<const Route*>> dedup_;
+};
+
+}  // namespace pnet::sim

@@ -146,8 +146,7 @@ TEST(QueueTest, SerializesBackToBack) {
   PacketPool pool;
   CollectSink sink(events, pool);
   Queue queue(events, pool, 100e9, 1'000'000);
-  Route route;
-  route.sinks = {&queue, &sink};
+  OwnedRoute route({&queue, &sink});
 
   for (int i = 0; i < 3; ++i) {
     make_data_packet(pool, &route, i, 1500)->forward();
@@ -169,8 +168,7 @@ TEST(QueueTest, TailDropsWhenFull) {
   CollectSink sink(events, pool);
   // Room for exactly 2 packets.
   Queue queue(events, pool, 100e9, 3000);
-  Route route;
-  route.sinks = {&queue, &sink};
+  OwnedRoute route({&queue, &sink});
   for (int i = 0; i < 5; ++i) {
     make_data_packet(pool, &route, i, 1500)->forward();
   }
@@ -185,8 +183,7 @@ TEST(PipeTest, AddsFixedLatencyAndKeepsOrder) {
   PacketPool pool;
   CollectSink sink(events, pool);
   Pipe pipe(events, kMicrosecond);
-  Route route;
-  route.sinks = {&pipe, &sink};
+  OwnedRoute route({&pipe, &sink});
   make_data_packet(pool, &route, 0, 1500)->forward();
   events.run_until(300 * kNanosecond);
   EXPECT_TRUE(sink.arrival_times.empty());  // still in flight
@@ -339,7 +336,15 @@ class DropFirstN : public PacketSink {
 
 std::unique_ptr<TcpSink> sinks_holder_;
 std::unique_ptr<TcpSrc> src_holder_;
-std::unique_ptr<Route> owned_route_;
+std::unique_ptr<OwnedRoute> owned_route_;
+
+/// `base` with `head` spliced in front — the test idiom for interposing a
+/// packet mangler before an interned route.
+std::vector<PacketSink*> prepend_sink(PacketSink& head, const Route& base) {
+  std::vector<PacketSink*> chain{&head};
+  chain.insert(chain.end(), base.sinks.begin(), base.sinks.end());
+  return chain;
+}
 
 TEST(Tcp, RetransmissionTimeoutFiresAtTunedMinimum) {
   // Drop the entire initial window: no dupACKs are possible, so recovery
@@ -352,8 +357,7 @@ TEST(Tcp, RetransmissionTimeoutFiresAtTunedMinimum) {
   sinks_holder_ = std::make_unique<TcpSink>(h.events, h.pool, h.config.tcp);
   src_holder_ = std::make_unique<TcpSrc>(h.events, h.pool, FlowId{0},
                                          h.config.tcp);
-  Route fwd = *h.network->make_route(path, *sinks_holder_);
-  fwd.sinks.insert(fwd.sinks.begin(), &dropper);
+  const Route* base = h.network->make_route(path, *sinks_holder_);
   const Route* rev =
       h.network->make_route(h.network->reverse_path(path), *src_holder_);
   sinks_holder_->set_ack_route(rev);
@@ -362,8 +366,9 @@ TEST(Tcp, RetransmissionTimeoutFiresAtTunedMinimum) {
   src_holder_->set_completion_callback(
       [&](TcpSrc& s) { done = s.completion_time(); });
   // The route object must outlive the run.
-  owned_route_ = std::make_unique<Route>(fwd);
-  src_holder_->connect(owned_route_.get(), 0);
+  owned_route_ = std::make_unique<OwnedRoute>();
+  owned_route_->assign(prepend_sink(dropper, *base), base->hop_count);
+  src_holder_->connect(owned_route_->get(), 0);
   h.events.run();
   ASSERT_GE(done, 10 * kMillisecond);  // had to wait for the RTO
   EXPECT_LT(done, 25 * kMillisecond);
@@ -472,11 +477,11 @@ TEST(Mptcp, CompletesWhenOneSubflowIsUseless) {
   // Black-holed subflow.
   DropFirstN dropper(h.pool, 1 << 30);
   TcpSink bad_sink(h.events, h.pool, h.config.tcp);
-  Route bad_route;
+  OwnedRoute bad_route;
   {
     MptcpSubflow& sf = conn.add_subflow();
-    bad_route = *h.network->make_route(bad, bad_sink);
-    bad_route.sinks.insert(bad_route.sinks.begin(), &dropper);
+    const Route* base = h.network->make_route(bad, bad_sink);
+    bad_route.assign(prepend_sink(dropper, *base), base->hop_count);
     const Route* rev =
         h.network->make_route(h.network->reverse_path(bad), sf);
     bad_sink.set_ack_route(rev);

@@ -30,10 +30,8 @@ struct Wire {
   TcpSrc& connect(std::uint64_t bytes, const TcpParams& params = {}) {
     src = std::make_unique<TcpSrc>(events, pool, FlowId{1}, params);
     sink = std::make_unique<TcpSink>(events, pool, params);
-    fwd_route.sinks = {&fwd_queue, &fwd_pipe, sink.get()};
-    fwd_route.hop_count = 1;
-    rev_route.sinks = {&rev_queue, &rev_pipe, src.get()};
-    rev_route.hop_count = 1;
+    fwd_route.assign({&fwd_queue, &fwd_pipe, sink.get()}, 1);
+    rev_route.assign({&rev_queue, &rev_pipe, src.get()}, 1);
     sink->set_ack_route(&rev_route);
     src->set_flow_size(bytes);
     src->connect(&fwd_route, 0);
@@ -46,8 +44,8 @@ struct Wire {
   Pipe fwd_pipe;
   Queue rev_queue;
   Pipe rev_pipe;
-  Route fwd_route;
-  Route rev_route;
+  OwnedRoute fwd_route;
+  OwnedRoute rev_route;
   std::unique_ptr<TcpSrc> src;
   std::unique_ptr<TcpSink> sink;
 };
@@ -88,8 +86,7 @@ TEST(TcpDetails, SinkReassemblesArbitraryInjectionOrder) {
     std::uint64_t last_cum = 0;
     PacketPool& pool_;
   } capture(wire.pool);
-  Route ack_route;
-  ack_route.sinks = {&capture};
+  OwnedRoute ack_route({&capture});
   sink.set_ack_route(&ack_route);
 
   auto inject = [&](std::uint64_t seq, std::uint32_t size) {
@@ -97,7 +94,6 @@ TEST(TcpDetails, SinkReassemblesArbitraryInjectionOrder) {
     p->seq = seq;
     p->size_bytes = size;
     p->is_ack = false;
-    Route direct;
     // Deliver straight into the sink.
     sink.receive(*p);
   };
@@ -126,8 +122,7 @@ TEST(TcpDetails, DuplicateSegmentsDoNotConfuseReassembly) {
     std::uint64_t last_cum = 0;
     PacketPool& pool_;
   } capture(wire.pool);
-  Route ack_route;
-  ack_route.sinks = {&capture};
+  OwnedRoute ack_route({&capture});
   sink.set_ack_route(&ack_route);
 
   auto inject = [&](std::uint64_t seq) {

@@ -28,8 +28,7 @@ TEST(Trimming, QueueTrimsInsteadOfDropping) {
   } sink(pool);
   // Room for exactly 2 full packets; trimming enabled.
   Queue queue(events, pool, 100e9, 3000, 0, false, /*trim=*/true);
-  Route route;
-  route.sinks = {&queue, &sink};
+  OwnedRoute route({&queue, &sink});
   for (int i = 0; i < 6; ++i) {
     Packet* p = pool.allocate();
     p->seq = static_cast<std::uint64_t>(i) * 1500;
@@ -58,8 +57,7 @@ TEST(Trimming, HeadersBypassDataBacklog) {
     PacketPool& pool_;
   } sink(pool);
   Queue queue(events, pool, 100e9, 3000, 0, false, true);
-  Route route;
-  route.sinks = {&queue, &sink};
+  OwnedRoute route({&queue, &sink});
   for (int i = 0; i < 3; ++i) {
     Packet* p = pool.allocate();
     p->size_bytes = 1500;
