@@ -85,7 +85,8 @@ exp::TrialResult run_network(topo::NetworkType type, const Scenario& sc,
   core::SimHarness h({.spec = spec,
                       .policy = policy,
                       .telemetry = tel.get(),
-                      .sample_route_cache = true});
+                      .sample_route_cache = true,
+                      .sim_threads = ctx.sim_threads});
 
   core::HealthMonitor monitor(h.events(), {.detect_delay = detect_delay});
   monitor.add_selector(h.selector());
@@ -149,7 +150,7 @@ exp::TrialResult run_network(topo::NetworkType type, const Scenario& sc,
   r.delivered_bytes =
       static_cast<double>(h.factory().total_delivered_bytes());
   r.sim_seconds = units::to_seconds(h.events().now());
-  r.events = h.events().dispatched();
+  r.events = h.dispatched();  // control queue + all shards
   exp::fold_telemetry(tel, r);
   return r;
 }

@@ -14,10 +14,15 @@
 // self-contained report mode measuring the data-plane hot path end to end:
 // a raw queue+pipe forwarding loop (packets/sec) and a fixed permutation
 // TCP scenario (events/sec and bytes/event), plus the slab/arena footprint
-// behind them. The result is one JSON document, committed as
-// BENCH_micro_sim.json at the repo root; CI's micro-sim-perf job re-runs it
-// and fails on a >15% events/sec regression. Report-mode flags: --hosts,
-// --planes, --bytes, --repeat.
+// behind them, plus a sharded-engine scaling sweep (packet_sim_mt: the
+// same permutation scenario on a wider multi-plane fabric at
+// --sim-threads 1/2/4/8, asserting the dispatched-event count is
+// identical across shard worker counts). The result is one JSON document,
+// committed as BENCH_micro_sim.json at the repo root; CI's micro-sim-perf
+// job re-runs it and fails on a >15% events/sec regression of the serial
+// row, and checks the mt rows still agree on events. Report-mode flags:
+// --hosts, --planes, --bytes, --repeat, --mt-hosts, --mt-planes,
+// --mt-bytes.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -25,6 +30,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "core/harness.hpp"
 #include "exp/json.hpp"
@@ -162,7 +168,8 @@ struct SimRun {
   std::uint64_t heap_regrowths = 0;
 };
 
-SimRun run_permutation(int hosts, int planes, std::uint64_t bytes) {
+SimRun run_permutation(int hosts, int planes, std::uint64_t bytes,
+                       int sim_threads = 0) {
   topo::NetworkSpec spec;
   spec.topo = topo::TopoKind::kFatTree;
   spec.type = topo::NetworkType::kParallelHomogeneous;
@@ -170,7 +177,8 @@ SimRun run_permutation(int hosts, int planes, std::uint64_t bytes) {
   spec.parallelism = planes;
   core::PolicyConfig policy;
   policy.policy = core::RoutingPolicy::kShortestPlane;
-  core::SimHarness harness({.spec = spec, .policy = policy});
+  core::SimHarness harness(
+      {.spec = spec, .policy = policy, .sim_threads = sim_threads});
   const int n = harness.net().num_hosts();
   const auto t0 = std::chrono::steady_clock::now();
   for (int h = 0; h < n; ++h) {
@@ -179,7 +187,7 @@ SimRun run_permutation(int hosts, int planes, std::uint64_t bytes) {
   harness.run();
   SimRun run;
   run.wall_s = seconds_since(t0);
-  run.events = harness.events().dispatched();
+  run.events = harness.dispatched();  // == events().dispatched() when serial
   run.delivered =
       static_cast<double>(harness.factory().total_delivered_bytes());
   run.routes = harness.network().routes().num_routes();
@@ -276,6 +284,64 @@ int run_json_report(const Flags& flags) {
     w.field("route_arena_bytes", best.route_arena_bytes);
     w.field("event_heap_regrowths", best.heap_regrowths);
     w.end_object();
+  }
+
+  // Sharded-engine scaling sweep: the same permutation scenario on a wider
+  // multi-plane fabric, at shard worker counts 1/2/4/8. Dispatched-event
+  // counts must agree across every row (the sharded engine's determinism
+  // contract); speedup is relative to the 1-worker sharded row and is only
+  // meaningful when host_cpus covers the worker count.
+  {
+    const int mt_hosts = flags.get_int("mt-hosts", 32);
+    const int mt_planes = flags.get_int("mt-planes", 8);
+    const auto mt_bytes =
+        static_cast<std::uint64_t>(flags.get_int("mt-bytes", 2'000'000));
+    const int worker_counts[] = {1, 2, 4, 8};
+    w.key("packet_sim_mt").begin_object();
+    w.field("hosts", mt_hosts);
+    w.field("planes", mt_planes);
+    w.field("bytes", mt_bytes);
+    w.field("host_cpus",
+            static_cast<int>(std::thread::hardware_concurrency()));
+    w.key("rows").begin_array();
+    std::uint64_t base_events = 0;
+    double base_eps = 0.0;
+    bool events_agree = true;
+    for (const int workers : worker_counts) {
+      SimRun best;
+      for (int r = 0; r < repeat; ++r) {
+        SimRun run = run_permutation(mt_hosts, mt_planes, mt_bytes, workers);
+        if (best.wall_s == 0 ||
+            static_cast<double>(run.events) / run.wall_s >
+                static_cast<double>(best.events) / best.wall_s) {
+          best = run;
+        }
+      }
+      const double eps = best.wall_s > 0
+                             ? static_cast<double>(best.events) / best.wall_s
+                             : 0.0;
+      if (workers == 1) {
+        base_events = best.events;
+        base_eps = eps;
+      } else if (best.events != base_events) {
+        events_agree = false;
+      }
+      w.begin_object();
+      w.field("sim_threads", workers);
+      w.field("events", best.events);
+      w.field("wall_s", best.wall_s);
+      w.field("events_per_sec", eps);
+      w.field("speedup", base_eps > 0 ? eps / base_eps : 0.0);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!events_agree) {
+      std::fprintf(stderr,
+                   "packet_sim_mt: dispatched-event counts diverge across "
+                   "sim_threads rows (determinism breach)\n");
+      return 1;
+    }
   }
 
   w.end_object();

@@ -2,9 +2,12 @@
 # and seed must produce a byte-identical timing-free JSON report at any
 # --threads value, for both engines, and with the shared route cache on or
 # off (PNET_ROUTE_CACHE=off forces pass-through recomputes — the cache must
-# be an optimization, never a behavior change). Invoked by the
+# be an optimization, never a behavior change). A second section checks the
+# sharded packet engine: reports must be byte-identical at every
+# --sim-threads value >= 1 (the shard layout is pinned to the plane count;
+# the worker count is only a pool size). Invoked by the
 # bench_report_determinism test with -DBENCH=<bench_fig9 path>
-# -DWORKDIR=<scratch dir>.
+# -DFAULT_BENCH=<bench_fault_recovery path> -DWORKDIR=<scratch dir>.
 set(args --hosts=16 --planes=2 --maxsize=1000000 --rounds=1 --trials=2
          --json-timing=0)
 
@@ -41,3 +44,44 @@ foreach(engine packet fsim)
     endif()
   endforeach()
 endforeach()
+
+# Sharded-engine determinism: sharded rows compare only against each other,
+# never against --sim-threads=0 — same-instant cross-shard ties merge in
+# (shard, seq) order under the sharded engine, so legacy and sharded bytes
+# legitimately differ while every sharded worker count agrees exactly.
+function(check_sharded case_name case_bench)
+  set(case_args ${ARGN})
+  set(outputs "")
+  foreach(sim_threads 1 2 4)
+    set(json ${WORKDIR}/${case_name}_simt${sim_threads}.json)
+    execute_process(
+      COMMAND ${case_bench} ${case_args} --sim-threads=${sim_threads}
+              --json=${json}
+      RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "${case_bench} --sim-threads=${sim_threads} "
+                          "exited ${rc}")
+    endif()
+    list(APPEND outputs ${json})
+  endforeach()
+  list(GET outputs 0 first)
+  foreach(other ${outputs})
+    if(other STREQUAL first)
+      continue()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            ${first} ${other}
+                    RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+      message(FATAL_ERROR "${case_name}: JSON report differs between "
+                          "${first} and ${other} — the sharded engine is "
+                          "not byte-identical across --sim-threads values")
+    endif()
+  endforeach()
+endfunction()
+
+check_sharded(fig9 ${BENCH} ${args} --engine=packet --threads=2)
+if(FAULT_BENCH)
+  check_sharded(fault_recovery ${FAULT_BENCH}
+                --hosts=16 --threads=2 --json-timing=0)
+endif()

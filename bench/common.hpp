@@ -178,10 +178,11 @@ class WallClock {
 // ------------------------------------------------------------ experiment
 
 /// The adapter every bench runs its cells through. Reads the common
-/// runner flags (--trials, --threads, --json, --json-timing,
-/// --require-complete, --trace, --sample-every, plus the resilience
-/// knobs --trial-timeout, --run-deadline, --retries, --checkpoint,
-/// --audit), queues cells, fans them out through exp::Runner, and on
+/// runner flags (--trials, --threads, --sim-threads, --json,
+/// --json-timing, --require-complete, --trace, --sample-every, plus the
+/// resilience knobs --trial-timeout, --run-deadline, --retries,
+/// --checkpoint, --audit), queues cells, fans them out through
+/// exp::Runner, and on
 /// finish() writes the structured JSON report (and the --trace export),
 /// reports trial errors, and enforces --require-complete.
 ///
@@ -213,6 +214,9 @@ class Experiment {
     runner_.set_checkpoint(flags.get("checkpoint", ""));
     runner_.set_audit(flags.get_bool("audit", false) ||
                       util::Audit::env_enabled());
+    // Packet-engine shard workers: 0 (default) keeps the serial engine;
+    // >= 1 runs the plane-sharded engine, byte-identical across values.
+    runner_.set_sim_threads(flags.get_int("sim-threads", 0));
   }
 
   /// The bench's trial count: --trials when given, else `def`.
@@ -236,7 +240,8 @@ class Experiment {
   std::vector<exp::CellResult> run() {
     const WallClock clock;
     auto results = runner_.run(cells_);
-    report_.record_runtime(clock.seconds(), runner_.threads());
+    report_.record_runtime(clock.seconds(), runner_.threads(),
+                           runner_.sim_threads());
     cells_.clear();
     for (const auto& cell : results) report_.add(cell);
     return results;

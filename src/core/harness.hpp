@@ -48,6 +48,12 @@ class SimHarness {
     /// PNET_AUDIT=1 is set, the harness owns a private fail-fast auditor so
     /// direct users (unit tests, examples) get audited too.
     util::Audit* audit = nullptr;
+    /// 0 (default): the serial engine — one global event queue, exactly as
+    /// before. >= 1: the plane-sharded engine (DESIGN.md §5i) with one
+    /// shard per plane and min(sim_threads, planes) worker threads. Every
+    /// value >= 1 produces byte-identical results: the shard layout is
+    /// fixed by the topology, sim_threads only sizes the worker pool.
+    int sim_threads = 0;
   };
 
   explicit SimHarness(const Options& options);
@@ -70,9 +76,32 @@ class SimHarness {
     return hosts;
   }
 
+  /// The shard set driving a sharded run; nullptr for the serial engine.
+  [[nodiscard]] sim::ShardSet* shards() { return shards_.get(); }
+
+  /// Events dispatched across the control queue and every shard — the
+  /// run's throughput numerator (equals events().dispatched() when
+  /// serial).
+  [[nodiscard]] std::uint64_t dispatched() const {
+    return events_.dispatched() +
+           (shards_ != nullptr ? shards_->dispatched() : 0);
+  }
+
   /// Runs the event loop to completion (or to a deadline).
-  void run() { events_.run(); }
-  void run_until(SimTime deadline) { events_.run_until(deadline); }
+  void run() {
+    if (shards_ != nullptr) {
+      shards_->run(events_);
+    } else {
+      events_.run();
+    }
+  }
+  void run_until(SimTime deadline) {
+    if (shards_ != nullptr) {
+      shards_->run_until(events_, deadline);
+    } else {
+      events_.run_until(deadline);
+    }
+  }
 
   /// Logs partial FlowRecords for flows still active — run_until stops the
   /// clock, it does not complete in-flight transfers, so without this the
@@ -96,6 +125,13 @@ class SimHarness {
   /// reservation made in the constructor. No-op without an auditor.
   void audit_check() {
     if (audit_ == nullptr) return;
+    if (shards_ != nullptr) {
+      // Violations collected on shard threads (event monotonicity, queue
+      // occupancy) merge into the main auditor first, then the boundary
+      // conservation + per-shard reservation sweep runs.
+      shards_->collect_audit(*audit_);
+      shards_->audit_check(*audit_);
+    }
     network_.audit_check(*audit_);
     audit_->note_check();
     if (events_.reserved() && events_.regrowths() > 0) {
@@ -110,9 +146,14 @@ class SimHarness {
   void wire_telemetry(bool sample_route_cache);
 
   topo::ParallelNetwork net_;
+  /// The control queue: flow starts, faults, health probes, telemetry. In
+  /// serial mode it is also the data plane's one event queue.
   sim::EventQueue events_;
   sim::PacketPool pool_;
   sim::FlowLogger logger_;
+  /// Present iff Options::sim_threads >= 1; must be constructed before
+  /// network_/factory_, which bind queues and endpoints to its shards.
+  std::unique_ptr<sim::ShardSet> shards_;
   sim::SimNetwork network_;
   sim::FlowFactory factory_;
   PathSelector selector_;

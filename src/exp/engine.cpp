@@ -51,7 +51,7 @@ CellResult Engine::run(const ExperimentSpec& spec, const EngineContext& ctx) {
                              util::job_seed(spec.seed,
                                             static_cast<std::uint64_t>(t)),
                              ctx.route_cache, ctx.telemetry, ctx.cancel,
-                             ctx.audit};
+                             ctx.audit, ctx.sim_threads};
     cell.trials.push_back(run_trial(trial));
   }
   return cell;
@@ -73,7 +73,8 @@ TrialResult PacketEngine::run_trial(const TrialContext& ctx) {
                             .telemetry = telemetry.get(),
                             .cancel = ctx.cancel.is_armed() ? &ctx.cancel
                                                          : nullptr,
-                            .audit = ctx.audit ? &audit : nullptr});
+                            .audit = ctx.audit ? &audit : nullptr,
+                            .sim_threads = ctx.sim_threads});
   Rng rng(ctx.seed);
   for (int round = 0; round < wl.rounds; ++round) {
     if (ctx.cancel.cancelled()) break;
@@ -116,7 +117,7 @@ TrialResult PacketEngine::run_trial(const TrialContext& ctx) {
   r.delivered_bytes =
       static_cast<double>(harness.factory().total_delivered_bytes());
   r.sim_seconds = units::to_seconds(harness.events().now());
-  r.events = harness.events().dispatched();
+  r.events = harness.dispatched();  // control queue + all shards
   // Misconfiguration telltale (out-of-range loss/rate-scale settings were
   // clamped); emitted only when nonzero so clean-run report bytes stay
   // byte-identical to pre-clamping builds.

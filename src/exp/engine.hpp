@@ -53,6 +53,12 @@ struct TrialContext {
   /// When true, built-in engines attach an invariant auditor and raise
   /// util::InvariantViolation at end of trial on any breach.
   bool audit = false;
+  /// Packet-engine shard workers (SimHarness::Options::sim_threads):
+  /// 0 = the serial engine, >= 1 = the plane-sharded engine with that many
+  /// worker threads (results are byte-identical across all values >= 1).
+  /// Deliberately NOT part of ExperimentSpec: like the runner's thread
+  /// count, it must not perturb spec hashes or canonical JSON.
+  int sim_threads = 0;
 };
 
 using TrialFn = std::function<TrialResult(const TrialContext&)>;
@@ -66,6 +72,8 @@ struct EngineContext {
   /// that is the runner's job — this covers direct Engine::run callers).
   util::CancelToken cancel{};
   bool audit = false;
+  /// Forwarded into every TrialContext (see its sim_threads field).
+  int sim_threads = 0;
 };
 
 /// Execution strategy for one experiment cell's trials.

@@ -288,6 +288,7 @@ std::string Report::to_json(bool with_runtime) const {
   if (with_runtime) {
     w.key("runtime").begin_object();
     w.field("threads", threads_);
+    w.field("sim_threads", sim_threads_);
     w.field("elapsed_s", elapsed_s_);
     double wall = 0.0;
     std::uint64_t events = 0;

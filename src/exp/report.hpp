@@ -173,11 +173,14 @@ class Report {
   /// Failed trials across every cell (--require-complete's other check).
   [[nodiscard]] std::uint64_t total_trial_errors() const;
 
-  /// Elapsed wall-clock and thread count of the runner invocation(s), for
-  /// the run-level runtime block.
-  void record_runtime(double elapsed_s, int threads) {
+  /// Elapsed wall-clock, runner thread count, and packet-engine shard
+  /// worker count of the runner invocation(s), for the run-level runtime
+  /// block. `sim_threads` lives here (not in any spec) so it can never
+  /// perturb canonical (--json without runtime) report bytes.
+  void record_runtime(double elapsed_s, int threads, int sim_threads = 0) {
     elapsed_s_ += elapsed_s;
     threads_ = threads;
+    sim_threads_ = sim_threads;
   }
 
   /// The JSON document. with_runtime=false omits every wall-clock-derived
@@ -199,6 +202,7 @@ class Report {
   std::vector<CellResult> cells_;
   double elapsed_s_ = 0.0;
   int threads_ = 0;
+  int sim_threads_ = 0;
 };
 
 }  // namespace pnet::exp

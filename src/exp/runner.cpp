@@ -152,7 +152,7 @@ std::vector<CellResult> Runner::run(const std::vector<Cell>& cells) const {
           }
           const TrialContext ctx{cell.spec, job.trial, seed,
                                  caches[job.cell], telemetry_, token,
-                                 audit_};
+                                 audit_, sim_threads_};
           try {
             const double wall_start = now_seconds();
             out.result = engines[job.cell]->run_trial(ctx);

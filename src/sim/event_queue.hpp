@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -51,7 +52,26 @@ class EventQueue {
   /// while still bounding cancel latency to ~a microsecond of real work.
   static constexpr std::uint64_t kCancelStride = 1024;
 
+  /// "No pending event": next_time() for an empty queue. The maximum
+  /// SimTime, so min-reductions over several queues (the shard barrier's
+  /// horizon computation) naturally ignore empty queues instead of letting
+  /// an idle shard pin the horizon at 0.
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
   [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Timestamp of the earliest pending event, or kNever when empty.
+  [[nodiscard]] SimTime next_time() const {
+    return heap_.empty() ? kNever : heap_.front().when;
+  }
+
+  /// How far this queue is known to have no work before `deadline`: the
+  /// earliest pending event, or — for an empty (drained or idle) queue —
+  /// the deadline itself. An empty shard's horizon is the deadline, never
+  /// 0, so one idle plane cannot stall a conservative barrier.
+  [[nodiscard]] SimTime horizon(SimTime deadline) const {
+    return heap_.empty() ? deadline : std::min(deadline, heap_.front().when);
+  }
 
   /// Attaches a cooperative-cancellation token; run()/run_until() return
   /// early (leaving events pending) once it fires. Pass nullptr to detach.
@@ -140,18 +160,38 @@ class EventQueue {
 
   /// Runs until the queue drains, simulated time exceeds `deadline`, or
   /// an attached CancelToken fires. The clock only advances to
-  /// min(deadline, next pending event): when dispatch stops early (cancel,
-  /// or events remaining past the deadline) time must not jump over work
-  /// still in the heap.
+  /// horizon(deadline) = min(deadline, next pending event): when dispatch
+  /// stops early (cancel, or events remaining past the deadline) time must
+  /// not jump over work still in the heap, and a drained queue advances to
+  /// the deadline itself, never stalling at its last event time.
   void run_until(SimTime deadline) {
     while (!heap_.empty() && heap_.front().when <= deadline) {
       if (cancel_poll_due() && cancel_->cancelled()) break;
       run_batch();
     }
-    const SimTime stop =
-        heap_.empty() ? deadline
-                      : (heap_.front().when < deadline ? heap_.front().when
-                                                       : deadline);
+    const SimTime stop = horizon(deadline);
+    if (now_ < stop) now_ = stop;
+  }
+
+  /// Runs every event strictly before `end` (exclusive — events at `end`
+  /// itself stay pending). The shard epoch loop uses this: `end` is the
+  /// conservative barrier time, and events *at* the barrier may still be
+  /// joined by same-instant cross-shard arrivals, so they must wait for
+  /// the next epoch. Does not advance the clock past the last dispatched
+  /// event; the caller pairs it with advance_to() after the barrier.
+  void run_before(SimTime end) {
+    while (!heap_.empty() && heap_.front().when < end) {
+      if (cancel_poll_due() && cancel_->cancelled()) break;
+      run_batch();
+    }
+  }
+
+  /// Advances the clock to min(t, next pending event) without dispatching.
+  /// The barrier uses this so an idle shard's now() tracks the epoch time
+  /// (its queues/pipes timestamp correctly on the next delivery) while
+  /// never jumping over pending work or moving backwards.
+  void advance_to(SimTime t) {
+    const SimTime stop = std::min(t, next_time());
     if (now_ < stop) now_ = stop;
   }
 

@@ -8,10 +8,14 @@ namespace pnet::sim {
 
 SimNetwork::SimNetwork(EventQueue& events, PacketPool& pool,
                        const topo::ParallelNetwork& net,
-                       const SimConfig& config)
-    : events_(events), net_(net), config_(config) {
+                       const SimConfig& config, ShardSet* shards)
+    : events_(events), net_(net), config_(config), shards_(shards) {
   queues_.resize(static_cast<std::size_t>(net.num_planes()));
   pipes_.resize(static_cast<std::size_t>(net.num_planes()));
+  if (shards_ != nullptr) {
+    boundaries_.resize(static_cast<std::size_t>(net.num_planes()));
+    owners_.resize(static_cast<std::size_t>(net.num_planes()));
+  }
   // Size the dense counter array up front: queues keep raw pointers into
   // it, so it must never reallocate after this.
   stats_offset_.reserve(static_cast<std::size_t>(net.num_planes()) + 1);
@@ -33,7 +37,28 @@ SimNetwork::SimNetwork(EventQueue& events, PacketPool& pool,
       QueueStats* stats =
           &queue_stats_[stats_offset_[static_cast<std::size_t>(p)] +
                         static_cast<std::size_t>(l)];
-      qs.push_back(std::make_unique<Queue>(events, pool, link.rate_bps,
+      // A link belongs to the shard of its source node: host-side links to
+      // the host's shard, switch-side links to the plane's. In serial mode
+      // everything binds to the single queue/pool pair.
+      EventQueue* link_events = &events;
+      PacketPool* link_pool = &pool;
+      std::size_t owner = 0;
+      std::size_t dst_owner = 0;
+      if (shards_ != nullptr) {
+        const std::size_t plane_shard = shards_->shard_of_plane(p);
+        owner = g.is_host(link.src)
+                    ? shards_->shard_of_host(g.node(link.src).host)
+                    : plane_shard;
+        dst_owner = g.is_host(link.dst)
+                        ? shards_->shard_of_host(g.node(link.dst).host)
+                        : plane_shard;
+        link_events = &shards_->shard(owner).events;
+        link_pool = &shards_->shard(owner).pool;
+        owners_[static_cast<std::size_t>(p)].push_back(
+            static_cast<std::uint32_t>(owner));
+      }
+      qs.push_back(std::make_unique<Queue>(*link_events, *link_pool,
+                                           link.rate_bps,
                                            config.queue_buffer_bytes,
                                            config.ecn_threshold_bytes,
                                            config.priority_acks,
@@ -44,7 +69,20 @@ SimNetwork::SimNetwork(EventQueue& events, PacketPool& pool,
       qs.back()->reseed_loss_rng(
           mix64((static_cast<std::uint64_t>(p) << 32) ^
                 static_cast<std::uint64_t>(static_cast<std::uint32_t>(l))));
-      ps.push_back(std::make_unique<Pipe>(events, link.latency));
+      if (shards_ != nullptr && owner != dst_owner) {
+        // Crossing link: the propagation delay rides the handoff itself,
+        // which is what gives the barrier its lookahead.
+        shards_->note_crossing(link.latency);
+        boundaries_[static_cast<std::size_t>(p)].push_back(
+            std::make_unique<BoundaryPipe>(shards_->shard(owner), dst_owner,
+                                           link.latency));
+        ps.push_back(nullptr);
+      } else {
+        ps.push_back(std::make_unique<Pipe>(*link_events, link.latency));
+        if (shards_ != nullptr) {
+          boundaries_[static_cast<std::size_t>(p)].push_back(nullptr);
+        }
+      }
     }
     cable_failed_.emplace_back(static_cast<std::size_t>(g.num_links()), 0);
   }
@@ -57,7 +95,10 @@ const Route* SimNetwork::make_route(const routing::Path& path,
   route_scratch_.reserve(path.links.size() * 2 + 1);
   for (LinkId id : path.links) {
     route_scratch_.push_back(&queue(path.plane, id));
-    route_scratch_.push_back(&pipe(path.plane, id));
+    BoundaryPipe* crossing = boundary(path.plane, id);
+    route_scratch_.push_back(crossing != nullptr
+                                 ? static_cast<PacketSink*>(crossing)
+                                 : &pipe(path.plane, id));
   }
   route_scratch_.push_back(&endpoint);
   return routes_.intern(route_scratch_, path.hops());
@@ -109,8 +150,17 @@ std::uint64_t SimNetwork::total_config_clamped() const {
 }
 
 void SimNetwork::set_audit(util::Audit* audit) {
-  for (auto& plane : queues_) {
-    for (auto& q : plane) q->set_audit(audit);
+  for (std::size_t p = 0; p < queues_.size(); ++p) {
+    for (std::size_t l = 0; l < queues_[p].size(); ++l) {
+      // Sharded queues audit into their owner shard's collecting auditor
+      // (a worker thread must never touch the possibly fail-fast main
+      // one); violations merge at ShardSet::collect_audit.
+      util::Audit* a = audit;
+      if (shards_ != nullptr && audit != nullptr) {
+        a = &shards_->shard(owners_[p][l]).audit;
+      }
+      queues_[p][l]->set_audit(a);
+    }
   }
 }
 
@@ -227,10 +277,15 @@ void FlowFactory::reserve_events(int new_endpoints) {
   // short stack of stale RTO wake-ups per transport endpoint (arm_rto
   // leaves superseded wake-ups in the heap until they fire), and slack for
   // the telemetry driver, fault injector, and workload apps.
-  events_.request_capacity(
+  const std::size_t bound =
       2 * network_.total_links() +
       static_cast<std::size_t>(network_.net().num_hosts()) +
-      16 * endpoints_ + 64);
+      16 * endpoints_ + 64;
+  events_.request_capacity(bound);
+  // Sharded runs split the same pending set across shard heaps; the
+  // per-shard bound is kept at the global one (cheap, and endpoints are
+  // not balanced across shards in general).
+  if (shards_ != nullptr) shards_->request_capacity(bound);
 }
 
 TcpSrc& FlowFactory::tcp_flow(HostId src, HostId dst,
@@ -238,10 +293,12 @@ TcpSrc& FlowFactory::tcp_flow(HostId src, HostId dst,
                               SimTime start, FlowCallback on_complete) {
   reserve_events(1);
   const FlowId id = next_id();
-  sources_.push_back(std::make_unique<TcpSrc>(events_, pool_, id,
+  sources_.push_back(std::make_unique<TcpSrc>(host_events(src),
+                                              host_pool(src), id,
                                               network_.config().tcp));
   TcpSrc& source = *sources_.back();
-  sinks_.push_back(std::make_unique<TcpSink>(events_, pool_,
+  sinks_.push_back(std::make_unique<TcpSink>(host_events(dst),
+                                             host_pool(dst),
                                              network_.config().tcp));
   TcpSink& sink = *sinks_.back();
 
@@ -255,7 +312,20 @@ TcpSrc& FlowFactory::tcp_flow(HostId src, HostId dst,
     tcp_metas_.push_back(std::make_unique<TcpFlowMeta>(
         TcpFlowMeta{&source, &sink, src, dst, bytes, path.plane}));
     source.set_repath_callback(
-        [this, meta = tcp_metas_.back().get()](TcpSrc&) {
+        [this, meta = tcp_metas_.back().get()](TcpSrc&) -> const Route* {
+          if (shards_ != nullptr && shards_->in_worker_phase()) {
+            // RTO-driven repath on a shard thread: route building mutates
+            // the route arena and telemetry, so park it until the barrier
+            // and install the fresh route there. The source keeps its old
+            // route (and its RTO backoff) for the fraction of an epoch in
+            // between — deterministically, at every worker count.
+            shards_->defer(shards_->shard_of_host(meta->src),
+                           host_events(meta->src).now(), [this, meta] {
+                             if (meta->source->complete()) return;
+                             meta->source->apply_repath(repath(*meta));
+                           });
+            return nullptr;
+          }
           return repath(*meta);
         });
   }
@@ -270,9 +340,7 @@ TcpSrc& FlowFactory::tcp_flow(HostId src, HostId dst,
                           hops,  1,
                           s.retransmits(), s.timeouts(), s.repaths()};
         record.delivered_bytes = bytes;
-        logger_.record(record);
-        note_finished(record);
-        if (cb) cb(record);
+        deliver_record(record, cb, src);
       });
   tcp_info_.push_back(LaunchInfo{id, src, dst, bytes, start, hops, false});
   note_started(tcp_info_.back());
@@ -344,7 +412,8 @@ MptcpConnection& FlowFactory::mptcp_flow(HostId src, HostId dst,
   reserve_events(static_cast<int>(paths.size()));
   const FlowId id = next_id();
   connections_.push_back(std::make_unique<MptcpConnection>(
-      events_, pool_, id, network_.config().tcp, bytes, coupling));
+      host_events(src), host_pool(src), id, network_.config().tcp, bytes,
+      coupling));
   MptcpConnection& connection = *connections_.back();
 
   // MP_JOIN staggering: secondary subflows join one handshake later, the
@@ -358,7 +427,8 @@ MptcpConnection& FlowFactory::mptcp_flow(HostId src, HostId dst,
   bool first = true;
   for (const auto& path : paths) {
     MptcpSubflow& subflow = connection.add_subflow();
-    sinks_.push_back(std::make_unique<TcpSink>(events_, pool_,
+    sinks_.push_back(std::make_unique<TcpSink>(host_events(dst),
+                                               host_pool(dst),
                                                network_.config().tcp));
     TcpSink& sink = *sinks_.back();
     const Route* fwd = network_.make_route(path, sink);
@@ -387,9 +457,7 @@ MptcpConnection& FlowFactory::mptcp_flow(HostId src, HostId dst,
                           hops,  num_subflows,
                           c.total_retransmits(), c.total_timeouts(), 0};
         record.delivered_bytes = bytes;
-        logger_.record(record);
-        note_finished(record);
-        if (cb) cb(record);
+        deliver_record(record, cb, src);
       });
   mptcp_info_.push_back(LaunchInfo{id, src, dst, bytes, start, hops, false});
   note_started(mptcp_info_.back());
@@ -398,6 +466,27 @@ MptcpConnection& FlowFactory::mptcp_flow(HostId src, HostId dst,
 
 void FlowFactory::set_telemetry(telemetry::Telemetry* telemetry) {
   telemetry_ = telemetry;
+}
+
+void FlowFactory::deliver_record(const FlowRecord& record,
+                                 const FlowCallback& cb, HostId src_host) {
+  if (shards_ != nullptr && shards_->in_worker_phase()) {
+    // Completion fired on the sender's shard thread; the logger, telemetry
+    // and the user callback are coordinator-only, so park the record until
+    // the barrier. The drain's (end, shard, emit) stable order keeps the
+    // logger's record sequence worker-count-independent.
+    shards_->defer(shards_->shard_of_host(src_host), record.end,
+                   [this, record, cb] { deliver_record_now(record, cb); });
+    return;
+  }
+  deliver_record_now(record, cb);
+}
+
+void FlowFactory::deliver_record_now(const FlowRecord& record,
+                                     const FlowCallback& cb) {
+  logger_.record(record);
+  note_finished(record);
+  if (cb) cb(record);
 }
 
 void FlowFactory::note_started(const LaunchInfo& info) {

@@ -14,6 +14,7 @@
 #include "sim/pipe.hpp"
 #include "sim/queue.hpp"
 #include "sim/route_arena.hpp"
+#include "sim/shard.hpp"
 #include "sim/tcp.hpp"
 #include "telemetry/telemetry.hpp"
 #include "topo/parallel.hpp"
@@ -38,8 +39,14 @@ struct SimConfig {
 
 class SimNetwork {
  public:
+  /// With `shards` null (the default), every queue and pipe binds to the
+  /// single `events`/`pool` pair — the serial engine, unchanged. With a
+  /// ShardSet, each link's queue binds to its owner shard (the link's
+  /// source node: host links to the host's shard, switch links to the
+  /// plane's), and pipes whose link crosses shards become BoundaryPipes.
   SimNetwork(EventQueue& events, PacketPool& pool,
-             const topo::ParallelNetwork& net, const SimConfig& config);
+             const topo::ParallelNetwork& net, const SimConfig& config,
+             ShardSet* shards = nullptr);
 
   [[nodiscard]] const topo::ParallelNetwork& net() const { return net_; }
   [[nodiscard]] const SimConfig& config() const { return config_; }
@@ -48,9 +55,20 @@ class SimNetwork {
     return *queues_[static_cast<std::size_t>(plane)]
                    [static_cast<std::size_t>(link.v)];
   }
+  /// The propagation stage of a same-shard (or serial-engine) link. In
+  /// sharded mode a crossing link has no Pipe — use boundary() there.
   [[nodiscard]] Pipe& pipe(int plane, LinkId link) {
     return *pipes_[static_cast<std::size_t>(plane)]
                   [static_cast<std::size_t>(link.v)];
+  }
+
+  /// The handoff stage of a cross-shard link, or nullptr when `link` stays
+  /// within one shard (always nullptr in serial mode).
+  [[nodiscard]] BoundaryPipe* boundary(int plane, LinkId link) {
+    if (boundaries_.empty()) return nullptr;
+    return boundaries_[static_cast<std::size_t>(plane)]
+                      [static_cast<std::size_t>(link.v)]
+        .get();
   }
 
   /// Builds a forwarding chain along `path`, ending at `endpoint`, interned
@@ -136,8 +154,14 @@ class SimNetwork {
   EventQueue& events_;  // fault trace events stamp with the current time
   const topo::ParallelNetwork& net_;
   SimConfig config_;
+  ShardSet* shards_ = nullptr;
   std::vector<std::vector<std::unique_ptr<Queue>>> queues_;  // [plane][link]
   std::vector<std::vector<std::unique_ptr<Pipe>>> pipes_;
+  /// Sharded mode only: the handoff stage of each crossing link (null for
+  /// same-shard links); empty in serial mode. Parallel to pipes_.
+  std::vector<std::vector<std::unique_ptr<BoundaryPipe>>> boundaries_;
+  /// Sharded mode only: owning shard of each queue, for audit routing.
+  std::vector<std::vector<std::uint32_t>> owners_;
   /// Dense per-queue counters in plane-major link order; sized once in the
   /// constructor (queues hold raw pointers into it) and never resized.
   std::vector<QueueStats> queue_stats_;
@@ -208,9 +232,14 @@ class FlowFactory {
   using RepathProvider = std::function<std::vector<routing::Path>(
       HostId src, HostId dst, int suspect_plane, std::uint64_t bytes)>;
 
+  /// With `shards` set, each transport endpoint binds to its host's shard
+  /// (sources and MPTCP connections to the sender's, sinks to the
+  /// receiver's) and completion/repath callbacks that fire on worker
+  /// threads are parked via ShardSet::defer until the next barrier.
   FlowFactory(EventQueue& events, PacketPool& pool, SimNetwork& network,
-              FlowLogger& logger)
-      : events_(events), pool_(pool), network_(network), logger_(logger) {}
+              FlowLogger& logger, ShardSet* shards = nullptr)
+      : events_(events), pool_(pool), network_(network), logger_(logger),
+        shards_(shards) {}
 
   /// Enables transport-driven failover: every subsequent single-path TCP
   /// flow gets a repath callback that asks `provider` for fresh paths when
@@ -305,6 +334,22 @@ class FlowFactory {
   void note_started(const LaunchInfo& info);
   void note_finished(const FlowRecord& r);
 
+  /// The event queue / packet pool a host's endpoints live on: the host's
+  /// shard when sharded, the factory's own pair otherwise.
+  [[nodiscard]] EventQueue& host_events(HostId host) {
+    return shards_ != nullptr ? shards_->host_events(host) : events_;
+  }
+  [[nodiscard]] PacketPool& host_pool(HostId host) {
+    return shards_ != nullptr ? shards_->host_pool(host) : pool_;
+  }
+
+  /// Routes a completion record to the logger/telemetry/user callback —
+  /// immediately on the coordinator, or parked at the next barrier when
+  /// called from a shard's run phase (`src_host` names that shard).
+  void deliver_record(const FlowRecord& record, const FlowCallback& cb,
+                      HostId src_host);
+  void deliver_record_now(const FlowRecord& record, const FlowCallback& cb);
+
   /// Repath bookkeeping for one single-path TCP flow: which plane it rides
   /// now, plus the endpoints to rewire when it moves.
   struct TcpFlowMeta {
@@ -323,6 +368,7 @@ class FlowFactory {
   PacketPool& pool_;
   SimNetwork& network_;
   FlowLogger& logger_;
+  ShardSet* shards_ = nullptr;
   /// Transport endpoints created so far (TcpSrc + MPTCP subflows), the
   /// scaling term of reserve_events' pending-event bound.
   std::size_t endpoints_ = 0;

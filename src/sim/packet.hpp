@@ -189,6 +189,19 @@ class PacketPool {
     ++free_count_;
   }
 
+  /// Allocates a packet carrying a field-for-field copy of `src` (which may
+  /// live in a different pool). The clone keeps THIS pool's slab-slot handle
+  /// and starts unlinked — cross-shard handoff re-homes a packet by cloning
+  /// into the destination shard's pool and freeing the original.
+  Packet* clone(const Packet& src) {
+    Packet* p = allocate();
+    const std::uint32_t self = p->self_;
+    *p = src;
+    p->self_ = self;
+    p->next = nullptr;
+    return p;
+  }
+
   /// Resolves a handle produced by this pool (Packet::ref()).
   [[nodiscard]] Packet& get(PacketRef ref) {
     assert(ref.v < constructed_ || ref.v < slabs_.size() * kSlabPackets);

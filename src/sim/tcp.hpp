@@ -139,6 +139,12 @@ class TcpSrc : public EventSource, public PacketSink {
   /// plane down, so move now instead of waiting out path_suspect_threshold
   /// RTOs. No-op without a repath callback (or if it declines).
   void force_repath();
+  /// Installs a replacement route built elsewhere — the coordinator-phase
+  /// half of a repath the callback deferred to a shard barrier (see
+  /// FlowFactory). No-op on nullptr, mirroring a declining callback.
+  void apply_repath(const Route* route) {
+    if (route != nullptr) switch_route(route);
+  }
   [[nodiscard]] bool abandoned() const { return abandoned_; }
   /// Bytes granted to this sender but not yet acked.
   [[nodiscard]] std::uint64_t unacked_assigned_bytes() const {

@@ -5,6 +5,9 @@
 // simulation, it never extends it.
 #pragma once
 
+#include <functional>
+#include <utility>
+
 #include "sim/event_queue.hpp"
 #include "telemetry/sampler.hpp"
 
@@ -14,6 +17,14 @@ class TelemetryDriver : public EventSource {
  public:
   TelemetryDriver(EventQueue& events, telemetry::Sampler& sampler)
       : events_(events), sampler_(sampler) {}
+
+  /// Extra "simulation still has work" predicate consulted alongside this
+  /// queue's own pending count. Sharded runs hook ShardSet::busy() here:
+  /// the driver rides the control queue, which looks drained whenever the
+  /// remaining work lives on shard heaps.
+  void set_more_work(std::function<bool()> more_work) {
+    more_work_ = std::move(more_work);
+  }
 
   /// Starts sampling at `at` (the first sample lands one interval later).
   /// No-op when the sampler has no interval configured.
@@ -26,7 +37,9 @@ class TelemetryDriver : public EventSource {
     sampler_.advance(events_.now());
     // The firing entry is already popped, so pending() counts everything
     // else: re-arm only while real simulation work remains.
-    if (events_.pending() > 0) schedule_next();
+    if (events_.pending() > 0 || (more_work_ && more_work_())) {
+      schedule_next();
+    }
   }
 
  private:
@@ -37,6 +50,7 @@ class TelemetryDriver : public EventSource {
 
   EventQueue& events_;
   telemetry::Sampler& sampler_;
+  std::function<bool()> more_work_;
 };
 
 }  // namespace pnet::sim

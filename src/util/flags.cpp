@@ -43,7 +43,7 @@ bool is_common_flag(std::string_view key) {
          key == "require-complete" || key == "engine" || key == "trace" ||
          key == "sample-every" || key == "trial-timeout" ||
          key == "run-deadline" || key == "retries" || key == "checkpoint" ||
-         key == "audit";
+         key == "audit" || key == "sim-threads";
 }
 
 }  // namespace
@@ -142,6 +142,9 @@ void Flags::handle_usage(std::string_view usage) const {
         "  --trials=N        trials per experiment cell (seeded per trial)\n"
         "  --threads=N       experiment-runner worker threads (0 = all "
         "cores)\n"
+        "  --sim-threads=N   packet-engine shard worker threads per trial\n"
+        "                    (0 = serial engine; reports are byte-identical\n"
+        "                    across every value >= 1)\n"
         "  --json=PATH       write the structured JSON report to PATH\n"
         "  --json-timing=0   omit wall-clock fields from the JSON, making\n"
         "                    reports bit-identical across thread counts\n"

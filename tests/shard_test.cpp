@@ -1,0 +1,322 @@
+// Tests for the plane-sharded simulation core (DESIGN.md §5i): the
+// EventQueue horizon/run_before primitives the epoch loop is built on, the
+// ArrivalQueue / handoff merge order, and the headline contract — a
+// sharded harness produces byte-identical flow records and event counts at
+// every worker count, with and without fault injection, with boundary
+// packet conservation holding under audit.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/harness.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/faults.hpp"
+#include "sim/packet.hpp"
+#include "sim/shard.hpp"
+#include "util/audit.hpp"
+
+namespace pnet::sim {
+namespace {
+
+using namespace pnet::units;
+
+class Counter : public EventSource {
+ public:
+  void do_next_event() override { ++fired; }
+  int fired = 0;
+};
+
+// ---------------------------------------------------- queue primitives
+
+TEST(ShardPrimitives, HorizonOfEmptyQueueIsDeadline) {
+  // Regression (the "small fix" of the sharding PR): an empty shard must
+  // report horizon == deadline, not 0/kNever, or the barrier computation
+  // stalls the non-empty shards.
+  EventQueue events;
+  EXPECT_EQ(events.horizon(1234), 1234);
+  EXPECT_EQ(events.next_time(), EventQueue::kNever);
+  Counter c;
+  events.schedule_at(50, &c);
+  EXPECT_EQ(events.horizon(1234), 50);
+  EXPECT_EQ(events.horizon(20), 20);
+  EXPECT_EQ(events.next_time(), 50);
+}
+
+TEST(ShardPrimitives, RunBeforeIsExclusiveOfTheBarrier) {
+  EventQueue events;
+  Counter c;
+  events.schedule_at(10, &c);
+  events.schedule_at(20, &c);
+  events.run_before(20);  // [now, 20): the event AT 20 must stay pending
+  EXPECT_EQ(c.fired, 1);
+  EXPECT_EQ(events.next_time(), 20);
+  events.run_before(21);
+  EXPECT_EQ(c.fired, 2);
+}
+
+TEST(ShardPrimitives, AdvanceToIsClampedByPendingWork) {
+  EventQueue events;
+  Counter c;
+  events.advance_to(100);  // empty: free to advance
+  EXPECT_EQ(events.now(), 100);
+  events.schedule_at(150, &c);
+  events.advance_to(500);  // clamped: must not skip past the pending event
+  EXPECT_EQ(events.now(), 150);
+  events.advance_to(120);  // never moves backwards
+  EXPECT_EQ(events.now(), 150);
+}
+
+// ------------------------------------------------- arrival-queue merge
+
+// Fuzz the handoff merge order: packets inserted in adversarial batch
+// orders must drain in (due, insertion) order — the stable total order the
+// determinism argument needs. Deterministic LCG, no ambient randomness.
+TEST(ShardArrivals, FuzzedInsertsDrainInStableDueOrder) {
+  PacketPool pool;
+  std::uint64_t lcg = 12345;
+  const auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 33;
+  };
+  for (int round = 0; round < 50; ++round) {
+    ArrivalQueue queue;
+    std::vector<Packet*> inserted;
+    // Several batches with interleaved partial drains, mimicking epochs.
+    std::uint32_t insert_index = 0;
+    SimTime drained_up_to = -1;
+    std::vector<std::pair<SimTime, std::uint32_t>> drained;
+    for (int batch = 0; batch < 8; ++batch) {
+      const int n = 1 + static_cast<int>(next() % 24);
+      for (int i = 0; i < n; ++i) {
+        Packet* p = pool.allocate();
+        // Few distinct dues => many ties, the interesting case; dues only
+        // at/after the watermark already drained (conservative handoff).
+        p->due = drained_up_to + 1 + static_cast<SimTime>(next() % 8);
+        p->size_bytes = insert_index++;  // records insertion order
+        queue.insert(p);
+        inserted.push_back(p);
+      }
+      // Drain a prefix, as an epoch barrier would.
+      const SimTime barrier = drained_up_to + 1 +
+                              static_cast<SimTime>(next() % 6);
+      while (!queue.empty() && queue.next_due() <= barrier) {
+        Packet* p = queue.pop_front();
+        drained.emplace_back(p->due, p->size_bytes);
+      }
+      drained_up_to = barrier;
+    }
+    while (!queue.empty()) {
+      Packet* p = queue.pop_front();
+      drained.emplace_back(p->due, p->size_bytes);
+    }
+    ASSERT_EQ(drained.size(), inserted.size());
+    for (std::size_t i = 1; i < drained.size(); ++i) {
+      // Total order: strictly increasing (due, insertion-index) pairs —
+      // sorted by due, FIFO among ties.
+      EXPECT_LT(std::make_pair(drained[i - 1].first, drained[i - 1].second),
+                std::make_pair(drained[i].first, drained[i].second))
+          << "round " << round << " position " << i;
+    }
+    for (Packet* p : inserted) pool.free(p);
+  }
+}
+
+TEST(ShardArrivals, CloneRehomesAcrossPoolsKeepingDestinationHandle) {
+  PacketPool a;
+  PacketPool b;
+  Packet* src = a.allocate();
+  src->seq = 77;
+  src->due = 1234;
+  src->size_bytes = 1500;
+  src->is_ack = true;
+  Packet* dst = b.allocate();
+  const PacketRef dst_ref = dst->ref();
+  b.free(dst);
+  Packet* copy = b.clone(*src);
+  EXPECT_EQ(copy->seq, 77u);
+  EXPECT_EQ(copy->due, 1234);
+  EXPECT_EQ(copy->size_bytes, 1500u);
+  EXPECT_TRUE(copy->is_ack);
+  EXPECT_EQ(copy->next, nullptr);
+  // The clone owns a slot in the DESTINATION pool (here the recycled one).
+  EXPECT_EQ(copy->ref(), dst_ref);
+  EXPECT_EQ(&b.get(copy->ref()), copy);
+}
+
+TEST(ShardSetTest, RejectsZeroLatencyCrossing) {
+  ShardSet shards(4, 2);
+  EXPECT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards.workers(), 2);
+  EXPECT_THROW(shards.note_crossing(0), std::invalid_argument);
+  shards.note_crossing(kMicrosecond);
+  shards.note_crossing(kMicrosecond / 2);
+  EXPECT_EQ(shards.lookahead(), kMicrosecond / 2);
+}
+
+TEST(ShardSetTest, WorkerPoolClampsToPlaneCount) {
+  ShardSet shards(2, 8);
+  EXPECT_EQ(shards.size(), 2u);   // shard layout pinned to the planes
+  EXPECT_EQ(shards.workers(), 2);  // pool clamped, layout unchanged
+}
+
+// ------------------------------------------------ end-to-end identity
+
+struct RunOutput {
+  std::vector<std::tuple<int, int, std::uint64_t, SimTime, SimTime, int,
+                         int, int>>
+      records;
+  std::uint64_t dispatched = 0;
+  std::uint64_t delivered_bytes = 0;
+};
+
+RunOutput run_workload(int sim_threads, bool with_faults) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.type = topo::NetworkType::kParallelHomogeneous;
+  spec.hosts = 16;
+  spec.parallelism = 4;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kKspMultipath;
+  policy.k = 4;
+  core::SimHarness harness(
+      {.spec = spec, .policy = policy, .sim_threads = sim_threads});
+
+  FaultInjector injector(harness.events(), harness.network());
+  if (with_faults) {
+    FaultPlan plan;
+    plan.flap_plane(2 * kMillisecond, 2 * kMillisecond, 0);
+    plan.merge(FaultPlan::random_degraded_links(
+        harness.net(), 2, kMillisecond, 4 * kMillisecond, 0.02, 1.0, 99));
+    injector.arm(plan);
+  }
+
+  const int n = harness.net().num_hosts();
+  for (int h = 0; h < n; ++h) {
+    // Staggered permutation: cross-shard pairs at every distance.
+    harness.starter()(HostId{h}, HostId{(h + 5) % n}, 400'000,
+                      static_cast<SimTime>(h) * 10 * kMicrosecond, {});
+  }
+  harness.run_until(20 * kMillisecond);
+  harness.finalize(harness.events().now());
+
+  RunOutput out;
+  out.dispatched = harness.dispatched();
+  out.delivered_bytes = harness.factory().total_delivered_bytes();
+  for (const auto& r : harness.logger().records()) {
+    out.records.emplace_back(r.src.v, r.dst.v, r.delivered_bytes, r.start, r.end,
+                             r.retransmits, r.timeouts, r.repaths);
+  }
+  return out;
+}
+
+TEST(ShardedEngine, IdenticalResultsAcrossWorkerCounts) {
+  const RunOutput base = run_workload(/*sim_threads=*/1,
+                                      /*with_faults=*/false);
+  EXPECT_GT(base.records.size(), 0u);
+  EXPECT_GT(base.delivered_bytes, 0u);
+  for (const int workers : {2, 4, 8}) {
+    const RunOutput other = run_workload(workers, /*with_faults=*/false);
+    EXPECT_EQ(other.records, base.records) << "sim_threads=" << workers;
+    EXPECT_EQ(other.dispatched, base.dispatched)
+        << "sim_threads=" << workers;
+    EXPECT_EQ(other.delivered_bytes, base.delivered_bytes)
+        << "sim_threads=" << workers;
+  }
+}
+
+TEST(ShardedEngine, IdenticalResultsUnderFaultInjection) {
+  const RunOutput base = run_workload(/*sim_threads=*/1,
+                                      /*with_faults=*/true);
+  EXPECT_GT(base.records.size(), 0u);
+  const RunOutput other = run_workload(/*sim_threads=*/4,
+                                       /*with_faults=*/true);
+  EXPECT_EQ(other.records, base.records);
+  EXPECT_EQ(other.dispatched, base.dispatched);
+  EXPECT_EQ(other.delivered_bytes, base.delivered_bytes);
+}
+
+TEST(ShardedEngine, RunsToNaturalDrainWithoutDeadline) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.type = topo::NetworkType::kParallelHomogeneous;
+  spec.hosts = 16;
+  spec.parallelism = 4;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;
+  core::SimHarness serial({.spec = spec, .policy = policy});
+  core::SimHarness sharded(
+      {.spec = spec, .policy = policy, .sim_threads = 4});
+  for (core::SimHarness* h : {&serial, &sharded}) {
+    h->starter()(HostId{0}, HostId{15}, 1'000'000, 0, {});
+    h->starter()(HostId{3}, HostId{9}, 1'000'000, 0, {});
+    h->run();
+    EXPECT_EQ(h->logger().records().size(), 2u);
+  }
+  // Same physics: the sharded engine completes the same transfers at the
+  // same simulated times (legacy vs sharded event COUNTS differ — arrival
+  // wakes — but flow records must not).
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(serial.logger().records()[i].end,
+              sharded.logger().records()[i].end);
+    EXPECT_EQ(serial.logger().records()[i].delivered_bytes,
+              sharded.logger().records()[i].delivered_bytes);
+  }
+}
+
+TEST(ShardedEngine, BoundaryConservationUnderAudit) {
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.type = topo::NetworkType::kParallelHomogeneous;
+  spec.hosts = 16;
+  spec.parallelism = 4;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kKspMultipath;
+  policy.k = 4;
+  util::Audit audit;  // collecting: inspect violations at the end
+  core::SimHarness harness({.spec = spec,
+                            .policy = policy,
+                            .audit = &audit,
+                            .sim_threads = 4});
+  const int n = harness.net().num_hosts();
+  for (int h = 0; h < n; ++h) {
+    harness.starter()(HostId{h}, HostId{(h + n / 2) % n}, 200'000, 0, {});
+  }
+  harness.run();
+  harness.finalize(harness.events().now());
+
+  ASSERT_NE(harness.shards(), nullptr);
+  // Real cross-shard traffic happened, and every boundary packet that was
+  // sent was integrated and delivered (mailboxes and arrival buffers are
+  // empty after a drained run).
+  EXPECT_GT(harness.shards()->boundary_sent(), 0u);
+  EXPECT_EQ(harness.shards()->boundary_sent(),
+            harness.shards()->boundary_delivered());
+  EXPECT_EQ(audit.violations().size(), 0u)
+      << "first: " << audit.violations().front();
+}
+
+TEST(ShardedEngine, SinglePlaneTopologyStillWorks) {
+  // Degenerate sharding: one plane, one shard — the epoch loop must not
+  // deadlock or disagree with the serial engine.
+  topo::NetworkSpec spec;
+  spec.topo = topo::TopoKind::kFatTree;
+  spec.hosts = 16;
+  core::PolicyConfig policy;
+  policy.policy = core::RoutingPolicy::kShortestPlane;
+  core::SimHarness serial({.spec = spec, .policy = policy});
+  core::SimHarness sharded(
+      {.spec = spec, .policy = policy, .sim_threads = 4});
+  for (core::SimHarness* h : {&serial, &sharded}) {
+    h->starter()(HostId{1}, HostId{14}, 500'000, 0, {});
+    h->run();
+  }
+  ASSERT_EQ(serial.logger().records().size(), 1u);
+  ASSERT_EQ(sharded.logger().records().size(), 1u);
+  EXPECT_EQ(serial.logger().records()[0].end,
+            sharded.logger().records()[0].end);
+}
+
+}  // namespace
+}  // namespace pnet::sim
