@@ -36,6 +36,7 @@
 
 #include "analysis/recovery.hpp"
 #include "common.hpp"
+#include "control/link_state_bus.hpp"
 #include "core/health_monitor.hpp"
 #include "sim/faults.hpp"
 
@@ -94,7 +95,12 @@ exp::TrialResult run_network(topo::NetworkType type, const Scenario& sc,
   monitor.set_trace(&tel->trace);
   h.selector().enable_repath(h.factory());
   sim::FaultInjector injector(h.events(), h.network());
-  monitor.observe(injector);
+  // Fabric events fan out through the LinkStateBus (DESIGN.md §5j) — the
+  // same wiring monitor.observe(injector) used to make directly, now one
+  // observer API shared with route caches and the adaptive controller.
+  control::LinkStateBus bus;
+  bus.subscribe_health_monitor(monitor);
+  bus.attach(injector);
 
   sim::FaultPlan plan;
   plan.flap_plane(sc.flap_at, sc.flap_down, 0);

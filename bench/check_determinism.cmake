@@ -85,3 +85,38 @@ if(FAULT_BENCH)
   check_sharded(fault_recovery ${FAULT_BENCH}
                 --hosts=16 --threads=2 --json-timing=0)
 endif()
+
+# Controller-enabled determinism: the adaptive control plane's ticks are
+# simulation events (control-queue barriers / fluid event loop), so a
+# --controller=centralized run obeys the exact same contracts — reports
+# byte-identical across --threads for both engines, and across every
+# --sim-threads value >= 1 for the sharded packet engine.
+foreach(engine packet fsim)
+  set(outputs "")
+  foreach(threads 1 4)
+    set(json ${WORKDIR}/fig9_ctl_${engine}_t${threads}.json)
+    execute_process(
+      COMMAND ${BENCH} ${args} --controller=centralized --engine=${engine}
+              --threads=${threads} --json=${json}
+      RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "${BENCH} --controller=centralized "
+                          "--engine=${engine} --threads=${threads} "
+                          "exited ${rc}")
+    endif()
+    list(APPEND outputs ${json})
+  endforeach()
+  list(GET outputs 0 first)
+  list(GET outputs 1 second)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          ${first} ${second}
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "engine=${engine}: controller-enabled JSON report "
+                        "differs between ${first} and ${second} — the "
+                        "control loop leaked thread-dependent state")
+  endif()
+endforeach()
+
+check_sharded(fig9_ctl ${BENCH} ${args} --controller=centralized
+              --engine=packet --threads=2)

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "control/controller.hpp"
 #include "core/harness.hpp"
 #include "exp/runner.hpp"
 #include "fsim/fluid.hpp"
@@ -150,15 +151,41 @@ using exp::to_fsim_config;
 
 inline EngineKind parse_engine_or(const Flags& flags, EngineKind def) {
   const auto value = flags.get("engine", exp::to_string(def));
-  if (value == "packet") return EngineKind::kPacket;
-  if (value == "fsim") return EngineKind::kFsim;
-  std::fprintf(stderr, "%s: --engine must be 'packet' or 'fsim', got '%s'\n",
-               flags.program().c_str(), value.c_str());
+  if (const auto engine = exp::engine_from_string(value);
+      engine.has_value() && *engine != EngineKind::kCustom) {
+    return *engine;
+  }
+  std::fprintf(stderr, "%s: unknown --engine '%s' (valid: %s)\n",
+               flags.program().c_str(), value.c_str(),
+               exp::engine_names().c_str());
   std::exit(2);
 }
 
 inline EngineKind parse_engine(const Flags& flags) {
   return parse_engine_or(flags, EngineKind::kPacket);
+}
+
+/// The --controller flags, shared by every bench (they ride the common-flag
+/// whitelist): --controller=off|host-local|centralized picks the mode,
+/// --controller-cadence / --controller-detect-delay (simulated ms) tune the
+/// loop. Unknown mode names fail fast listing control::mode_names().
+inline control::ControllerConfig parse_controller(const Flags& flags) {
+  control::ControllerConfig config;
+  const auto value = flags.get("controller", "off");
+  const auto mode = control::mode_from_string(value);
+  if (!mode.has_value()) {
+    std::fprintf(stderr, "%s: unknown --controller '%s' (valid: %s)\n",
+                 flags.program().c_str(), value.c_str(),
+                 control::mode_names().c_str());
+    std::exit(2);
+  }
+  config.mode = *mode;
+  config.cadence = static_cast<SimTime>(
+      flags.get_double("controller-cadence", 1.0) * units::kMillisecond);
+  config.detect_delay = static_cast<SimTime>(
+      flags.get_double("controller-detect-delay", 1.0) *
+      units::kMillisecond);
+  return config;
 }
 
 /// Wall-clock stopwatch for engine speedup comparisons.
@@ -217,6 +244,9 @@ class Experiment {
     // Packet-engine shard workers: 0 (default) keeps the serial engine;
     // >= 1 runs the plane-sharded engine, byte-identical across values.
     runner_.set_sim_threads(flags.get_int("sim-threads", 0));
+    // Control plane: --controller=off leaves every cell byte-identical to
+    // the seed; other modes merge into cells that did not set their own.
+    runner_.set_controller(parse_controller(flags));
   }
 
   /// The bench's trial count: --trials when given, else `def`.

@@ -1,0 +1,53 @@
+#include "control/dataplanes.hpp"
+
+namespace pnet::control {
+
+void PacketDataplane::on_plane_detected(int plane, bool down) {
+  // The same reaction HealthMonitor::react applies, reachable through the
+  // controller's own detection path: mask the plane for new flows, then
+  // evacuate (repath) or revive the live ones.
+  harness_.selector().set_plane_failed(plane, down);
+  if (down) {
+    harness_.factory().on_plane_failed(plane);
+  } else {
+    harness_.factory().on_plane_recovered(plane);
+  }
+}
+
+void PacketDataplane::set_plane_weights(const std::vector<double>& weights) {
+  harness_.selector().set_plane_weights(weights);
+}
+
+int PacketDataplane::repin(int from_plane, int to_plane, int max_flows) {
+  core::PathSelector& selector = harness_.selector();
+  return harness_.factory().repin_flows(
+      from_plane, max_flows,
+      [&selector, to_plane](HostId src, HostId dst, std::uint64_t bytes) {
+        return selector.repin(src, dst, bytes, to_plane);
+      });
+}
+
+void FluidDataplane::on_plane_detected(int plane, bool down) {
+  masked_[static_cast<std::size_t>(plane)] = down;
+  fluid_.set_plane_usable(plane, !down);
+  if (!down) return;
+  // Evacuate: spread the dead plane's flows one at a time over the usable
+  // planes, round-robin, until nothing moves — deterministic in creation
+  // order, and no flow is left starving on a confirmed-dead plane.
+  std::vector<int> targets;
+  for (std::size_t p = 0; p < masked_.size(); ++p) {
+    if (!masked_[p]) targets.push_back(static_cast<int>(p));
+  }
+  if (targets.empty()) return;
+  while (true) {
+    int moved = 0;
+    for (int target : targets) moved += fluid_.repin_flows(plane, target, 1);
+    if (moved == 0) break;
+  }
+}
+
+void FluidDataplane::set_plane_weights(const std::vector<double>& weights) {
+  fluid_.set_plane_weights(weights);
+}
+
+}  // namespace pnet::control

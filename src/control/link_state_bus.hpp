@@ -1,0 +1,72 @@
+// One observer interface for fabric link-state events.
+//
+// Before this bus existed the same sim::FaultEvent stream reached three
+// consumers through three bespoke hookups: core::HealthMonitor listened on
+// the FaultInjector directly, routing::RouteCache invalidation was wired by
+// whichever bench remembered to do it, and nothing at all could observe the
+// fluid simulator's fabric. The bus is the single subscription point:
+// sources publish (a packet-sim FaultInjector, a fluid simulator's fabric
+// schedule, or a test calling publish() by hand) and every observer sees
+// every event, in subscription order, on the simulation thread.
+//
+// Determinism: the bus adds no state of its own beyond counters — delivery
+// is synchronous and ordered, so a run's behavior is a pure function of the
+// (simulated-time-ordered) event stream, never of wall clock or thread
+// interleaving.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fsim/fluid.hpp"
+#include "routing/route_cache.hpp"
+#include "sim/faults.hpp"
+
+namespace pnet::core {
+class HealthMonitor;
+}
+
+namespace pnet::control {
+
+class LinkStateBus {
+ public:
+  using Observer = std::function<void(const sim::FaultEvent&)>;
+
+  /// Subscribes `observer`; it sees every subsequent publish, in
+  /// subscription order. Subscribe everything before the run starts.
+  void subscribe(Observer observer);
+
+  /// HealthMonitor convenience: forwards every event to
+  /// HealthMonitor::on_fault (the detection-delay intake).
+  void subscribe_health_monitor(core::HealthMonitor& monitor);
+
+  /// RouteCache convenience: cable fail/recover events invalidate cached
+  /// entries crossing the link (RouteCache::set_link_state). Plane-scoped
+  /// and degrade events are ignored — plane health is a selection-time
+  /// filter, and degraded cables still carry traffic.
+  void subscribe_route_cache(routing::RouteCache& cache);
+
+  /// Wires the packet-sim fault injector as a source: every applied fault
+  /// is re-published here.
+  void attach(sim::FaultInjector& injector);
+
+  /// Wires the fluid simulator's fabric as a source: plane down/up events
+  /// arrive as kPlaneFail/kPlaneRecover.
+  void attach(fsim::FluidSimulator& fluid);
+
+  /// Delivers one event to every observer (also the injection point for
+  /// tests and hand-rolled sources).
+  void publish(const sim::FaultEvent& event);
+
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+  [[nodiscard]] std::size_t num_observers() const {
+    return observers_.size();
+  }
+
+ private:
+  std::vector<Observer> observers_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace pnet::control

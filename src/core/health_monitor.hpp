@@ -57,7 +57,10 @@ class HealthMonitor : public sim::EventSource {
   }
   /// Registers the factory whose live flows react to plane transitions.
   void set_factory(sim::FlowFactory& factory) { factory_ = &factory; }
-  /// Wires this monitor as a listener of `injector`.
+  /// Wires this monitor as a listener of `injector`. Deprecated for new
+  /// code: subscribe through control::LinkStateBus instead, which fans one
+  /// fabric-event stream out to the monitor, route caches, and the
+  /// adaptive controller in a fixed order.
   void observe(sim::FaultInjector& injector);
 
   /// Records host-side detections ("detect" instants, arg = plane) and

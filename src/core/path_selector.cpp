@@ -7,15 +7,45 @@
 
 namespace pnet::core {
 
+namespace {
+
+// The one policy-name table: to_string and policy_from_string both walk it,
+// so the round-trip cannot drift when a policy is added.
+struct PolicyName {
+  RoutingPolicy policy;
+  std::string_view name;
+};
+constexpr PolicyName kPolicyTable[] = {
+    {RoutingPolicy::kEcmp, "ecmp"},
+    {RoutingPolicy::kRoundRobin, "round-robin"},
+    {RoutingPolicy::kShortestPlane, "shortest-plane"},
+    {RoutingPolicy::kKspMultipath, "ksp-multipath"},
+    {RoutingPolicy::kSizeThreshold, "size-threshold"},
+};
+
+}  // namespace
+
 std::string to_string(RoutingPolicy policy) {
-  switch (policy) {
-    case RoutingPolicy::kEcmp: return "ecmp";
-    case RoutingPolicy::kRoundRobin: return "round-robin";
-    case RoutingPolicy::kShortestPlane: return "shortest-plane";
-    case RoutingPolicy::kKspMultipath: return "ksp-multipath";
-    case RoutingPolicy::kSizeThreshold: return "size-threshold";
+  for (const PolicyName& entry : kPolicyTable) {
+    if (entry.policy == policy) return std::string(entry.name);
   }
   return "?";
+}
+
+std::optional<RoutingPolicy> policy_from_string(std::string_view name) {
+  for (const PolicyName& entry : kPolicyTable) {
+    if (entry.name == name) return entry.policy;
+  }
+  return std::nullopt;
+}
+
+std::string policy_names() {
+  std::string out;
+  for (const PolicyName& entry : kPolicyTable) {
+    if (!out.empty()) out += ' ';
+    out += entry.name;
+  }
+  return out;
 }
 
 PathSelector::PathSelector(const topo::ParallelNetwork& net,
@@ -53,6 +83,43 @@ std::vector<int> PathSelector::usable_planes() const {
     if (plane_usable(p)) out.push_back(p);
   }
   return out;
+}
+
+void PathSelector::set_plane_weights(std::vector<double> weights) {
+  plane_weights_ = std::move(weights);
+}
+
+std::size_t PathSelector::plane_pick(const std::vector<int>& usable,
+                                     std::uint64_t key) const {
+  const int n = static_cast<int>(usable.size());
+  if (plane_weights_.empty()) {
+    return static_cast<std::size_t>(routing::ecmp_pick(key, n));
+  }
+  auto weight_of = [&](int plane) {
+    const auto i = static_cast<std::size_t>(plane);
+    return (i < plane_weights_.size() && plane_weights_[i] > 0.0)
+               ? plane_weights_[i]
+               : 0.0;
+  };
+  double total = 0.0;
+  for (int plane : usable) total += weight_of(plane);
+  if (total <= 0.0) {  // all-zero bias: uniform fallback, never "no plane"
+    return static_cast<std::size_t>(routing::ecmp_pick(key, n));
+  }
+  // 53-bit hash fraction in [0, 1) scaled onto the cumulative weights —
+  // deterministic in (key, weights), no RNG state.
+  const double u =
+      static_cast<double>(mix64(key) >> 11) * 0x1.0p-53 * total;
+  double cum = 0.0;
+  std::size_t last_positive = 0;
+  for (std::size_t j = 0; j < usable.size(); ++j) {
+    const double w = weight_of(usable[j]);
+    if (w <= 0.0) continue;
+    cum += w;
+    last_positive = j;
+    if (u < cum) return j;
+  }
+  return last_positive;  // floating-point round-off at the top end
 }
 
 routing::RouteSnapshot PathSelector::ksp_paths(HostId src, HostId dst) {
@@ -145,8 +212,7 @@ std::vector<routing::Path> PathSelector::select(HostId src, HostId dst,
       // Hash onto a plane, then onto one equal-cost path within it — what a
       // standard ECMP dataplane does with the host applying the same idea
       // across planes.
-      const int plane = usable[static_cast<std::size_t>(routing::ecmp_pick(
-          mix64(flow_key) ^ 0x9E37, static_cast<int>(usable.size())))];
+      const int plane = usable[plane_pick(usable, mix64(flow_key) ^ 0x9E37)];
       const routing::RouteSnapshot in_plane = ecmp_paths(src, dst, plane);
       if (in_plane->empty()) return {};
       const int pick = routing::ecmp_pick(
@@ -161,8 +227,15 @@ std::vector<routing::Path> PathSelector::select(HostId src, HostId dst,
                                        mix64(static_cast<std::uint64_t>(
                                            static_cast<std::uint32_t>(src.v))))
                           .first;
-      const int plane = usable[static_cast<std::size_t>(
-          it->second++ % usable.size())];
+      // With controller weights installed, the per-host cycle gives way to
+      // a weighted hash of the same sequence number: still host-local and
+      // deterministic, but biased toward the lighter planes.
+      const std::uint64_t seq = it->second++;
+      const std::size_t slot =
+          plane_weights_.empty()
+              ? static_cast<std::size_t>(seq % usable.size())
+              : plane_pick(usable, mix64(seq));
+      const int plane = usable[slot];
       const routing::RouteSnapshot in_plane = ecmp_paths(src, dst, plane);
       if (in_plane->empty()) return {};
       const int pick = routing::ecmp_pick(
@@ -182,6 +255,28 @@ std::vector<routing::Path> PathSelector::select(HostId src, HostId dst,
     }
   }
   return {};
+}
+
+std::vector<routing::Path> PathSelector::repin(HostId src, HostId dst,
+                                               std::uint64_t bytes,
+                                               int target_plane) {
+  (void)bytes;  // reserved for size-aware repin policies
+  if (target_plane < 0 || target_plane >= net_.num_planes() ||
+      !plane_usable(target_plane)) {
+    return {};
+  }
+  const routing::RouteSnapshot in_plane = ecmp_paths(src, dst, target_plane);
+  if (in_plane->empty()) return {};
+  // Keyed by the repath sequence so successive repins of the same pair
+  // spread over the plane's equal-cost set instead of colliding.
+  const std::uint64_t key =
+      mix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src.v))
+             << 32) ^
+            static_cast<std::uint32_t>(dst.v) ^
+            (0x4EB1 + (repath_counter_++ << 17)));
+  const int pick =
+      routing::ecmp_pick(key, static_cast<int>(in_plane->size()));
+  return {in_plane->view(static_cast<std::size_t>(pick)).materialize()};
 }
 
 void PathSelector::enable_repath(sim::FlowFactory& factory) {

@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +41,15 @@ enum class RoutingPolicy : std::uint8_t {
 };
 
 [[nodiscard]] std::string to_string(RoutingPolicy policy);
+
+/// String-keyed policy registry, shared by every bench/config surface so
+/// ablations name policies identically everywhere. `to_string` and
+/// `policy_from_string` round-trip over the same table; unknown names
+/// return nullopt (callers fail fast listing policy_names()).
+[[nodiscard]] std::optional<RoutingPolicy> policy_from_string(
+    std::string_view name);
+/// Every registered policy name, in enum order ("ecmp round-robin ...").
+[[nodiscard]] std::string policy_names();
 
 struct PolicyConfig {
   RoutingPolicy policy = RoutingPolicy::kRoundRobin;
@@ -97,6 +108,29 @@ class PathSelector {
   void enable_repath(sim::FlowFactory& factory);
   [[nodiscard]] bool plane_usable(int plane) const;
 
+  // Actuator interface (src/control) — policy logic stops being reachable
+  // only at flow-admission time.
+
+  /// Biases the plane pick of the hash-based single-path policies (kEcmp,
+  /// kRoundRobin falls back to hashing when weighted): plane p is chosen
+  /// with probability weight[p] / sum over usable planes. Empty vector (the
+  /// default) restores the unbiased pick — and keeps controller-off runs
+  /// byte-identical to the pre-weights selector. Weights must be >= 0; an
+  /// all-zero total falls back to uniform.
+  void set_plane_weights(std::vector<double> weights);
+  [[nodiscard]] const std::vector<double>& plane_weights() const {
+    return plane_weights_;
+  }
+
+  /// Re-pins one flow onto `target_plane`: returns a single equal-cost path
+  /// on that plane (hashed by an internal repin sequence so successive
+  /// repins of the same pair spread over the plane's path set), or empty
+  /// when the plane is unusable or has no path. The caller (the control
+  /// plane, via sim::FlowFactory::repin_flows) applies it to the live
+  /// transport; this method only answers the path question.
+  std::vector<routing::Path> repin(HostId src, HostId dst,
+                                   std::uint64_t bytes, int target_plane);
+
   [[nodiscard]] const PolicyConfig& config() const { return config_; }
 
   /// The (possibly shared) route cache — counters feed experiment reports.
@@ -113,12 +147,18 @@ class PathSelector {
   std::vector<routing::Path> shortest_plane_pick(HostId src, HostId dst,
                                                  std::uint64_t flow_key);
   [[nodiscard]] std::vector<int> usable_planes() const;
+  /// Index into `usable` for hash `key`: uniform when no weights are set,
+  /// weight-proportional otherwise. Deterministic in (key, weights).
+  [[nodiscard]] std::size_t plane_pick(const std::vector<int>& usable,
+                                       std::uint64_t key) const;
 
   const topo::ParallelNetwork& net_;
   PolicyConfig config_;
   std::shared_ptr<routing::RouteCache> cache_;
   /// Planes currently marked failed by set_plane_failed.
   std::vector<bool> plane_failed_;
+  /// Controller-set plane bias; empty = unbiased (the seed behavior).
+  std::vector<double> plane_weights_;
   /// Per-source round-robin counters, seeded with a per-host hash offset.
   /// A single global counter would synchronize plane choice across hosts
   /// (every m-th flow in creation order lands on the same plane), which

@@ -1,8 +1,11 @@
 #include "exp/engine.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "control/controller.hpp"
+#include "control/dataplanes.hpp"
 #include "core/harness.hpp"
 #include "util/parallel.hpp"
 #include "workload/patterns.hpp"
@@ -29,6 +32,19 @@ SimTime jittered(SimTime base, SimTime jitter, Rng& rng) {
   if (jitter <= 0) return base;
   return base + static_cast<SimTime>(
                     rng.next_below(static_cast<std::uint64_t>(jitter)));
+}
+
+/// Folds the controller's decision counters into the trial metrics.
+/// Written only for trials that actually ran a Controller, so
+/// controller-off reports keep their seed bytes.
+void fold_controller(const control::Controller* controller, TrialResult& r) {
+  if (controller == nullptr) return;
+  r.metrics["ctl/ticks"] += static_cast<double>(controller->ticks());
+  r.metrics["ctl/repins"] += static_cast<double>(controller->repins());
+  r.metrics["ctl/plane_events"] +=
+      static_cast<double>(controller->plane_events());
+  r.metrics["ctl/churn_skips"] +=
+      static_cast<double>(controller->churn_skips());
 }
 
 }  // namespace
@@ -75,6 +91,29 @@ TrialResult PacketEngine::run_trial(const TrialContext& ctx) {
                                                          : nullptr,
                             .audit = ctx.audit ? &audit : nullptr,
                             .sim_threads = ctx.sim_threads});
+  // Control plane (DESIGN.md §5j). Any active mode arms transport repath
+  // metadata; kCentralized additionally runs the global Controller off the
+  // control queue, where ticks land at barrier epochs under the sharded
+  // engine — that is what keeps controller-enabled reports byte-identical
+  // at every --sim-threads value. When the mode is kOff nothing below
+  // touches the harness, so those runs keep their seed bytes.
+  std::unique_ptr<control::PacketDataplane> dataplane;
+  std::unique_ptr<control::Controller> controller;
+  std::unique_ptr<control::ControlDriver> control_driver;
+  if (spec.controller.active()) {
+    harness.selector().enable_repath(harness.factory());
+  }
+  if (spec.controller.centralized()) {
+    dataplane = std::make_unique<control::PacketDataplane>(harness);
+    controller =
+        std::make_unique<control::Controller>(spec.controller, *dataplane);
+    control_driver = std::make_unique<control::ControlDriver>(
+        harness.events(), *controller, spec.controller.cadence);
+    if (sim::ShardSet* shards = harness.shards(); shards != nullptr) {
+      control_driver->set_more_work([shards] { return shards->busy(); });
+    }
+    control_driver->start(harness.events().now());
+  }
   Rng rng(ctx.seed);
   for (int round = 0; round < wl.rounds; ++round) {
     if (ctx.cancel.cancelled()) break;
@@ -126,6 +165,7 @@ TrialResult PacketEngine::run_trial(const TrialContext& ctx) {
       clamped > 0) {
     r.metrics["config_clamped"] = static_cast<double>(clamped);
   }
+  fold_controller(controller.get(), r);
   fold_telemetry(telemetry, r);
   return r;
 }
@@ -149,6 +189,27 @@ TrialResult FluidEngine::run_trial(const TrialContext& ctx) {
     r.events += fluid.events();
   };
 
+  // Control plane (DESIGN.md §5j): the fluid engine calls Controller::tick
+  // from inside its event loop via set_control, so control decisions are
+  // ordinary simulation events here too. The hooks must outlive run();
+  // callers keep the returned pair alive alongside the simulator.
+  struct ControlHooks {
+    std::unique_ptr<control::FluidDataplane> dataplane;
+    std::unique_ptr<control::Controller> controller;
+  };
+  auto attach_control = [&spec](fsim::FluidSimulator& fluid) {
+    ControlHooks hooks;
+    if (!spec.controller.centralized()) return hooks;
+    hooks.dataplane = std::make_unique<control::FluidDataplane>(fluid);
+    hooks.controller = std::make_unique<control::Controller>(
+        spec.controller, *hooks.dataplane);
+    control::Controller* ctl = hooks.controller.get();
+    ctl->start(fluid.now());
+    fluid.set_control(spec.controller.cadence,
+                      [ctl](SimTime t) { ctl->tick(t); });
+    return hooks;
+  };
+
   if (wl.round_gap > 0 || wl.rounds == 1) {
     // One simulator for the whole trial (overlapping rounds share it and
     // its allocator state) — the only shape where a single sample grid /
@@ -161,6 +222,7 @@ TrialResult FluidEngine::run_trial(const TrialContext& ctx) {
     fluid.set_telemetry(telemetry.get());
     if (cancel != nullptr) fluid.set_cancel(cancel);
     if (ctx.audit) fluid.set_audit(&audit);
+    const ControlHooks hooks = attach_control(fluid);
     for (int round = 0; round < wl.rounds; ++round) {
       const SimTime base = round * wl.round_gap;
       for (const auto& [src, dst] : pattern_pairs(wl, net, rng)) {
@@ -175,6 +237,7 @@ TrialResult FluidEngine::run_trial(const TrialContext& ctx) {
       fluid.run();
     }
     finish(fluid);
+    fold_controller(hooks.controller.get(), r);
     fold_telemetry(telemetry, r);
   } else {
     // Back-to-back rounds: a fresh simulator per round, as the packet
@@ -185,6 +248,7 @@ TrialResult FluidEngine::run_trial(const TrialContext& ctx) {
       fsim::FluidSimulator fluid(net, config, ctx.route_cache);
       if (cancel != nullptr) fluid.set_cancel(cancel);
       if (ctx.audit) fluid.set_audit(&audit);
+      const ControlHooks hooks = attach_control(fluid);
       for (const auto& [src, dst] : pattern_pairs(wl, net, rng)) {
         ++r.flows_started;
         fluid.add_flow({src, dst, wl.flow_bytes,
@@ -196,6 +260,7 @@ TrialResult FluidEngine::run_trial(const TrialContext& ctx) {
         fluid.run();
       }
       finish(fluid);
+      fold_controller(hooks.controller.get(), r);
     }
   }
   throw_if_cancelled(ctx.cancel);

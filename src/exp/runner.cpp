@@ -29,7 +29,20 @@ TrialResult Runner::fsim_trial(const TrialContext& ctx) {
   return FluidEngine().run_trial(ctx);
 }
 
-std::vector<CellResult> Runner::run(const std::vector<Cell>& cells) const {
+std::vector<CellResult> Runner::run(const std::vector<Cell>& queued) const {
+  // Controller default-merge (set_controller): cells that left the mode at
+  // kOff inherit the runner-wide config on a copy, BEFORE validation and
+  // spec hashing, so checkpoints and report JSON see the effective config.
+  // With no runner default (the common case) `queued` is used untouched —
+  // no copy, and byte-identical behavior to builds predating the merge.
+  std::vector<Cell> merged;
+  if (controller_.active()) {
+    merged = queued;
+    for (Cell& cell : merged) {
+      if (!cell.spec.controller.active()) cell.spec.controller = controller_;
+    }
+  }
+  const std::vector<Cell>& cells = controller_.active() ? merged : queued;
   struct Job {
     std::size_t cell;
     int trial;

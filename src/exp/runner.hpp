@@ -87,6 +87,18 @@ class Runner {
   void set_sim_threads(int sim_threads) { sim_threads_ = sim_threads; }
   [[nodiscard]] int sim_threads() const { return sim_threads_; }
 
+  /// Default control-plane option (the --controller flag) merged into every
+  /// queued cell whose spec leaves controller.mode at kOff; cells that set
+  /// their own mode win. The merge happens before validation, so the
+  /// effective config participates in spec hashes, checkpoint keys, and
+  /// report JSON exactly as if the bench had set it on the spec itself.
+  void set_controller(const control::ControllerConfig& config) {
+    controller_ = config;
+  }
+  [[nodiscard]] const control::ControllerConfig& controller() const {
+    return controller_;
+  }
+
   /// Runs every trial of every cell. Throws std::invalid_argument if any
   /// spec fails validation or a custom-engine cell lacks a function.
   /// Per-trial failures do NOT throw: they are isolated into the owning
@@ -114,6 +126,7 @@ class Runner {
   std::string checkpoint_;
   bool audit_ = false;
   int sim_threads_ = 0;
+  control::ControllerConfig controller_{};
 };
 
 }  // namespace pnet::exp

@@ -2,13 +2,41 @@
 
 namespace pnet::exp {
 
+namespace {
+
+struct EngineName {
+  EngineKind engine;
+  const char* name;
+};
+constexpr EngineName kEngineTable[] = {
+    {EngineKind::kPacket, "packet"},
+    {EngineKind::kFsim, "fsim"},
+    {EngineKind::kCustom, "custom"},
+};
+
+}  // namespace
+
 const char* to_string(EngineKind engine) {
-  switch (engine) {
-    case EngineKind::kPacket: return "packet";
-    case EngineKind::kFsim: return "fsim";
-    case EngineKind::kCustom: return "custom";
+  for (const EngineName& entry : kEngineTable) {
+    if (entry.engine == engine) return entry.name;
   }
   return "?";
+}
+
+std::optional<EngineKind> engine_from_string(std::string_view name) {
+  for (const EngineName& entry : kEngineTable) {
+    if (entry.name == name) return entry.engine;
+  }
+  return std::nullopt;
+}
+
+std::string engine_names() {
+  std::string out;
+  for (const EngineName& entry : kEngineTable) {
+    if (!out.empty()) out += ' ';
+    out += entry.name;
+  }
+  return out;
 }
 
 const char* to_string(WorkloadSpec::Pattern pattern) {
@@ -43,6 +71,9 @@ std::string ExperimentSpec::validate() const {
   if (policy.k < 1) return "spec.policy.k must be >= 1";
   if (policy.ecmp_path_cap < 1) return "spec.policy.ecmp_path_cap must "
                                        "be >= 1";
+  if (const std::string err = controller.validate(); !err.empty()) {
+    return "spec.controller: " + err;
+  }
   return "";
 }
 
@@ -53,6 +84,19 @@ void ExperimentSpec::to_json(JsonWriter& w) const {
   w.field("seed", seed);
   w.field("trials", trials);
   if (deadline > 0) w.field("deadline_us", units::to_microseconds(deadline));
+  // Written only when a control plane is on: specs predating the field
+  // keep their canonical bytes (and hashes) unchanged.
+  if (controller.active()) {
+    w.key("controller").begin_object();
+    w.field("mode", control::to_string(controller.mode));
+    w.field("cadence_us", units::to_microseconds(controller.cadence));
+    w.field("detect_delay_us",
+            units::to_microseconds(controller.detect_delay));
+    w.field("imbalance_threshold", controller.imbalance_threshold);
+    w.field("max_repins_per_tick", controller.max_repins_per_tick);
+    w.field("window", controller.window);
+    w.end_object();
+  }
   if (engine != EngineKind::kCustom) {
     w.key("topo").begin_object();
     w.field("kind", topo::to_string(topo.topo));

@@ -12,6 +12,9 @@
 #include <string>
 #include <string_view>
 
+#include <optional>
+
+#include "control/controller.hpp"
 #include "core/path_selector.hpp"
 #include "exp/json.hpp"
 #include "fsim/fluid.hpp"
@@ -33,6 +36,11 @@ namespace pnet::exp {
 enum class EngineKind : std::uint8_t { kPacket, kFsim, kCustom };
 
 [[nodiscard]] const char* to_string(EngineKind engine);
+/// Registry mirror of core::policy_from_string: unknown names return
+/// nullopt, callers fail fast listing engine_names().
+[[nodiscard]] std::optional<EngineKind> engine_from_string(
+    std::string_view name);
+[[nodiscard]] std::string engine_names();
 
 /// Synthetic workload of the built-in packet/fsim engines: `rounds`
 /// pattern instances of fixed-size flows, each flow jittered uniformly in
@@ -71,6 +79,11 @@ struct ExperimentSpec {
   /// 0 = run to completion; otherwise stop at this simulated time and
   /// count still-running flows as unfinished.
   SimTime deadline = 0;
+  /// Control-plane option: kOff (the default) is byte-identical to specs
+  /// predating the field — it serializes nothing and wires nothing.
+  /// kHostLocal enables transport-driven repath; kCentralized adds the
+  /// global control::Controller loop in both built-in engines.
+  control::ControllerConfig controller;
 
   /// Empty string if the spec is runnable; otherwise a description of the
   /// first problem found.

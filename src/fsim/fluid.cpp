@@ -24,13 +24,43 @@ struct PendingLater {
 
 }  // namespace
 
+namespace {
+
+// One scheme-name table: to_string and scheme_from_string round-trip over
+// it (mirrors core::kPolicyTable).
+struct SchemeName {
+  RouteScheme scheme;
+  const char* name;
+};
+constexpr SchemeName kSchemeTable[] = {
+    {RouteScheme::kEcmpPlaneHash, "ecmp"},
+    {RouteScheme::kShortestPlane, "shortest-plane"},
+    {RouteScheme::kKspMultipath, "ksp-multipath"},
+};
+
+}  // namespace
+
 const char* to_string(RouteScheme scheme) {
-  switch (scheme) {
-    case RouteScheme::kEcmpPlaneHash: return "ecmp";
-    case RouteScheme::kShortestPlane: return "shortest-plane";
-    case RouteScheme::kKspMultipath: return "ksp-multipath";
+  for (const SchemeName& entry : kSchemeTable) {
+    if (entry.scheme == scheme) return entry.name;
   }
   return "?";
+}
+
+std::optional<RouteScheme> scheme_from_string(std::string_view name) {
+  for (const SchemeName& entry : kSchemeTable) {
+    if (entry.name == name) return entry.scheme;
+  }
+  return std::nullopt;
+}
+
+std::string scheme_names() {
+  std::string out;
+  for (const SchemeName& entry : kSchemeTable) {
+    if (!out.empty()) out += ' ';
+    out += entry.name;
+  }
+  return out;
 }
 
 namespace {
@@ -89,9 +119,146 @@ FluidSimulator::FluidSimulator(const topo::ParallelNetwork& net,
                                FsimConfig config,
                                std::shared_ptr<routing::RouteCache> cache)
     : net_(net), config_(config), cache_(std::move(cache)), index_(net),
-      alloc_(index_.capacity()) {
+      alloc_(index_.capacity()),
+      plane_phys_down_(static_cast<std::size_t>(net.num_planes()), false),
+      plane_masked_(static_cast<std::size_t>(net.num_planes()), false) {
   if (cache_ == nullptr) cache_ = std::make_shared<routing::RouteCache>();
   cache_->bind(net_);
+}
+
+bool FluidSimulator::routing_bias_active() const {
+  if (!plane_weights_.empty()) return true;
+  for (bool masked : plane_masked_) {
+    if (masked) return true;
+  }
+  return false;
+}
+
+std::size_t FluidSimulator::plane_pick_idx(const std::vector<int>& usable,
+                                           std::uint64_t key) const {
+  const int n = static_cast<int>(usable.size());
+  if (plane_weights_.empty()) {
+    return static_cast<std::size_t>(routing::ecmp_pick(key, n));
+  }
+  auto weight_of = [&](int plane) {
+    const auto i = static_cast<std::size_t>(plane);
+    return (i < plane_weights_.size() && plane_weights_[i] > 0.0)
+               ? plane_weights_[i]
+               : 0.0;
+  };
+  double total = 0.0;
+  for (int plane : usable) total += weight_of(plane);
+  if (total <= 0.0) {
+    return static_cast<std::size_t>(routing::ecmp_pick(key, n));
+  }
+  // Same weighted-hash construction as core::PathSelector::plane_pick, so
+  // both engines bias identically under the same controller weights.
+  const double u = static_cast<double>(mix64(key) >> 11) * 0x1.0p-53 * total;
+  double cum = 0.0;
+  std::size_t last_positive = 0;
+  for (std::size_t j = 0; j < usable.size(); ++j) {
+    const double w = weight_of(usable[j]);
+    if (w <= 0.0) continue;
+    cum += w;
+    last_positive = j;
+    if (u < cum) return j;
+  }
+  return last_positive;
+}
+
+void FluidSimulator::set_plane_usable(int plane, bool usable) {
+  plane_masked_[static_cast<std::size_t>(plane)] = !usable;
+}
+
+void FluidSimulator::set_plane_weights(std::vector<double> weights) {
+  plane_weights_ = std::move(weights);
+}
+
+void FluidSimulator::set_control(SimTime cadence,
+                                 std::function<void(SimTime)> tick) {
+  control_cadence_ = cadence;
+  control_tick_ = std::move(tick);
+  next_control_ = now_ + cadence;
+}
+
+void FluidSimulator::enable_plane_accounting() {
+  if (plane_bytes_.empty()) {
+    plane_bytes_.assign(static_cast<std::size_t>(net_.num_planes()), 0.0);
+  }
+}
+
+void FluidSimulator::fail_plane(SimTime at, SimTime until, int plane) {
+  if (base_capacity_.empty()) base_capacity_ = index_.capacity();
+  fabric_.push_back(FabricEvent{at, plane, true});
+  if (until > at) fabric_.push_back(FabricEvent{until, plane, false});
+  std::stable_sort(
+      fabric_.begin() + static_cast<std::ptrdiff_t>(fabric_next_),
+      fabric_.end(),
+      [](const FabricEvent& a, const FabricEvent& b) { return a.at < b.at; });
+}
+
+void FluidSimulator::apply_fabric_events() {
+  while (fabric_next_ < fabric_.size() && fabric_[fabric_next_].at <= now_) {
+    const FabricEvent& event = fabric_[fabric_next_++];
+    const auto p = static_cast<std::size_t>(event.plane);
+    if (plane_phys_down_[p] == event.down) continue;  // idempotent
+    plane_phys_down_[p] = event.down;
+    const int begin = index_.plane_offset(event.plane);
+    const int end = begin + index_.plane_link_count(event.plane);
+    for (int link = begin; link < end; ++link) {
+      alloc_.set_capacity(
+          link, event.down ? 0.0
+                           : base_capacity_[static_cast<std::size_t>(link)]);
+    }
+    rates_stale_ = true;
+    ++events_;
+    if (fault_listener_) fault_listener_(event);
+  }
+}
+
+int FluidSimulator::repin_flows(int from_plane, int to_plane, int max_flows) {
+  if (max_flows <= 0 || from_plane == to_plane) return 0;
+  int moved = 0;
+  // Creation order over the active list: deterministic, oldest flows first.
+  for (auto& active : active_) {
+    if (moved >= max_flows) break;
+    if (active.sub_ids.size() != 1 || active.planes[0] != from_plane) {
+      continue;
+    }
+    const HostId src = active.spec.src;
+    const HostId dst = active.spec.dst;
+    const routing::RouteSnapshot snapshot = cache_->lookup(
+        net_, routing::RouteQuery::ecmp_plane(src, dst, to_plane,
+                                              config_.ecmp_path_cap));
+    if (snapshot->empty()) continue;
+    // Same repin-sequence hash recipe as core::PathSelector::repin, so
+    // successive repins of one pair spread over the target's path set.
+    const std::uint64_t key =
+        mix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src.v))
+               << 32) ^
+              static_cast<std::uint32_t>(dst.v) ^
+              (0x4EB1 + (repin_seq_++ << 17)));
+    const int pick =
+        routing::ecmp_pick(key, static_cast<int>(snapshot->size()));
+    const routing::PathView path =
+        snapshot->view(static_cast<std::size_t>(pick));
+    alloc_.remove(active.sub_ids[0]);
+    active.sub_ids[0] = alloc_.add(index_.to_global(path));
+    active.planes[0] = to_plane;
+    active.hops = path.hops();
+    rates_stale_ = true;
+    ++moved;
+  }
+  if (moved > 0) ++events_;
+  return moved;
+}
+
+std::vector<int> FluidSimulator::active_subflow_planes() const {
+  std::vector<int> out;
+  for (const auto& active : active_) {
+    for (int plane : active.planes) out.push_back(plane);
+  }
+  return out;
 }
 
 void FluidSimulator::route(Pending& pending, std::uint64_t flow_key) {
@@ -102,8 +269,23 @@ void FluidSimulator::route(Pending& pending, std::uint64_t flow_key) {
   const HostId dst = pending.spec.dst;
   switch (config_.scheme) {
     case RouteScheme::kEcmpPlaneHash: {
-      const int plane = routing::ecmp_pick(
-          mix64(flow_key * 0x9E3779B9ULL + 1), net_.num_planes());
+      const std::uint64_t plane_key = mix64(flow_key * 0x9E3779B9ULL + 1);
+      int plane;
+      if (!routing_bias_active()) {
+        plane = routing::ecmp_pick(plane_key, net_.num_planes());
+      } else {
+        // Controller bias engaged: hash over the unmasked planes, weighted
+        // when weights are set. Falls back to the unbiased pick when the
+        // controller has masked everything (the flow will starve, not
+        // vanish).
+        std::vector<int> usable;
+        for (int p = 0; p < net_.num_planes(); ++p) {
+          if (!plane_masked_[static_cast<std::size_t>(p)]) usable.push_back(p);
+        }
+        plane = usable.empty()
+                    ? routing::ecmp_pick(plane_key, net_.num_planes())
+                    : usable[plane_pick_idx(usable, plane_key)];
+      }
       pending.snapshot = cache_->lookup(
           net_, routing::RouteQuery::ecmp_plane(src, dst, plane,
                                                 config_.ecmp_path_cap));
@@ -123,6 +305,26 @@ void FluidSimulator::route(Pending& pending, std::uint64_t flow_key) {
                  pending.snapshot->view(0).hops()) {
         ++ties;
       }
+      if (routing_bias_active()) {
+        // Restrict the tie pool to unmasked planes (hop count still wins
+        // over weights for this scheme); keep the unrestricted pool when
+        // the controller masked every tied plane.
+        std::vector<std::uint32_t> open;
+        for (int i = 0; i < ties; ++i) {
+          const int plane =
+              pending.snapshot->view(static_cast<std::size_t>(i)).plane();
+          if (!plane_masked_[static_cast<std::size_t>(plane)]) {
+            open.push_back(static_cast<std::uint32_t>(i));
+          }
+        }
+        if (!open.empty()) {
+          const int pick = routing::ecmp_pick(
+              mix64(flow_key + 0x51ED2705ULL),
+              static_cast<int>(open.size()));
+          pending.picks.push_back(open[static_cast<std::size_t>(pick)]);
+          return;
+        }
+      }
       pending.picks.push_back(static_cast<std::uint32_t>(
           routing::ecmp_pick(mix64(flow_key + 0x51ED2705ULL), ties)));
       return;
@@ -132,7 +334,19 @@ void FluidSimulator::route(Pending& pending, std::uint64_t flow_key) {
           net_, routing::RouteQuery::ksp(src, dst, config_.k,
                                          ksp_seed(src, dst)));
       for (std::uint32_t i = 0; i < pending.snapshot->size(); ++i) {
+        if (routing_bias_active() &&
+            plane_masked_[static_cast<std::size_t>(
+                pending.snapshot->view(i).plane())]) {
+          continue;  // masked plane: drop the subflow from the set
+        }
         pending.picks.push_back(i);
+      }
+      if (pending.picks.empty()) {
+        // Every candidate masked: fall back to the full set rather than
+        // silently dropping the flow.
+        for (std::uint32_t i = 0; i < pending.snapshot->size(); ++i) {
+          pending.picks.push_back(i);
+        }
       }
       return;
     }
@@ -143,7 +357,8 @@ void FluidSimulator::add_flow(const FlowSpec& spec) {
   Pending pending;
   pending.spec = spec;
   pending.spec.start = std::max(spec.start, now_);
-  route(pending, next_key_++);
+  pending.key = next_key_++;
+  pending.needs_route = true;  // routed at admission (see Pending::key)
   pending_.push_back(std::move(pending));
   std::push_heap(pending_.begin(), pending_.end(), PendingLater{});
 }
@@ -160,6 +375,10 @@ void FluidSimulator::add_flow(const FlowSpec& spec,
 
 void FluidSimulator::admit(Pending&& pending) {
   ++events_;
+  if (pending.needs_route) {
+    route(pending, pending.key);
+    pending.needs_route = false;
+  }
   if (!pending.routed()) {
     // Disconnected pair: nothing can flow; log a zero-duration record so
     // the caller sees the flow was not silently dropped.
@@ -235,6 +454,18 @@ void FluidSimulator::drain(SimTime dt) {
     const double drained = std::min(bytes, active.remaining_bytes);
     delivered_bytes_ += drained;
     active.remaining_bytes -= drained;
+    if (!plane_bytes_.empty() && drained > 0.0 && active.rate_bps > 0.0) {
+      // Plane attribution: split the drained bytes across subflows in
+      // proportion to their allocated rates (exact for single-path flows).
+      if (active.sub_ids.size() == 1) {
+        plane_bytes_[static_cast<std::size_t>(active.planes[0])] += drained;
+      } else {
+        for (std::size_t i = 0; i < active.sub_ids.size(); ++i) {
+          plane_bytes_[static_cast<std::size_t>(active.planes[i])] +=
+              drained * alloc_.rate_bps(active.sub_ids[i]) / active.rate_bps;
+        }
+      }
+    }
   }
 }
 
@@ -303,6 +534,17 @@ void FluidSimulator::run_until(SimTime deadline) {
     if (!pending_.empty()) {
       t_next = std::min(t_next, std::max(pending_.front().spec.start, now_));
     }
+    // Fabric events are unconditional candidates: a fully-starved
+    // simulation (every flow on a failed plane) must still advance to its
+    // recovery events.
+    if (fabric_next_ < fabric_.size()) {
+      t_next = std::min(t_next, std::max(fabric_[fabric_next_].at, now_));
+    }
+    // Control ticks fire while any work remains — starved flows included,
+    // since the controller may be about to evacuate them.
+    if (control_tick_ && (!active_.empty() || !pending_.empty())) {
+      t_next = std::min(t_next, next_control_);
+    }
     if (t_next == kNever) break;  // drained, or only starved flows remain
     // Sample grid points become events, so rate buckets are exact: the
     // drain below stops exactly at the grid point the sampler reads. Only
@@ -318,7 +560,15 @@ void FluidSimulator::run_until(SimTime deadline) {
     }
     drain(t_next - now_);
     now_ = t_next;
+    // Fabric first, then sampling, then control: a tick at t sees the
+    // plane state and telemetry as of t.
+    apply_fabric_events();
     if (telemetry_ != nullptr) telemetry_->sampler.advance(now_);
+    while (control_tick_ && next_control_ <= now_) {
+      const SimTime tick_at = next_control_;
+      next_control_ += control_cadence_;
+      control_tick_(tick_at);
+    }
   }
 }
 

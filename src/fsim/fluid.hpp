@@ -21,8 +21,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "fsim/max_min.hpp"
@@ -52,6 +56,14 @@ enum class RouteScheme : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(RouteScheme scheme);
+
+/// String-keyed scheme registry mirroring core::policy_from_string, so
+/// benches and controller ablation configs name fluid schemes identically.
+/// Unknown names return nullopt; callers fail fast listing scheme_names().
+[[nodiscard]] std::optional<RouteScheme> scheme_from_string(
+    std::string_view name);
+/// Every registered scheme name, in enum order.
+[[nodiscard]] std::string scheme_names();
 
 struct FsimConfig {
   RouteScheme scheme = RouteScheme::kEcmpPlaneHash;
@@ -117,6 +129,7 @@ class FluidSimulator {
   void run_until(SimTime deadline);
 
   [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] int num_planes() const { return net_.num_planes(); }
   [[nodiscard]] const std::vector<FlowResult>& results() const {
     return results_;
   }
@@ -170,6 +183,70 @@ class FluidSimulator {
     return *cache_;
   }
 
+  // --- Fabric faults (the fluid analog of sim::FaultInjector) -----------
+  //
+  // A failed plane has every link's capacity zeroed: subflows crossing it
+  // freeze at rate 0 in the next water-fill (they starve, they are not
+  // dropped) and thaw when capacity returns. Fabric events are
+  // unconditional event-loop candidates, so a fully-starved simulation
+  // still reaches its recovery times.
+
+  struct FabricEvent {
+    SimTime at = 0;
+    int plane = -1;
+    bool down = false;
+  };
+  using FabricListener = std::function<void(const FabricEvent&)>;
+
+  /// Schedules plane `plane` down at `at` and (when `until` > `at`) back up
+  /// at `until`; `until` <= `at` means the failure is permanent. Call
+  /// before or between runs; events already in the past apply at the next
+  /// loop step.
+  void fail_plane(SimTime at, SimTime until, int plane);
+  /// Observer fired on the simulation thread as each fabric event applies
+  /// (control::LinkStateBus subscribes here). Null detaches.
+  void set_fault_listener(FabricListener listener) {
+    fault_listener_ = std::move(listener);
+  }
+  /// Physical plane state as of now() (capacity zeroed or not).
+  [[nodiscard]] bool plane_down(int plane) const {
+    return plane_phys_down_[static_cast<std::size_t>(plane)];
+  }
+
+  // --- Control-plane actuators (src/control) ----------------------------
+  //
+  // All of these are inert until first used, keeping controller-off runs
+  // byte-identical to the pre-controller simulator.
+
+  /// Masks a plane out of (or back into) new-flow routing. Only affects
+  /// simulator-internal routing (route()), not the free choose_paths().
+  void set_plane_usable(int plane, bool usable);
+  /// Biases the kEcmpPlaneHash plane pick: plane p drawn with probability
+  /// weight[p] / sum over unmasked planes. Empty restores uniform.
+  void set_plane_weights(std::vector<double> weights);
+  /// Moves up to `max_flows` active single-subflow flows off `from_plane`
+  /// onto an equal-cost path of `to_plane` (creation order, deterministic
+  /// repin-sequence path hash). Returns how many moved.
+  int repin_flows(int from_plane, int to_plane, int max_flows);
+  /// Installs the control loop: `tick(t)` runs at every multiple of
+  /// `cadence` after now(), as long as any flow is active or pending —
+  /// including fully-starved flows the controller may be about to
+  /// evacuate. Decisions inside the tick see post-fabric-event state.
+  void set_control(SimTime cadence, std::function<void(SimTime)> tick);
+  /// Turns on per-plane delivered-byte attribution (drained bytes split
+  /// across subflows proportional to their allocated rates). Off by
+  /// default: the accounting adds a per-drain pass.
+  void enable_plane_accounting();
+  /// Bytes delivered over `plane` since enable_plane_accounting().
+  [[nodiscard]] double plane_delivered_bytes(int plane) const {
+    return plane_bytes_.empty()
+               ? 0.0
+               : plane_bytes_[static_cast<std::size_t>(plane)];
+  }
+  /// Plane of every active subflow, in flow-creation order (tests:
+  /// "no flow pinned to a dead plane after the detection delay").
+  [[nodiscard]] std::vector<int> active_subflow_planes() const;
+
  private:
   struct Active {
     FlowSpec spec;
@@ -182,6 +259,13 @@ class FluidSimulator {
   };
   struct Pending {
     FlowSpec spec;
+    /// Routing key drawn at add_flow (insertion order); routing itself is
+    /// deferred to admission so the controller's placement bias sees the
+    /// fabric state at start time. With no bias and no faults the deferred
+    /// route() is the same pure function of (net, key) — byte-identical to
+    /// routing eagerly.
+    std::uint64_t key = 0;
+    bool needs_route = false;
     /// Cached routing: the interned candidate set plus the per-flow picks
     /// into it (no Path copies). Used when `snapshot` is set.
     routing::RouteSnapshot snapshot;
@@ -207,6 +291,12 @@ class FluidSimulator {
   void admit(Pending&& pending);
   void complete(std::size_t slot);
   void drain(SimTime dt);
+  void apply_fabric_events();  // every scheduled event with at <= now()
+  /// True once any mask/weight actuator has engaged (bias path in route()).
+  [[nodiscard]] bool routing_bias_active() const;
+  /// Weighted (or uniform) pick of an index into `usable` for hash `key`.
+  [[nodiscard]] std::size_t plane_pick_idx(const std::vector<int>& usable,
+                                           std::uint64_t key) const;
 
   const topo::ParallelNetwork& net_;
   FsimConfig config_;
@@ -226,6 +316,20 @@ class FluidSimulator {
   const util::CancelToken* cancel_ = nullptr;
   util::Audit* audit_ = nullptr;
   std::uint64_t loop_iters_ = 0;  // run_until cancel-poll stride counter
+  // Fabric faults: time-sorted schedule, applied cursor, physical state.
+  std::vector<FabricEvent> fabric_;
+  std::size_t fabric_next_ = 0;
+  std::vector<bool> plane_phys_down_;
+  std::vector<double> base_capacity_;  // pre-fault capacities, lazily saved
+  FabricListener fault_listener_;
+  // Control-plane state (all inert until the actuators are used).
+  std::vector<bool> plane_masked_;
+  std::vector<double> plane_weights_;
+  SimTime control_cadence_ = 0;
+  SimTime next_control_ = 0;
+  std::function<void(SimTime)> control_tick_;
+  std::vector<double> plane_bytes_;  // empty = plane accounting disabled
+  std::uint64_t repin_seq_ = 0;
   // Cached handles so the admit/complete hot paths skip name lookups.
   telemetry::Registry::Counter flows_started_counter_;
   telemetry::Registry::Counter flows_finished_counter_;

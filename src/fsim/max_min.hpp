@@ -42,6 +42,18 @@ class MaxMinAllocator {
   /// since the last solve could have affected more than its own subflow.
   void solve();
 
+  /// Re-capacitates one link (fsim's fault model: a failed plane's links go
+  /// to 0, recovery restores them). Always dirties the allocator — subflows
+  /// crossing the link freeze at rate 0 in the next water-fill and thaw
+  /// when capacity returns.
+  void set_capacity(int link, double bps) {
+    capacity_[static_cast<std::size_t>(link)] = bps;
+    dirty_ = true;
+  }
+  [[nodiscard]] double capacity(int link) const {
+    return capacity_[static_cast<std::size_t>(link)];
+  }
+
   /// Rate of an active subflow. Stale until solve() if dirty().
   [[nodiscard]] double rate_bps(int id) const {
     return subflows_[static_cast<std::size_t>(id)].rate_bps;

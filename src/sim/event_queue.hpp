@@ -119,8 +119,29 @@ class EventQueue {
     schedule_at(now_ + delay, source);
   }
 
+  /// Schedules a self-rescheduling driver's wake-up (telemetry sampling,
+  /// the control loop). Aux entries dispatch exactly like schedule_at
+  /// ones but are excluded from real_pending() — the count such drivers
+  /// consult before re-arming. Without the distinction two coexisting
+  /// drivers would each count the other as pending simulation work and
+  /// ping-pong a drained run() forever. The source MUST call aux_fired()
+  /// at the top of its do_next_event to balance the count.
+  void schedule_aux_at(SimTime when, EventSource* source) {
+    ++aux_pending_;
+    schedule_at(when, source);
+  }
+  /// Balances schedule_aux_at when the aux entry dispatches.
+  void aux_fired() {
+    if (aux_pending_ > 0) --aux_pending_;
+  }
+
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  /// Pending entries that are real simulation work — everything except
+  /// the self-rescheduling driver wake-ups placed via schedule_aux_at.
+  [[nodiscard]] std::size_t real_pending() const {
+    return heap_.size() > aux_pending_ ? heap_.size() - aux_pending_ : 0;
+  }
   /// Events dispatched since construction (the runner's throughput unit).
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
 
@@ -273,6 +294,7 @@ class EventQueue {
   }
 
   std::vector<Entry> heap_;
+  std::size_t aux_pending_ = 0;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;

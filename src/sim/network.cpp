@@ -183,6 +183,15 @@ std::uint64_t SimNetwork::plane_forwarded_bytes(int plane) const {
   return total;
 }
 
+std::uint64_t SimNetwork::plane_queued_bytes(int plane) const {
+  const auto p = static_cast<std::size_t>(plane);
+  std::uint64_t total = 0;
+  for (std::size_t i = stats_offset_[p]; i < stats_offset_[p + 1]; ++i) {
+    total += queue_stats_[i].queued_bytes + queue_stats_[i].ack_queued_bytes;
+  }
+  return total;
+}
+
 void SimNetwork::apply_link_state(int plane, LinkId link) {
   const auto p = static_cast<std::size_t>(plane);
   const bool down = cable_failed_[p][static_cast<std::size_t>(link.v)] != 0 ||
@@ -364,6 +373,45 @@ const Route* FlowFactory::repath(TcpFlowMeta& meta) {
                        meta.source->flow().v);
   }
   return fwd;
+}
+
+int FlowFactory::repin_flows(int from_plane, int max_flows,
+                             const RepinPick& pick) {
+  int moved = 0;
+  for (const auto& meta : tcp_metas_) {
+    if (moved >= max_flows) break;
+    if (meta->plane != from_plane || meta->source->complete()) continue;
+    auto paths = pick(meta->src, meta->dst, meta->bytes);
+    if (paths.empty()) continue;
+    const routing::Path& path = paths.front();
+    // Same rewiring as repath(): fresh forward + reverse routes, the sink's
+    // ACK route follows, and the source restarts cleanly on the new path.
+    const Route* fwd = network_.make_route(path, *meta->sink);
+    const Route* rev =
+        network_.make_route(network_.reverse_path(path), *meta->source);
+    meta->sink->set_ack_route(rev);
+    meta->plane = path.plane;
+    meta->source->apply_repath(fwd);
+    // switch_route cleared the RTO deadline and rewound go-back-N; an
+    // idle source (everything sent, waiting on in-flight data) would
+    // otherwise never wake again once those old-route packets drain.
+    meta->source->kick();
+    ++moved;
+    if (telemetry_ != nullptr) {
+      telemetry_->registry.counter("repins").inc();
+      PNET_TRACE_INSTANT(&telemetry_->trace, "repin", events_.now(),
+                         meta->source->flow().v);
+    }
+  }
+  return moved;
+}
+
+std::vector<int> FlowFactory::live_tcp_planes() const {
+  std::vector<int> out;
+  for (const auto& meta : tcp_metas_) {
+    if (!meta->source->complete()) out.push_back(meta->plane);
+  }
+  return out;
 }
 
 void FlowFactory::on_plane_failed(int plane) {

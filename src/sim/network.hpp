@@ -94,6 +94,9 @@ class SimNetwork {
   /// Cumulative wire bytes forwarded by `plane`'s queues — per-plane link
   /// utilization, sampled as a rate by the telemetry layer.
   [[nodiscard]] std::uint64_t plane_forwarded_bytes(int plane) const;
+  /// Bytes currently buffered in `plane`'s queues (data + ACK) — the
+  /// per-plane queue-depth gauge the control plane reads.
+  [[nodiscard]] std::uint64_t plane_queued_bytes(int plane) const;
   /// Out-of-range queue configuration calls clamped (see
   /// Queue::set_loss_rate / set_rate_scale) across every queue.
   [[nodiscard]] std::uint64_t total_config_clamped() const;
@@ -257,6 +260,23 @@ class FlowFactory {
   /// The recovery half: revives abandoned MPTCP subflows whose path rides
   /// `plane` instead of leaving them dead forever.
   void on_plane_recovered(int plane);
+
+  /// Asks the caller for a replacement path for one flow being re-pinned;
+  /// an empty result skips that flow. Typically
+  /// core::PathSelector::repin bound to a target plane.
+  using RepinPick = std::function<std::vector<routing::Path>(
+      HostId src, HostId dst, std::uint64_t bytes)>;
+  /// Control-plane actuator: moves up to `max_flows` live single-path TCP
+  /// flows riding `from_plane` onto whatever path `pick` returns for them,
+  /// in flow-creation order. Only flows created after
+  /// set_repath_provider() are movable (repath metadata exists only then).
+  /// Must run on the coordinator thread — in sharded mode that means from
+  /// a control-queue event at a barrier epoch, exactly where the
+  /// controller tick runs. Returns how many flows moved.
+  int repin_flows(int from_plane, int max_flows, const RepinPick& pick);
+  /// Plane of every live (incomplete, repath-tracked) single-path TCP
+  /// flow, in creation order — test probe for repin-under-fault-storm.
+  [[nodiscard]] std::vector<int> live_tcp_planes() const;
 
   /// Cumulative bytes delivered (acked) across all flows, complete and in
   /// flight — the goodput numerator sampled by analysis::GoodputProbe.

@@ -34,10 +34,12 @@ class TelemetryDriver : public EventSource {
   }
 
   void do_next_event() override {
+    events_.aux_fired();
     sampler_.advance(events_.now());
-    // The firing entry is already popped, so pending() counts everything
-    // else: re-arm only while real simulation work remains.
-    if (events_.pending() > 0 || (more_work_ && more_work_())) {
+    // The firing entry is already popped, so real_pending() counts
+    // everything else except sibling drivers (e.g. the control loop):
+    // re-arm only while real simulation work remains.
+    if (events_.real_pending() > 0 || (more_work_ && more_work_())) {
       schedule_next();
     }
   }
@@ -45,7 +47,9 @@ class TelemetryDriver : public EventSource {
  private:
   void schedule_next() {
     const SimTime next = sampler_.next_sample_at();
-    if (next != telemetry::Sampler::kNoSample) events_.schedule_at(next, this);
+    if (next != telemetry::Sampler::kNoSample) {
+      events_.schedule_aux_at(next, this);
+    }
   }
 
   EventQueue& events_;

@@ -1,5 +1,6 @@
 #include "telemetry/sampler.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace pnet::telemetry {
@@ -75,6 +76,33 @@ const std::vector<double>* Sampler::find(std::string_view name) const {
     if (series.name == name) return &series.values;
   }
   return nullptr;
+}
+
+std::size_t Sampler::read(std::string_view name, SimTime after,
+                          std::size_t max_points,
+                          const SampleVisitor& visit) const {
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (series_[i].name == name) return read(i, after, max_points, visit);
+  }
+  return 0;
+}
+
+std::size_t Sampler::read(std::size_t series, SimTime after,
+                          std::size_t max_points,
+                          const SampleVisitor& visit) const {
+  if (series >= series_.size() || max_points == 0) return 0;
+  // End times are strictly increasing: binary-search the watermark, then
+  // clamp to the `max_points` most recent buckets past it.
+  const auto begin_it =
+      std::upper_bound(times_.begin(), times_.end(), after);
+  std::size_t begin = static_cast<std::size_t>(begin_it - times_.begin());
+  const std::size_t available = times_.size() - begin;
+  if (available > max_points) begin = times_.size() - max_points;
+  const std::vector<double>& values = series_[series].values;
+  for (std::size_t i = begin; i < times_.size(); ++i) {
+    visit(Sample{times_[i], values[i]});
+  }
+  return times_.size() - begin;
 }
 
 }  // namespace pnet::telemetry

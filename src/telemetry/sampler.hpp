@@ -21,6 +21,29 @@
 // exact). Everything here is deterministic — a pure function of the probe
 // values at grid points — which is what lets sampler series ride in the
 // bit-identical part of experiment reports.
+//
+// Downsampling contract (what readers may rely on):
+//   * Bucket i covers the half-open window (times()[i] - interval(),
+//     times()[i]] — bucket END times are stored, never starts.
+//   * All series share one grid; after any number of downsampling rounds
+//     every live bucket still has the same width (`interval()`), so
+//     cross-series comparisons at a bucket index are always apples to
+//     apples.
+//   * A merge replaces adjacent pairs with their mean and keeps the later
+//     end time. Gauge means stay means; rate means stay exact rates over
+//     the doubled window (equal-width buckets). Readers must therefore
+//     treat a bucket value as an average over (t_end - interval(), t_end],
+//     not an instantaneous point — a merge can retroactively widen buckets
+//     a reader saw before.
+//   * Bucket end times are strictly increasing; interval() only ever grows.
+//
+// Reading: consumers on the simulation thread (e.g. the control plane)
+// should use read() — bounded iteration over the most recent samples of
+// one series, filtered to buckets that end after a watermark. Direct
+// buffer access via times()/values()/find() is deprecated for periodic
+// consumers: those accessors expose the whole (possibly re-merged) history
+// and invite O(run-length) rescans; they remain supported only for
+// end-of-run serialization (report folding), which wants the full buffer.
 #pragma once
 
 #include <cstdint>
@@ -94,7 +117,36 @@ class Sampler {
     return series_[i].values;
   }
   /// The series named `name`, or nullptr.
+  ///
+  /// Deprecated for periodic consumers (control loops): use read() — it is
+  /// bounded and watermark-aware. find()/values()/times() stay available
+  /// for end-of-run serialization only.
   [[nodiscard]] const std::vector<double>* find(std::string_view name) const;
+
+  /// One bucket handed to a read() visitor. `t_end` is the bucket end on
+  /// the shared grid; the bucket covers (t_end - interval(), t_end].
+  struct Sample {
+    SimTime t_end = 0;
+    double value = 0.0;
+  };
+
+  using SampleVisitor = std::function<void(const Sample&)>;
+
+  /// Bounded pull over one series: visits, oldest first, the buckets whose
+  /// end time is strictly after `after`, keeping only the `max_points` most
+  /// recent of them. Returns the number of buckets visited (0 for an
+  /// unknown series, a never-started sampler, or when nothing new landed
+  /// past the watermark). Because downsampling can merge a bucket the
+  /// caller already saw into a later-ending one, callers must treat
+  /// revisited windows as replacements, not duplicates; using the last
+  /// visited `t_end` as the next `after` is the intended idiom and never
+  /// re-delivers an unmerged bucket.
+  std::size_t read(std::string_view name, SimTime after,
+                   std::size_t max_points, const SampleVisitor& visit) const;
+
+  /// Same, by series index (no name lookup on the hot path).
+  std::size_t read(std::size_t series, SimTime after, std::size_t max_points,
+                   const SampleVisitor& visit) const;
 
  private:
   void capture(SimTime t);

@@ -43,7 +43,8 @@ bool is_common_flag(std::string_view key) {
          key == "require-complete" || key == "engine" || key == "trace" ||
          key == "sample-every" || key == "trial-timeout" ||
          key == "run-deadline" || key == "retries" || key == "checkpoint" ||
-         key == "audit" || key == "sim-threads";
+         key == "audit" || key == "sim-threads" || key == "controller" ||
+         key == "controller-cadence" || key == "controller-detect-delay";
 }
 
 }  // namespace
@@ -165,7 +166,14 @@ void Flags::handle_usage(std::string_view usage) const {
         "                    killed sweep by skipping completed work\n"
         "  --audit           assert simulation conservation laws each\n"
         "                    trial (also env PNET_AUDIT=1); violations\n"
-        "                    report as invariant errors\n");
+        "                    report as invariant errors\n"
+        "  --controller=MODE control plane per cell: off (default),\n"
+        "                    host-local (transport repath only), or\n"
+        "                    centralized (global adaptive controller)\n"
+        "  --controller-cadence=MS      control-loop period in simulated\n"
+        "                    milliseconds (default 1)\n"
+        "  --controller-detect-delay=MS fabric-event confirmation delay in\n"
+        "                    simulated milliseconds (default 1)\n");
     std::exit(0);
   }
   const auto unknown = unknown_flags(usage);
